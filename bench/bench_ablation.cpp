@@ -1,0 +1,120 @@
+// Ablations of the design choices DESIGN.md calls out: what each V2
+// mechanism and each network-model parameter contributes.
+//
+//   1. The WAITLOGGED gate (no send before the event logger acknowledged
+//      pending reception events): the paper attributes V2's 0-byte latency
+//      (237 vs 77 us) mostly to this synchronization. Running without the
+//      gate is NOT fault-safe; it isolates the latency cost.
+//   2. Daemon chunk size: chunk-level TX/RX interleaving is what gives V2
+//      full duplex on the fig. 9 pattern; huge chunks degenerate to P4-like
+//      whole-message blocking.
+//   3. TCP window: the flow-control depth behind P4's fig. 9 stall.
+//   4. Local pipe bandwidth: the app<->daemon copy cost that separates V2's
+//      large-message bandwidth from P4's.
+#include <memory>
+
+#include "apps/kernels.hpp"
+#include "apps/pingpong.hpp"
+#include "bench_util.hpp"
+
+using namespace mpiv;
+
+namespace {
+
+double pingpong_rtt_us(runtime::JobConfig cfg, std::size_t bytes) {
+  runtime::JobResult res = run_job(cfg, [bytes](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::PingPongApp>(bytes, 10);
+  });
+  return res.success ? bench::result_f64(res) / 1e3 : -1;
+}
+
+double nonblocking_bw(runtime::JobConfig cfg, std::size_t bytes) {
+  runtime::JobResult res = run_job(cfg, [bytes](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::NonblockingPatternApp>(bytes, 10, 5);
+  });
+  if (!res.success) return -1;
+  return 20.0 * static_cast<double>(bytes) /
+         (bench::result_f64(res) / 1e9) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  (void)opts;
+  bench::print_header("Design-choice ablations",
+                      "attribution of V2's costs and advantages");
+
+  // ---- 1. WAITLOGGED gate ----
+  {
+    runtime::JobConfig v2;
+    v2.nprocs = 2;
+    v2.device = runtime::DeviceKind::kV2;
+    runtime::JobConfig nogate = v2;
+    nogate.v2_gate_sends = false;
+
+    TextTable t({"config", "0-byte RTT us", "CG-A-8 time"});
+    auto cg_time = [](runtime::JobConfig cfg) {
+      cfg.nprocs = 8;
+      runtime::JobResult r =
+          run_job(cfg, apps::kernel_factory("cg", apps::NasClass::kA));
+      return r.success ? format_duration(r.makespan) : std::string("FAILED");
+    };
+    t.add_row({"V2 (gated, fault-safe)",
+               format_double(pingpong_rtt_us(v2, 0), 1), cg_time(v2)});
+    t.add_row({"V2 without WAITLOGGED (unsafe)",
+               format_double(pingpong_rtt_us(nogate, 0), 1), cg_time(nogate)});
+    runtime::JobConfig p4 = v2;
+    p4.device = runtime::DeviceKind::kP4;
+    t.add_row({"P4 (reference)", format_double(pingpong_rtt_us(p4, 0), 1),
+               cg_time(p4)});
+    std::printf("\n[1] event-logger acknowledgement gate\n%s", t.render().c_str());
+  }
+
+  // ---- 2. daemon chunk size on the fig. 9 pattern ----
+  {
+    TextTable t({"daemon chunk", "V2 agg bandwidth MB/s @64KB"});
+    for (std::uint32_t chunk : {4u * 1024, 16u * 1024, 64u * 1024,
+                                256u * 1024}) {
+      runtime::JobConfig cfg;
+      cfg.nprocs = 2;
+      cfg.device = runtime::DeviceKind::kV2;
+      cfg.net_params.daemon_chunk_bytes = chunk;
+      t.add_row({format_bytes(chunk),
+                 format_double(nonblocking_bw(cfg, 65536), 2)});
+    }
+    std::printf("\n[2] chunk-level duplex (fig. 9 pattern)\n%s",
+                t.render().c_str());
+  }
+
+  // ---- 3. TCP window on P4's fig. 9 behaviour ----
+  {
+    TextTable t({"tcp window", "P4 agg bandwidth MB/s @64KB"});
+    for (std::uint32_t w : {16u * 1024, 64u * 1024, 256u * 1024,
+                            1024u * 1024}) {
+      runtime::JobConfig cfg;
+      cfg.nprocs = 2;
+      cfg.device = runtime::DeviceKind::kP4;
+      cfg.net_params.tcp_window_bytes = w;
+      t.add_row({format_bytes(w), format_double(nonblocking_bw(cfg, 65536), 2)});
+    }
+    std::printf("\n[3] flow-control window (P4 inline sends)\n%s",
+                t.render().c_str());
+  }
+
+  // ---- 4. pipe bandwidth on V2 large-message bandwidth ----
+  {
+    TextTable t({"pipe bandwidth", "V2 1MB ping-pong MB/s"});
+    for (double bw : {100e6, 300e6, 1000e6}) {
+      runtime::JobConfig cfg;
+      cfg.nprocs = 2;
+      cfg.device = runtime::DeviceKind::kV2;
+      cfg.net_params.pipe_bandwidth_bps = bw;
+      double rtt_us = pingpong_rtt_us(cfg, 1 << 20);
+      t.add_row({format_double(bw / 1e6, 0) + " MB/s",
+                 format_double((1 << 20) / (rtt_us / 2.0), 2)});
+    }
+    std::printf("\n[4] app<->daemon copy bandwidth\n%s", t.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 8: execution-time breakdown (computation vs communication) of
+// CG-A and BT-B under MPICH-P4, MPICH-V1 and MPICH-V2. V1 runs with N/4
+// Channel Memories, as in the paper.
+//
+// Expected shape: identical computation time across implementations; CG's
+// communication blows up under both V1 and V2 (V1 a little less — lower
+// small-message latency than V2's event-logger synchronization); BT-B's
+// communication is *best* under V2.
+#include "apps/kernels.hpp"
+#include "bench_util.hpp"
+
+using namespace mpiv;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  auto devices = bench::devices_from_options(opts, "p4,v1,v2");
+
+  bench::print_header("Execution time breakdown (compute vs communication)",
+                      "Figure 8 (CG-A-8 and BT-B-9)");
+
+  struct Case {
+    const char* kernel;
+    apps::NasClass cls;
+    const char* cls_name;
+    int np;
+  };
+  const Case cases[] = {{"cg", apps::NasClass::kA, "A", 8},
+                        {"bt", apps::NasClass::kB, "B", 9}};
+
+  TextTable table(
+      {"benchmark", "device", "total", "compute", "communication"});
+  for (const Case& c : cases) {
+    for (const std::string& dev : devices) {
+      runtime::JobConfig cfg;
+      cfg.nprocs = c.np;
+      cfg.device = bench::device_from_name(dev);
+      if (cfg.device == runtime::DeviceKind::kV1) {
+        cfg.channel_memories = (c.np + 3) / 4;
+      }
+      runtime::JobResult res = run_job(cfg, apps::kernel_factory(c.kernel, c.cls));
+      if (!res.success) {
+        std::printf("  %s %s FAILED\n", c.kernel, dev.c_str());
+        continue;
+      }
+      // Communication = time inside MPI calls (max over ranks, like the
+      // paper's slowest-process view); compute = the rest of the makespan.
+      SimDuration comm = res.max_mpi_time();
+      SimDuration total = res.makespan;
+      table.add_row({std::string(c.kernel) + "-" + c.cls_name + "-" +
+                         std::to_string(c.np),
+                     dev, format_duration(total),
+                     format_duration(total - comm), format_duration(comm)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the runtime:
+// wire serialization, sender-log bookkeeping, the simulation kernel, and a
+// whole small V2 job as an end-to-end figure.
+#include <benchmark/benchmark.h>
+
+#include "apps/token_ring.hpp"
+#include "common/serialize.hpp"
+#include "runtime/job.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "v2/sender_log.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv {
+namespace {
+
+void BM_SerializeEvent(benchmark::State& state) {
+  v2::ReceptionEvent e{v2::ReceptionEvent::Kind::kDelivery, 3, 12345, 67890, 2};
+  for (auto _ : state) {
+    Writer w;
+    v2::write_event(w, e);
+    Buffer b = w.take();
+    Reader r(b);
+    benchmark::DoNotOptimize(v2::read_event(r));
+  }
+}
+BENCHMARK(BM_SerializeEvent);
+
+void BM_EncodeMsgRecord(benchmark::State& state) {
+  v2::MsgRecord rec{42, Buffer(static_cast<std::size_t>(state.range(0)))};
+  for (auto _ : state) {
+    Buffer b = v2::encode_msg_record(rec);
+    benchmark::DoNotOptimize(v2::decode_msg_record(b));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeMsgRecord)->Arg(1024)->Arg(65536);
+
+void BM_SenderLogRecordPrune(benchmark::State& state) {
+  for (auto _ : state) {
+    v2::SenderLog log(4);
+    for (int i = 0; i < 256; ++i) {
+      log.record(i % 4, i, Buffer(128));
+    }
+    for (int d = 0; d < 4; ++d) log.prune(d, 200);
+    benchmark::DoNotOptimize(log.total_bytes());
+  }
+}
+BENCHMARK(BM_SenderLogRecordPrune);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(i, [&count] { ++count; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn("p", [](sim::Context& ctx) {
+      for (int i = 0; i < 100; ++i) ctx.sleep(1);
+    });
+    eng.run();
+  }
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_SmallV2Job(benchmark::State& state) {
+  for (auto _ : state) {
+    runtime::JobConfig cfg;
+    cfg.nprocs = 4;
+    cfg.device = runtime::DeviceKind::kV2;
+    auto res = runtime::run_job(cfg, [](mpi::Rank, mpi::Rank) {
+      return std::make_unique<apps::TokenRingApp>(5, 256);
+    });
+    benchmark::DoNotOptimize(res.success);
+  }
+}
+BENCHMARK(BM_SmallV2Job)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpiv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figures 5 & 6: ping-pong bandwidth and latency for MPICH-P4, MPICH-V1
+// and MPICH-V2, plus the per-message wire-message counts behind the
+// paper's "six TCP messages with V2, two with P4" observation (§5.1).
+//
+// Expected shape: V2 bandwidth close to P4 for large messages; V1 about
+// half of P4 (every payload crosses two serialized streams); V2 0-byte
+// latency about 3x P4 (two local pipe hops plus the event-logger
+// round-trip gating each send).
+#include <memory>
+
+#include "apps/pingpong.hpp"
+#include "bench_util.hpp"
+
+using namespace mpiv;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  auto sizes = opts.get_int_list(
+      "sizes", {0, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304});
+  int reps = static_cast<int>(opts.get_int("reps", 10));
+  auto devices = bench::devices_from_options(opts, "p4,v1,v2");
+
+  bench::print_header("Ping-pong latency / bandwidth",
+                      "Figures 5 and 6 (paper: P4 77us / 11.3 MB/s, "
+                      "V2 237us / 10.7 MB/s, V1 ~2x slower than P4)");
+
+  TextTable table({"size", "device", "one-way latency", "bandwidth MB/s",
+                   "wire msgs/rt"});
+  for (std::int64_t size : sizes) {
+    for (const std::string& dev : devices) {
+      runtime::JobConfig cfg;
+      cfg.nprocs = 2;
+      cfg.device = bench::device_from_name(dev);
+      if (cfg.device == runtime::DeviceKind::kV1) cfg.channel_memories = 2;
+      auto bytes = static_cast<std::size_t>(size);
+      runtime::JobResult res =
+          run_job(cfg, [bytes, reps](mpi::Rank, mpi::Rank) {
+            return std::make_unique<apps::PingPongApp>(bytes, reps);
+          });
+      if (!res.success) {
+        std::printf("  %s size=%lld FAILED\n", dev.c_str(),
+                    static_cast<long long>(size));
+        continue;
+      }
+      double rtt_ns = bench::result_f64(res);
+      double one_way_s = rtt_ns / 2e9;
+      double bw = one_way_s > 0
+                      ? static_cast<double>(size) / one_way_s / 1e6
+                      : 0.0;
+      // Messages attributable to the measured ping-pongs (total divided by
+      // warmup+measured rounds gives a fair per-round figure).
+      double msgs_per_rt =
+          static_cast<double>(res.wire.messages) / (reps + 2);
+      table.add_row({std::to_string(size), dev,
+                     format_duration(static_cast<SimDuration>(rtt_ns / 2)),
+                     format_double(bw, 2), format_double(msgs_per_rt, 1)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nNote: wire msgs/round-trip includes protocol-layer framing; the\n"
+      "paper counts 2 for P4 and 6 for V2 per 0-byte round trip (data x2,\n"
+      "event x2, ack x2 — local pipe messages are not TCP).\n");
+  return 0;
+}

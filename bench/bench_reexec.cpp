@@ -1,0 +1,75 @@
+// Figure 10: re-execution performance. An asynchronous token ring runs on
+// 8 computing nodes (checkpointing disabled); x nodes are killed near the
+// end and restart from the beginning, replaying their receptions from the
+// sender logs.
+//
+// Expected shape: one restart completes in about *half* the reference time
+// (only receptions are replayed — the restarted rank's sends are
+// suppressed, and no event logging happens during replay); with all 8
+// nodes restarting the time approaches, but stays below, the reference.
+// The kink between 64 KB and 128 KB is the eager -> rendezvous switch.
+#include <memory>
+
+#include "apps/token_ring.hpp"
+#include "bench_util.hpp"
+
+using namespace mpiv;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  auto sizes = opts.get_int_list("sizes", {8192, 32768, 65536, 131072, 262144});
+  auto restarts = opts.get_int_list("restarts", {0, 1, 2, 4, 8});
+  int nprocs = static_cast<int>(opts.get_int("nprocs", 8));
+  int rounds = static_cast<int>(opts.get_int("rounds", 20));
+
+  bench::print_header("Re-execution time of a token ring (8 nodes)",
+                      "Figure 10 (x-restart curves vs message size)");
+
+  TextTable table({"msg size", "restarts", "re-exec time", "vs reference"});
+  for (std::int64_t size : sizes) {
+    auto factory = [size, rounds](mpi::Rank, mpi::Rank) {
+      return std::make_unique<apps::TokenRingApp>(
+          rounds, static_cast<std::size_t>(size));
+    };
+    // Reference run: no faults; its makespan is both the baseline and the
+    // basis for placing the kill just before the ring completes.
+    runtime::JobConfig ref_cfg;
+    ref_cfg.nprocs = nprocs;
+    ref_cfg.device = runtime::DeviceKind::kV2;
+    runtime::JobResult ref = run_job(ref_cfg, factory);
+    if (!ref.success) {
+      std::printf("reference for size %lld FAILED\n",
+                  static_cast<long long>(size));
+      continue;
+    }
+    double ref_s = to_seconds(ref.makespan);
+    for (std::int64_t x : restarts) {
+      if (x == 0) {
+        table.add_row({std::to_string(size), "0 (reference)",
+                       format_double(ref_s, 3) + " s", "1.00"});
+        continue;
+      }
+      // Kill x distinct ranks just before the end (the paper stops the
+      // benchmark right before MPI_Finalize and restarts x nodes).
+      std::vector<mpi::Rank> victims;
+      for (int i = 0; i < x && i < nprocs; ++i) victims.push_back(i);
+      runtime::JobConfig cfg = ref_cfg;
+      SimTime kill_at = static_cast<SimTime>(0.95 * ref.makespan);
+      cfg.fault_plan = faults::FaultPlan::simultaneous(kill_at, victims);
+      cfg.restart_delay = milliseconds(1);  // isolate pure re-execution time
+      cfg.time_limit = seconds(600);
+      runtime::JobResult res = run_job(cfg, factory);
+      if (!res.success) {
+        std::printf("size %lld x=%lld FAILED\n", static_cast<long long>(size),
+                    static_cast<long long>(x));
+        continue;
+      }
+      double reexec_s = to_seconds(res.makespan - kill_at) - 0.001;
+      table.add_row({std::to_string(size), std::to_string(x),
+                     format_double(reexec_s, 3) + " s",
+                     format_double(reexec_s / ref_s, 2)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared scaffolding for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/serialize.hpp"
+#include "common/stats.hpp"
+#include "runtime/job.hpp"
+
+namespace mpiv::bench {
+
+inline runtime::DeviceKind device_from_name(const std::string& name) {
+  if (name == "p4") return runtime::DeviceKind::kP4;
+  if (name == "v1") return runtime::DeviceKind::kV1;
+  if (name == "v2") return runtime::DeviceKind::kV2;
+  throw ConfigError("unknown device: " + name);
+}
+
+inline std::vector<std::string> devices_from_options(const Options& opts,
+                                                     const std::string& def) {
+  std::string s = opts.get("devices", def);
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Reads the single f64 that micro-apps report via App::result().
+inline double result_f64(const runtime::JobResult& res, int rank = 0) {
+  Reader r(res.ranks[static_cast<std::size_t>(rank)].output);
+  return r.f64();
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace mpiv::bench

@@ -1,0 +1,166 @@
+// desktop_grid: a master/worker task farm on volatile nodes — the
+// "campus-wide desktop grid" deployment the paper motivates, where any
+// machine (including the master) can vanish at any time.
+//
+// The master (rank 0) hands out work units and collects results with
+// MPI_ANY_SOURCE — a genuinely nondeterministic reception order, which is
+// exactly what the event logger records and replays. Workers compute a
+// checksum over their unit. Nodes churn throughout the run (Poisson fault
+// arrivals); every kill is recovered transparently and the final result
+// equals the churn-free run.
+//
+//   ./desktop_grid workers=7 units=60 churn=6
+#include <cstdio>
+#include <memory>
+
+#include "apps/compute_model.hpp"
+#include "common/options.hpp"
+#include "common/serialize.hpp"
+#include "runtime/job.hpp"
+
+using namespace mpiv;
+
+namespace {
+
+constexpr mpi::Tag kTask = 1;
+constexpr mpi::Tag kResult = 2;
+constexpr mpi::Tag kStop = 3;
+
+std::uint64_t work_unit(std::int64_t unit) {
+  // Deterministic "work": iterated mixing.
+  std::uint64_t x = static_cast<std::uint64_t>(unit) * 0x9e3779b97f4a7c15ull + 1;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+  }
+  return x;
+}
+
+class FarmApp final : public runtime::App {
+ public:
+  explicit FarmApp(int units) : units_(units) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override {
+    if (comm.rank() == 0) {
+      master(ctx, comm);
+    } else {
+      worker(ctx, comm);
+    }
+  }
+
+  Buffer snapshot() override {
+    Writer w;
+    w.i32(next_unit_);
+    w.i32(done_);
+    w.u64(checksum_);
+    return w.take();
+  }
+  void restore(ConstBytes image) override {
+    Reader r(image);
+    next_unit_ = r.i32();
+    done_ = r.i32();
+    checksum_ = r.u64();
+  }
+  [[nodiscard]] Buffer result() const override {
+    Writer w;
+    w.u64(checksum_);
+    return w.take();
+  }
+
+ private:
+  void master(sim::Context& ctx, mpi::Comm& comm) {
+    const int workers = comm.size() - 1;
+    // Seed every worker with one unit (skipped on checkpoint resume: the
+    // unit counter is part of the snapshot).
+    while (next_unit_ < std::min(units_, workers)) {
+      checkpoint_point(ctx, comm);
+      std::int64_t u = next_unit_++;
+      comm.send_value<std::int64_t>(ctx, u, static_cast<int>(u % workers) + 1,
+                                    kTask);
+    }
+    while (done_ < units_) {
+      checkpoint_point(ctx, comm);
+      // ANY_SOURCE: whichever worker finishes first.
+      mpi::Status st;
+      std::uint64_t result = 0;
+      comm.recv(ctx, std::as_writable_bytes(std::span<std::uint64_t>(&result, 1)),
+                mpi::kAnySource, kResult, &st);
+      checksum_ = checksum_ * 31 + result;
+      ++done_;
+      if (next_unit_ < units_) {
+        comm.send_value<std::int64_t>(ctx, next_unit_++, st.source, kTask);
+      } else {
+        comm.send_value<std::int64_t>(ctx, -1, st.source, kStop);
+      }
+    }
+  }
+
+  void worker(sim::Context& ctx, mpi::Comm& comm) {
+    for (;;) {
+      checkpoint_point(ctx, comm);
+      mpi::Status st;
+      std::int64_t unit = 0;
+      comm.recv(ctx, std::as_writable_bytes(std::span<std::int64_t>(&unit, 1)),
+                0, mpi::kAnyTag, &st);
+      if (st.tag == kStop) return;
+      std::uint64_t r = work_unit(unit);
+      ctx.compute(apps::flops_time(2e6));  // ~2 MFlop per unit
+      comm.send_value<std::uint64_t>(ctx, r, 0, kResult);
+    }
+  }
+
+  int units_;
+  int next_unit_ = 0;
+  int done_ = 0;
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  int workers = static_cast<int>(opts.get_int("workers", 7));
+  int units = static_cast<int>(opts.get_int("units", 60));
+  int churn = static_cast<int>(opts.get_int("churn", 6));
+
+  auto factory = [&](mpi::Rank, mpi::Rank) {
+    return std::make_unique<FarmApp>(units);
+  };
+
+  runtime::JobConfig cfg;
+  cfg.nprocs = workers + 1;
+  cfg.device = runtime::DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(20);
+  runtime::JobResult clean = run_job(cfg, factory);
+  if (!clean.success) {
+    std::printf("clean run FAILED\n");
+    return 1;
+  }
+  std::printf("churn-free: %.3f s, checksum %llu\n", to_seconds(clean.makespan),
+              static_cast<unsigned long long>(
+                  Reader(clean.ranks[0].output).u64()));
+
+  if (churn > 0) {
+    // Node churn across the whole run, master included.
+    cfg.fault_plan = faults::FaultPlan::periodic_random(
+        churn, clean.makespan / 4, clean.makespan / 4, cfg.nprocs, 1234);
+    cfg.restart_delay = milliseconds(50);
+    cfg.time_limit = seconds(3600);
+  }
+  runtime::JobResult res = run_job(cfg, factory);
+  if (!res.success) {
+    std::printf("churn run FAILED\n");
+    return 1;
+  }
+  std::printf("with churn:  %.3f s, checksum %llu "
+              "(kills %d, replayed %llu)\n",
+              to_seconds(res.makespan),
+              static_cast<unsigned long long>(Reader(res.ranks[0].output).u64()),
+              res.restarts,
+              static_cast<unsigned long long>(
+                  res.daemon_stats.replayed_deliveries));
+  bool same = res.ranks[0].output == clean.ranks[0].output;
+  std::printf("checksum matches churn-free run: %s\n", same ? "YES" : "NO");
+  return same ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+// heat2d: a long-running domain-decomposition solver under checkpointing —
+// the workload class MPICH-V2 targets (long executions, large messages).
+//
+// A 2-D heat diffusion grid is partitioned in row slabs across the ranks;
+// every Jacobi step exchanges halo rows with both neighbours; every few
+// steps the solver computes the global residual and offers the runtime a
+// checkpoint point. Faults strike twice during the run; the killed ranks
+// restart from their last checkpoint image and replay forward.
+//
+//   ./heat2d n=256 steps=400 nprocs=8 faults=2
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apps/compute_model.hpp"
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "common/serialize.hpp"
+#include "runtime/job.hpp"
+
+using namespace mpiv;
+
+namespace {
+
+class Heat2dApp final : public runtime::App {
+ public:
+  Heat2dApp(int n, int steps) : n_(n), steps_(steps) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override {
+    if (!init_) {
+      if (n_ % comm.size() != 0) {
+        throw ConfigError("heat2d: nprocs must divide n");
+      }
+      rows_ = n_ / comm.size();
+      // Two extra halo rows; hot stripe in the middle of the domain.
+      grid_.assign(static_cast<std::size_t>(rows_ + 2) * n_, 0.0);
+      int r0 = comm.rank() * rows_;
+      for (int i = 0; i < rows_; ++i) {
+        if ((r0 + i) >= n_ / 2 - 2 && (r0 + i) <= n_ / 2 + 2) {
+          for (int j = 0; j < n_; ++j) at(i, j) = 100.0;
+        }
+      }
+      init_ = true;
+    }
+    const mpi::Rank up = comm.rank() - 1;
+    const mpi::Rank down = comm.rank() + 1;
+    std::vector<double> next(grid_.size());
+
+    for (; step_ < steps_; ++step_) {
+      if (step_ % 10 == 0) checkpoint_point(ctx, comm);
+      // Halo exchange with both neighbours (large messages: n_ doubles).
+      if (up >= 0) {
+        comm.sendrecv(ctx, std::as_bytes(row_span(0)), up, 1,
+                      std::as_writable_bytes(row_span(-1)), up, 2);
+      }
+      if (down < comm.size()) {
+        comm.sendrecv(ctx, std::as_bytes(row_span(rows_ - 1)), down, 2,
+                      std::as_writable_bytes(row_span(rows_)), down, 1);
+      }
+      for (int i = 0; i < rows_; ++i) {
+        bool top_edge = up < 0 && i == 0;
+        bool bottom_edge = down >= comm.size() && i == rows_ - 1;
+        for (int j = 0; j < n_; ++j) {
+          if (top_edge || bottom_edge || j == 0 || j == n_ - 1) {
+            next[idx(i, j)] = at(i, j);
+            continue;
+          }
+          next[idx(i, j)] = at(i, j) + 0.2 * (at(i - 1, j) + at(i + 1, j) +
+                                              at(i, j - 1) + at(i, j + 1) -
+                                              4.0 * at(i, j));
+        }
+      }
+      std::swap(grid_, next);
+      ctx.compute(apps::flops_time(8.0 * rows_ * n_));
+      if (step_ % 50 == 49) {
+        double local = 0;
+        for (int i = 0; i < rows_; ++i) {
+          for (int j = 0; j < n_; ++j) local += at(i, j);
+        }
+        heat_ = comm.allreduce(ctx, local, mpi::ReduceOp::kSum);
+      }
+    }
+  }
+
+  Buffer snapshot() override {
+    Writer w;
+    w.i32(step_);
+    w.boolean(init_);
+    w.i32(rows_);
+    w.f64(heat_);
+    w.u32(static_cast<std::uint32_t>(grid_.size()));
+    for (double v : grid_) w.f64(v);
+    return w.take();
+  }
+
+  void restore(ConstBytes image) override {
+    Reader r(image);
+    step_ = r.i32();
+    init_ = r.boolean();
+    rows_ = r.i32();
+    heat_ = r.f64();
+    grid_.resize(r.u32());
+    for (double& v : grid_) v = r.f64();
+  }
+
+  [[nodiscard]] Buffer result() const override {
+    Writer w;
+    w.f64(heat_);
+    return w.take();
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i + 1) * n_ + j;
+  }
+  double& at(int i, int j) { return grid_[idx(i, j)]; }
+  std::span<double> row_span(int i) {
+    return {grid_.data() + idx(i, 0), static_cast<std::size_t>(n_)};
+  }
+
+  int n_;
+  int steps_;
+  int step_ = 0;
+  int rows_ = 0;
+  bool init_ = false;
+  double heat_ = 0;
+  std::vector<double> grid_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  int n = static_cast<int>(opts.get_int("n", 256));
+  int steps = static_cast<int>(opts.get_int("steps", 400));
+  int nprocs = static_cast<int>(opts.get_int("nprocs", 8));
+  int nfaults = static_cast<int>(opts.get_int("faults", 2));
+
+  auto factory = [&](mpi::Rank, mpi::Rank) {
+    return std::make_unique<Heat2dApp>(n, steps);
+  };
+
+  runtime::JobConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.device = runtime::DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.ckpt_policy = services::PolicyKind::kRoundRobin;
+  cfg.first_ckpt_after = milliseconds(50);
+  runtime::JobResult clean = run_job(cfg, factory);
+  if (!clean.success) {
+    std::printf("clean run FAILED\n");
+    return 1;
+  }
+  std::printf("clean run: %.3f s  total heat %.6f\n",
+              to_seconds(clean.makespan),
+              Reader(clean.ranks[0].output).f64());
+
+  if (nfaults > 0) {
+    cfg.fault_plan = faults::FaultPlan::periodic_random(
+        nfaults, clean.makespan / 4, clean.makespan / 4, nprocs, 42);
+    cfg.time_limit = seconds(3600);
+  }
+  runtime::JobResult res = run_job(cfg, factory);
+  if (!res.success) {
+    std::printf("faulty run FAILED\n");
+    return 1;
+  }
+  std::printf("with %d faults: %.3f s  total heat %.6f  "
+              "(restarts %d, checkpoints %llu)\n",
+              nfaults, to_seconds(res.makespan),
+              Reader(res.ranks[0].output).f64(), res.restarts,
+              static_cast<unsigned long long>(res.checkpoints_stored));
+  bool same = res.ranks[0].output == clean.ranks[0].output;
+  std::printf("answer matches clean run: %s\n", same ? "YES" : "NO");
+  return same ? 0 : 1;
+}

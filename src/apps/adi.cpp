@@ -1,0 +1,234 @@
+#include "apps/adi.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::apps {
+
+namespace {
+constexpr mpi::Tag kTagX = 300;  // + chunk; x-axis faces
+constexpr mpi::Tag kTagY = 340;  // + chunk; y-axis faces
+constexpr mpi::Tag kLoFlow = 0;   // my low face, sent to the low neighbour
+constexpr mpi::Tag kHiFlow = 20;  // my high face, sent to the high neighbour
+}  // namespace
+
+AdiApp::Params AdiApp::Params::bt_for_class(NasClass c) {
+  switch (c) {
+    case NasClass::kTest: return {12, 2, 4};
+    case NasClass::kA: return {60, 6, 10};
+    case NasClass::kB: return {120, 6, 10};
+  }
+  return {};
+}
+
+AdiApp::Params AdiApp::Params::sp_for_class(NasClass c) {
+  switch (c) {
+    case NasClass::kTest: return {12, 3, 4};
+    case NasClass::kA: return {60, 9, 10};
+    case NasClass::kB: return {120, 9, 10};
+  }
+  return {};
+}
+
+int AdiApp::square_side(int size) {
+  int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(size))));
+  if (q * q != size) {
+    throw ConfigError("bt/sp: process count must be a perfect square");
+  }
+  return q;
+}
+
+void AdiApp::init_state(mpi::Rank rank, mpi::Rank size) {
+  q_ = square_side(size);
+  if (p_.n % q_ != 0) throw ConfigError("bt/sp: q must divide n");
+  ix_ = rank / q_;
+  iy_ = rank % q_;
+  mx_ = p_.n / q_;
+  my_ = p_.n / q_;
+  u_.assign(static_cast<std::size_t>(kC) * mx_ * my_ * p_.n, 0.0);
+  for (int c = 0; c < kC; ++c) {
+    for (int i = 0; i < mx_; ++i) {
+      for (int j = 0; j < my_; ++j) {
+        for (int k = 0; k < p_.n; ++k) {
+          int gi = ix_ * mx_ + i;
+          int gj = iy_ * my_ + j;
+          u_[at(c, i, j, k)] =
+              1.0 + 0.02 * c + 1e-4 * ((gi * 37 + gj * 101 + k * 13) % 97);
+        }
+      }
+    }
+  }
+  initialized_ = true;
+}
+
+void AdiApp::exchange_faces(sim::Context& ctx, mpi::Comm& comm, int axis,
+                            std::vector<double>& lo, std::vector<double>& hi,
+                            mpi::Tag tag_base) {
+  const int n = p_.n;
+  const int coord = axis == 0 ? ix_ : iy_;
+  const int other = axis == 0 ? my_ : mx_;
+  const std::size_t face = static_cast<std::size_t>(kC) * other * n;
+  lo.assign(face, 1.0);
+  hi.assign(face, 1.0);
+  std::vector<double> lo_out(face), hi_out(face);
+  for (int c = 0; c < kC; ++c) {
+    for (int o = 0; o < other; ++o) {
+      for (int k = 0; k < n; ++k) {
+        std::size_t f = (static_cast<std::size_t>(c) * other + o) * n + k;
+        if (axis == 0) {
+          lo_out[f] = u_[at(c, 0, o, k)];
+          hi_out[f] = u_[at(c, mx_ - 1, o, k)];
+        } else {
+          lo_out[f] = u_[at(c, o, 0, k)];
+          hi_out[f] = u_[at(c, o, my_ - 1, k)];
+        }
+      }
+    }
+  }
+  mpi::Rank lo_peer = -1, hi_peer = -1;
+  if (coord > 0) lo_peer = axis == 0 ? (ix_ - 1) * q_ + iy_ : ix_ * q_ + iy_ - 1;
+  if (coord < q_ - 1) {
+    hi_peer = axis == 0 ? (ix_ + 1) * q_ + iy_ : ix_ * q_ + iy_ + 1;
+  }
+
+  // Fig. 9 pattern: post all Irecv chunks, all Isend chunks, then Waitall.
+  const int nchunks = p_.chunks;
+  std::vector<mpi::Request> reqs;
+  auto chunk_span = [&face, nchunks](std::vector<double>& buf, int c) {
+    std::size_t per = (face + static_cast<std::size_t>(nchunks) - 1) /
+                      static_cast<std::size_t>(nchunks);
+    std::size_t beg = per * static_cast<std::size_t>(c);
+    std::size_t len = beg >= face ? 0 : std::min(per, face - beg);
+    return std::span<double>(buf.data() + beg, len);
+  };
+  for (int c = 0; c < nchunks; ++c) {
+    // My low face goes to the low peer (their kHiFlow arrival and vice versa).
+    if (lo_peer >= 0 && !chunk_span(lo, c).empty()) {
+      reqs.push_back(comm.irecv<double>(ctx, chunk_span(lo, c), lo_peer,
+                                        tag_base + kHiFlow + c));
+    }
+    if (hi_peer >= 0 && !chunk_span(hi, c).empty()) {
+      reqs.push_back(comm.irecv<double>(ctx, chunk_span(hi, c), hi_peer,
+                                        tag_base + kLoFlow + c));
+    }
+  }
+  for (int c = 0; c < nchunks; ++c) {
+    if (lo_peer >= 0 && !chunk_span(lo_out, c).empty()) {
+      std::span<double> s = chunk_span(lo_out, c);
+      reqs.push_back(comm.isend<double>(
+          ctx, std::span<const double>(s.data(), s.size()), lo_peer,
+          tag_base + kLoFlow + c));
+    }
+    if (hi_peer >= 0 && !chunk_span(hi_out, c).empty()) {
+      std::span<double> s = chunk_span(hi_out, c);
+      reqs.push_back(comm.isend<double>(
+          ctx, std::span<const double>(s.data(), s.size()), hi_peer,
+          tag_base + kHiFlow + c));
+    }
+  }
+  comm.waitall(ctx, reqs);
+}
+
+void AdiApp::relax(sim::Context& ctx, int axis, const std::vector<double>& lo,
+                   const std::vector<double>& hi, double weight) {
+  const int n = p_.n;
+  const int other = axis == 0 ? my_ : mx_;
+  const int m = axis == 0 ? mx_ : my_;
+  for (int c = 0; c < kC; ++c) {
+    for (int o = 0; o < other; ++o) {
+      for (int k = 0; k < n; ++k) {
+        std::size_t f = (static_cast<std::size_t>(c) * other + o) * n + k;
+        for (int i = 0; i < m; ++i) {
+          double left, right;
+          auto cell = [&](int ii) {
+            return axis == 0 ? u_[at(c, ii, o, k)] : u_[at(c, o, ii, k)];
+          };
+          left = i > 0 ? cell(i - 1) : lo[f];
+          right = i < m - 1 ? cell(i + 1) : hi[f];
+          double& v =
+              axis == 0 ? u_[at(c, i, o, k)] : u_[at(c, o, i, k)];
+          v = (1.0 - 2.0 * weight) * v + weight * (left + right);
+        }
+      }
+    }
+  }
+  double flops_per_cell = variant_ == Variant::kBT ? 80.0 : 32.0;
+  ctx.compute(
+      flops_time(flops_per_cell * static_cast<double>(u_.size())));
+}
+
+void AdiApp::run(sim::Context& ctx, mpi::Comm& comm) {
+  if (!initialized_) init_state(comm.rank(), comm.size());
+  const int rounds = variant_ == Variant::kSP ? 2 : 1;
+  const double w = variant_ == Variant::kSP ? 0.05 : 0.08;
+  std::vector<double> lo, hi;
+
+  for (; iter_ < p_.iters; ++iter_) {
+    checkpoint_point(ctx, comm);
+    for (int rep = 0; rep < rounds; ++rep) {
+      exchange_faces(ctx, comm, 0, lo, hi, kTagX);
+      relax(ctx, 0, lo, hi, w);
+      exchange_faces(ctx, comm, 1, lo, hi, kTagY);
+      relax(ctx, 1, lo, hi, w);
+    }
+    // z phase: fully local line relaxation.
+    for (int c = 0; c < kC; ++c) {
+      for (int i = 0; i < mx_; ++i) {
+        for (int j = 0; j < my_; ++j) {
+          for (int k = 0; k < p_.n; ++k) {
+            double left = k > 0 ? u_[at(c, i, j, k - 1)] : 1.0;
+            double right = k < p_.n - 1 ? u_[at(c, i, j, k + 1)] : 1.0;
+            double& v = u_[at(c, i, j, k)];
+            v = (1.0 - 2.0 * w) * v + w * (left + right);
+          }
+        }
+      }
+    }
+    double zflops = variant_ == Variant::kBT ? 90.0 : 36.0;
+    ctx.compute(flops_time(zflops * static_cast<double>(u_.size())));
+
+    double local = 0;
+    for (double v : u_) local += v * v;
+    norm_ = std::sqrt(comm.allreduce(ctx, local, mpi::ReduceOp::kSum));
+    ctx.compute(flops_time(2.0 * static_cast<double>(u_.size())));
+  }
+}
+
+Buffer AdiApp::snapshot() {
+  Writer w;
+  w.i32(iter_);
+  w.boolean(initialized_);
+  w.f64(norm_);
+  w.i32(q_);
+  w.i32(ix_);
+  w.i32(iy_);
+  w.i32(mx_);
+  w.i32(my_);
+  w.u32(static_cast<std::uint32_t>(u_.size()));
+  for (double v : u_) w.f64(v);
+  return w.take();
+}
+
+void AdiApp::restore(ConstBytes image) {
+  Reader r(image);
+  iter_ = r.i32();
+  initialized_ = r.boolean();
+  norm_ = r.f64();
+  q_ = r.i32();
+  ix_ = r.i32();
+  iy_ = r.i32();
+  mx_ = r.i32();
+  my_ = r.i32();
+  u_.resize(r.u32());
+  for (double& v : u_) v = r.f64();
+}
+
+Buffer AdiApp::result() const {
+  Writer w;
+  w.f64(norm_);
+  return w.take();
+}
+
+}  // namespace mpiv::apps

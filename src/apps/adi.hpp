@@ -1,0 +1,69 @@
+// BT and SP: ADI-style kernels (NPB BT/SP analogues).
+//
+// 5-component N^3 grid on a square q x q process grid (x,y decomposed, z
+// resident). Each iteration relaxes along x, y and z; the x and y phases
+// exchange whole boundary faces with each neighbour as a *batch of
+// non-blocking sends* (the paper's fig. 9 pattern: post Isend/Irecv chunks,
+// then Waitall). BT ships one large face per direction with heavy compute;
+// SP exchanges twice per direction with lighter compute — both are
+// bandwidth-friendly, the workloads on which MPICH-V2 matches or beats P4.
+#pragma once
+
+#include <vector>
+
+#include "apps/compute_model.hpp"
+#include "runtime/app.hpp"
+
+namespace mpiv::apps {
+
+class AdiApp final : public runtime::App {
+ public:
+  enum class Variant { kBT, kSP };
+
+  struct Params {
+    int n = 12;       // grid edge; q must divide n
+    int iters = 2;
+    int chunks = 4;   // non-blocking sends per face exchange
+    static Params bt_for_class(NasClass c);
+    static Params sp_for_class(NasClass c);
+  };
+
+  AdiApp(Variant variant, Params p) : variant_(variant), p_(p) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override;
+  Buffer snapshot() override;
+  void restore(ConstBytes image) override;
+  [[nodiscard]] Buffer result() const override;
+
+  [[nodiscard]] double norm() const { return norm_; }
+
+  /// Largest q with q*q == size; BT/SP require a square process count.
+  static int square_side(int size);
+
+ private:
+  static constexpr int kC = 5;
+
+  void init_state(mpi::Rank rank, mpi::Rank size);
+  [[nodiscard]] std::size_t at(int c, int i, int j, int k) const {
+    return ((static_cast<std::size_t>(c) * mx_ + i) * my_ + j) * p_.n + k;
+  }
+  /// Exchanges boundary faces with both neighbours along one axis; fills
+  /// `lo`/`hi` with the neighbour faces (or boundary values).
+  void exchange_faces(sim::Context& ctx, mpi::Comm& comm, int axis,
+                      std::vector<double>& lo, std::vector<double>& hi,
+                      mpi::Tag tag_base);
+  void relax(sim::Context& ctx, int axis, const std::vector<double>& lo,
+             const std::vector<double>& hi, double weight);
+
+  Variant variant_;
+  Params p_;
+  int iter_ = 0;
+  bool initialized_ = false;
+  double norm_ = 0;
+  int q_ = 1;
+  int ix_ = 0, iy_ = 0;
+  int mx_ = 0, my_ = 0;
+  std::vector<double> u_;
+};
+
+}  // namespace mpiv::apps

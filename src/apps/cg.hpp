@@ -1,0 +1,48 @@
+// CG: conjugate-gradient kernel (NPB CG analogue).
+//
+// Unpreconditioned CG on a row-partitioned sparse diagonally-dominant
+// matrix. Communication per iteration: one allgather of the direction
+// vector (the mat-vec) plus two scalar allreduces (dot products) — many
+// small, latency-bound messages, the pattern on which the paper shows
+// MPICH-V2 at its worst.
+#pragma once
+
+#include <vector>
+
+#include "apps/compute_model.hpp"
+#include "runtime/app.hpp"
+
+namespace mpiv::apps {
+
+class CgApp final : public runtime::App {
+ public:
+  struct Params {
+    int n = 512;           // global unknowns (multiple of nprocs)
+    int nonzeros_per_row = 8;
+    int iters = 8;
+    static Params for_class(NasClass c);
+  };
+
+  explicit CgApp(Params p) : p_(p) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override;
+  Buffer snapshot() override;
+  void restore(ConstBytes image) override;
+  [[nodiscard]] Buffer result() const override;
+
+  [[nodiscard]] double residual_norm() const { return rho_; }
+
+ private:
+  void init_state(mpi::Rank rank, mpi::Rank size);
+
+  Params p_;
+  int iter_ = 0;
+  double rho_ = 0;
+  bool rho_valid_ = false;  // rho_ computed (guards the initial allreduce)
+  bool initialized_ = false;
+  int m_ = 0;       // local rows
+  int row0_ = 0;    // first local row
+  std::vector<double> x_, r_, d_;  // local slices
+};
+
+}  // namespace mpiv::apps

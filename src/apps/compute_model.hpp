@@ -1,0 +1,34 @@
+// Virtual compute-cost model for the NAS-like kernels.
+//
+// The kernels execute their (reduced-size) numerics for real, so results
+// are verifiable; the *virtual* time charged per phase comes from explicit
+// flop counts at a rate calibrated to the paper's testbed (Athlon XP 1800+,
+// ~300 sustained MFLOPS on these codes).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace mpiv::apps {
+
+/// Sustained floating-point rate used to convert flop counts to time.
+constexpr double kFlopsPerSecond = 300e6;
+
+constexpr SimDuration flops_time(double flops) {
+  return static_cast<SimDuration>(flops / kFlopsPerSecond *
+                                  static_cast<double>(kSecond));
+}
+
+/// NAS-style problem classes (sizes are scaled down — see DESIGN.md — but
+/// keep each kernel's message-size and message-count character).
+enum class NasClass { kTest, kA, kB };
+
+inline const char* nas_class_name(NasClass c) {
+  switch (c) {
+    case NasClass::kTest: return "T";
+    case NasClass::kA: return "A";
+    case NasClass::kB: return "B";
+  }
+  return "?";
+}
+
+}  // namespace mpiv::apps

@@ -1,0 +1,264 @@
+#include "apps/ft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::apps {
+
+namespace {
+
+/// In-place iterative radix-2 Cooley-Tukey on a contiguous line.
+void fft_line(std::complex<double>* a, int n, bool inverse) {
+  // Bit reversal.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    double ang = 2.0 * std::numbers::pi / len * (inverse ? 1.0 : -1.0);
+    std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        std::complex<double> u = a[i + k];
+        std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (int i = 0; i < n; ++i) a[i] /= n;
+  }
+}
+
+double fft_flops(int n) { return 5.0 * n * std::log2(static_cast<double>(n)); }
+
+}  // namespace
+
+FtApp::Params FtApp::Params::for_class(NasClass c) {
+  switch (c) {
+    case NasClass::kTest: return {16, 2};
+    case NasClass::kA: return {64, 6};
+    case NasClass::kB: return {128, 6};
+  }
+  return {};
+}
+
+void FtApp::init_state(mpi::Rank rank, mpi::Rank size) {
+  const int n = p_.n;
+  MPIV_CHECK((n & (n - 1)) == 0, "ft: n must be a power of two");
+  MPIV_CHECK(n % size == 0, "ft: n must divide evenly across ranks");
+  nz_ = n / size;
+  z0_ = rank * nz_;
+  u_.assign(static_cast<std::size_t>(nz_) * n * n, Cx{0, 0});
+  for (int z = 0; z < nz_; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        // Deterministic pseudo-random initial field.
+        std::uint64_t s = (static_cast<std::uint64_t>(z0_ + z) * n + y) * n + x;
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        s ^= s >> 33;
+        double re = static_cast<double>(s & 0xffff) / 65536.0 - 0.5;
+        double im = static_cast<double>((s >> 16) & 0xffff) / 65536.0 - 0.5;
+        u_[(static_cast<std::size_t>(z) * n + y) * n + x] = Cx{re, im};
+      }
+    }
+  }
+  initialized_ = true;
+}
+
+void FtApp::fft_dim_x(std::vector<Cx>& a, int planes, bool inverse) const {
+  const int n = p_.n;
+  for (int pl = 0; pl < planes; ++pl) {
+    for (int y = 0; y < n; ++y) {
+      fft_line(a.data() + (static_cast<std::size_t>(pl) * n + y) * n, n,
+               inverse);
+    }
+  }
+}
+
+void FtApp::fft_dim_y(std::vector<Cx>& a, int planes, bool inverse) const {
+  const int n = p_.n;
+  std::vector<Cx> line(static_cast<std::size_t>(n));
+  for (int pl = 0; pl < planes; ++pl) {
+    for (int x = 0; x < n; ++x) {
+      for (int y = 0; y < n; ++y) {
+        line[static_cast<std::size_t>(y)] =
+            a[(static_cast<std::size_t>(pl) * n + y) * n + x];
+      }
+      fft_line(line.data(), n, inverse);
+      for (int y = 0; y < n; ++y) {
+        a[(static_cast<std::size_t>(pl) * n + y) * n + x] =
+            line[static_cast<std::size_t>(y)];
+      }
+    }
+  }
+}
+
+void FtApp::run(sim::Context& ctx, mpi::Comm& comm) {
+  if (!initialized_) init_state(comm.rank(), comm.size());
+  const int n = p_.n;
+  const int np = comm.size();
+  const int nx = n / np;  // x-slab width in the transposed layout
+  const std::size_t block = static_cast<std::size_t>(nx) * n * nz_;
+
+  std::vector<Cx> work(static_cast<std::size_t>(nx) * n * n);
+  std::vector<Cx> sendbuf(block * static_cast<std::size_t>(np));
+  std::vector<Cx> recvbuf(block * static_cast<std::size_t>(np));
+
+  auto transpose_forward = [&](std::vector<Cx>& from, std::vector<Cx>& to) {
+    // (z local, y, x) -> per-dest blocks (x local, y, z local-of-src).
+    for (int d = 0; d < np; ++d) {
+      int x0 = d * nx;
+      Cx* out = sendbuf.data() + block * static_cast<std::size_t>(d);
+      for (int xl = 0; xl < nx; ++xl) {
+        for (int y = 0; y < n; ++y) {
+          for (int z = 0; z < nz_; ++z) {
+            out[(static_cast<std::size_t>(xl) * n + y) * nz_ + z] =
+                from[(static_cast<std::size_t>(z) * n + y) * n + (x0 + xl)];
+          }
+        }
+      }
+    }
+    comm.alltoall(ctx, as_bytes_of(sendbuf),
+                  std::as_writable_bytes(std::span<Cx>(recvbuf)),
+                  block * sizeof(Cx));
+    for (int s = 0; s < np; ++s) {
+      const Cx* in = recvbuf.data() + block * static_cast<std::size_t>(s);
+      int zq = s * nz_;
+      for (int xl = 0; xl < nx; ++xl) {
+        for (int y = 0; y < n; ++y) {
+          for (int z = 0; z < nz_; ++z) {
+            to[(static_cast<std::size_t>(xl) * n + y) * n + (zq + z)] =
+                in[(static_cast<std::size_t>(xl) * n + y) * nz_ + z];
+          }
+        }
+      }
+    }
+  };
+
+  auto transpose_backward = [&](std::vector<Cx>& from, std::vector<Cx>& to) {
+    // (x local, y, z) -> (z local, y, x): the exact inverse packing.
+    for (int d = 0; d < np; ++d) {
+      int zq = d * nz_;
+      Cx* out = sendbuf.data() + block * static_cast<std::size_t>(d);
+      for (int xl = 0; xl < nx; ++xl) {
+        for (int y = 0; y < n; ++y) {
+          for (int z = 0; z < nz_; ++z) {
+            out[(static_cast<std::size_t>(xl) * n + y) * nz_ + z] =
+                from[(static_cast<std::size_t>(xl) * n + y) * n + (zq + z)];
+          }
+        }
+      }
+    }
+    comm.alltoall(ctx, as_bytes_of(sendbuf),
+                  std::as_writable_bytes(std::span<Cx>(recvbuf)),
+                  block * sizeof(Cx));
+    for (int s = 0; s < np; ++s) {
+      const Cx* in = recvbuf.data() + block * static_cast<std::size_t>(s);
+      int x0 = s * nx;
+      for (int xl = 0; xl < nx; ++xl) {
+        for (int y = 0; y < n; ++y) {
+          for (int z = 0; z < nz_; ++z) {
+            to[(static_cast<std::size_t>(z) * n + y) * n + (x0 + xl)] =
+                in[(static_cast<std::size_t>(xl) * n + y) * nz_ + z];
+          }
+        }
+      }
+    }
+  };
+
+  const double fft_phase_flops = 2.0 * n * n / np * fft_flops(n);
+  const double pack_flops = 2.0 * static_cast<double>(u_.size());
+
+  for (; iter_ < p_.iters; ++iter_) {
+    checkpoint_point(ctx, comm);
+    // Phase evolution (deterministic, index- and iteration-dependent).
+    for (std::size_t i = 0; i < u_.size(); ++i) {
+      double ang = 1e-3 * static_cast<double>((i * 2654435761u) % 1024) *
+                   (1 + iter_ % 7);
+      u_[i] *= Cx{std::cos(ang), std::sin(ang)};
+    }
+    ctx.compute(flops_time(8.0 * static_cast<double>(u_.size())));
+
+    // Forward 3-D FFT: x and y local, transpose, z local.
+    fft_dim_x(u_, nz_, false);
+    fft_dim_y(u_, nz_, false);
+    ctx.compute(flops_time(fft_phase_flops));
+    ctx.compute(flops_time(pack_flops));
+    transpose_forward(u_, work);
+    // z is now the contiguous dimension of `work` (planes indexed by x).
+    fft_dim_x(work, nx, false);
+    ctx.compute(flops_time(fft_phase_flops / 2));
+
+    // Sampled spectral checksum.
+    double acc[2] = {0, 0};
+    for (std::size_t i = 0; i < work.size(); i += 131) {
+      acc[0] += work[i].real();
+      acc[1] += work[i].imag();
+    }
+    double out[2];
+    comm.allreduce(ctx, std::span<const double>(acc, 2),
+                   std::span<double>(out, 2), mpi::ReduceOp::kSum);
+    checksum_ = Cx{out[0], out[1]};
+
+    // Inverse transform back to the canonical z-slab layout.
+    fft_dim_x(work, nx, true);
+    ctx.compute(flops_time(fft_phase_flops / 2));
+    ctx.compute(flops_time(pack_flops));
+    transpose_backward(work, u_);
+    fft_dim_y(u_, nz_, true);
+    fft_dim_x(u_, nz_, true);
+    ctx.compute(flops_time(fft_phase_flops));
+  }
+}
+
+Buffer FtApp::snapshot() {
+  Writer w;
+  w.i32(iter_);
+  w.boolean(initialized_);
+  w.i32(nz_);
+  w.i32(z0_);
+  w.f64(checksum_.real());
+  w.f64(checksum_.imag());
+  w.u32(static_cast<std::uint32_t>(u_.size()));
+  for (const Cx& c : u_) {
+    w.f64(c.real());
+    w.f64(c.imag());
+  }
+  return w.take();
+}
+
+void FtApp::restore(ConstBytes image) {
+  Reader r(image);
+  iter_ = r.i32();
+  initialized_ = r.boolean();
+  nz_ = r.i32();
+  z0_ = r.i32();
+  double re = r.f64();
+  double im = r.f64();
+  checksum_ = Cx{re, im};
+  std::uint32_t n = r.u32();
+  u_.resize(n);
+  for (auto& c : u_) {
+    double cr = r.f64();
+    double ci = r.f64();
+    c = Cx{cr, ci};
+  }
+}
+
+Buffer FtApp::result() const {
+  Writer w;
+  w.f64(checksum_.real());
+  w.f64(checksum_.imag());
+  return w.take();
+}
+
+}  // namespace mpiv::apps

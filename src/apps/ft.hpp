@@ -1,0 +1,51 @@
+// FT: 3-D FFT kernel (NPB FT analogue).
+//
+// Complex N^3 grid in z-slabs. Each iteration applies a phase evolution,
+// a full forward 3-D FFT (two local dimensions, then an all-to-all slab
+// transpose, then the third dimension), a sampled checksum allreduce, and
+// the inverse transform back to the canonical layout. Communication is a
+// few *very large* messages per iteration — the pattern on which the paper
+// shows MPICH-V2 matching MPICH-P4.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "apps/compute_model.hpp"
+#include "runtime/app.hpp"
+
+namespace mpiv::apps {
+
+class FtApp final : public runtime::App {
+ public:
+  struct Params {
+    int n = 16;   // grid edge (power of two, divisible by nprocs)
+    int iters = 2;
+    static Params for_class(NasClass c);
+  };
+
+  explicit FtApp(Params p) : p_(p) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override;
+  Buffer snapshot() override;
+  void restore(ConstBytes image) override;
+  [[nodiscard]] Buffer result() const override;
+
+  [[nodiscard]] std::complex<double> checksum() const { return checksum_; }
+
+ private:
+  using Cx = std::complex<double>;
+
+  void init_state(mpi::Rank rank, mpi::Rank size);
+  void fft_dim_x(std::vector<Cx>& a, int planes, bool inverse) const;
+  void fft_dim_y(std::vector<Cx>& a, int planes, bool inverse) const;
+
+  Params p_;
+  int iter_ = 0;
+  bool initialized_ = false;
+  int nz_ = 0, z0_ = 0;  // local slab (canonical layout)
+  std::complex<double> checksum_{0, 0};
+  std::vector<Cx> u_;  // (z local, y, x), x contiguous
+};
+
+}  // namespace mpiv::apps

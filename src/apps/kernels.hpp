@@ -1,0 +1,74 @@
+// Registry of the NAS-like kernels, keyed by name and class — used by the
+// bench harness and the integration tests to sweep workloads uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/adi.hpp"
+#include "apps/cg.hpp"
+#include "apps/compute_model.hpp"
+#include "apps/ft.hpp"
+#include "apps/lu.hpp"
+#include "apps/mg.hpp"
+#include "runtime/app.hpp"
+
+namespace mpiv::apps {
+
+inline runtime::AppFactory kernel_factory(const std::string& name,
+                                          NasClass cls) {
+  if (name == "cg") {
+    return [cls](mpi::Rank, mpi::Rank) {
+      return std::make_unique<CgApp>(CgApp::Params::for_class(cls));
+    };
+  }
+  if (name == "mg") {
+    return [cls](mpi::Rank, mpi::Rank) {
+      return std::make_unique<MgApp>(MgApp::Params::for_class(cls));
+    };
+  }
+  if (name == "ft") {
+    return [cls](mpi::Rank, mpi::Rank) {
+      return std::make_unique<FtApp>(FtApp::Params::for_class(cls));
+    };
+  }
+  if (name == "lu") {
+    return [cls](mpi::Rank, mpi::Rank) {
+      return std::make_unique<LuApp>(LuApp::Params::for_class(cls));
+    };
+  }
+  if (name == "bt") {
+    return [cls](mpi::Rank, mpi::Rank) {
+      return std::make_unique<AdiApp>(AdiApp::Variant::kBT,
+                                      AdiApp::Params::bt_for_class(cls));
+    };
+  }
+  if (name == "sp") {
+    return [cls](mpi::Rank, mpi::Rank) {
+      return std::make_unique<AdiApp>(AdiApp::Variant::kSP,
+                                      AdiApp::Params::sp_for_class(cls));
+    };
+  }
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+/// Process counts each kernel supports (mirrors the NPB constraints the
+/// paper uses: powers of two, except squares for BT/SP).
+inline std::vector<int> kernel_proc_counts(const std::string& name, int max) {
+  std::vector<int> out;
+  if (name == "bt" || name == "sp") {
+    for (int q = 2; q * q <= max; ++q) out.push_back(q * q);
+  } else {
+    for (int p = 4; p <= max; p *= 2) out.push_back(p);
+  }
+  return out;
+}
+
+inline const std::vector<std::string>& kernel_names() {
+  static const std::vector<std::string> kNames{"cg", "mg", "ft",
+                                               "lu", "bt", "sp"};
+  return kNames;
+}
+
+}  // namespace mpiv::apps

@@ -1,0 +1,209 @@
+#include "apps/lu.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::apps {
+
+namespace {
+constexpr mpi::Tag kEast = 31;   // edge flowing west -> east
+constexpr mpi::Tag kSouth = 32;  // edge flowing north -> south
+constexpr mpi::Tag kWest = 33;   // reverse sweep
+constexpr mpi::Tag kNorth = 34;
+}  // namespace
+
+LuApp::Params LuApp::Params::for_class(NasClass c) {
+  switch (c) {
+    case NasClass::kTest: return {16, 2};
+    case NasClass::kA: return {48, 6};
+    case NasClass::kB: return {64, 8};
+  }
+  return {};
+}
+
+std::pair<int, int> LuApp::grid_for(int size) {
+  int px = 1;
+  while (px * px * 4 <= size) px *= 2;
+  // px is the largest power of two with px^2*... ; fall back to divisors.
+  while (size % px != 0) px /= 2;
+  return {px, size / px};
+}
+
+void LuApp::init_state(mpi::Rank rank, mpi::Rank size) {
+  auto [px, py] = grid_for(size);
+  px_ = px;
+  py_ = py;
+  if (p_.n % px_ != 0 || p_.n % py_ != 0) {
+    throw ConfigError("lu: process grid must divide n");
+  }
+  ix_ = rank / py_;
+  iy_ = rank % py_;
+  mx_ = p_.n / px_;
+  my_ = p_.n / py_;
+  u_.assign(static_cast<std::size_t>(kC) * p_.n * mx_ * my_, 0.0);
+  for (int c = 0; c < kC; ++c) {
+    for (int k = 0; k < p_.n; ++k) {
+      for (int i = 0; i < mx_; ++i) {
+        for (int j = 0; j < my_; ++j) {
+          int gi = ix_ * mx_ + i;
+          int gj = iy_ * my_ + j;
+          u_[at(c, k, i, j)] =
+              1.0 + 0.01 * c + 1e-4 * ((gi * 131 + gj * 17 + k * 7) % 101);
+        }
+      }
+    }
+  }
+  initialized_ = true;
+}
+
+void LuApp::run(sim::Context& ctx, mpi::Comm& comm) {
+  if (!initialized_) init_state(comm.rank(), comm.size());
+  const int n = p_.n;
+  auto rank_of = [this](int gx, int gy) { return gx * py_ + gy; };
+  const bool has_w = ix_ > 0, has_n = iy_ > 0;
+  const bool has_e = ix_ < px_ - 1, has_s = iy_ < py_ - 1;
+  const mpi::Rank west = has_w ? rank_of(ix_ - 1, iy_) : -1;
+  const mpi::Rank east = has_e ? rank_of(ix_ + 1, iy_) : -1;
+  const mpi::Rank north = has_n ? rank_of(ix_, iy_ - 1) : -1;
+  const mpi::Rank south = has_s ? rank_of(ix_, iy_ + 1) : -1;
+
+  // Edge buffers: a west/east edge spans j (my_*kC values); a north/south
+  // edge spans i (mx_*kC values).
+  std::vector<double> we(static_cast<std::size_t>(my_) * kC);
+  std::vector<double> ns(static_cast<std::size_t>(mx_) * kC);
+
+  const double plane_flops = 14.0 * kC * mx_ * my_;
+
+  for (; iter_ < p_.iters; ++iter_) {
+    checkpoint_point(ctx, comm);
+
+    // ---- lower sweep: dependencies flow from (i-1, j-1, k-1) ----
+    for (int k = 0; k < n; ++k) {
+      if (has_w) comm.recv<double>(ctx, we, west, kEast);
+      if (has_n) comm.recv<double>(ctx, ns, north, kSouth);
+      for (int c = 0; c < kC; ++c) {
+        for (int i = 0; i < mx_; ++i) {
+          for (int j = 0; j < my_; ++j) {
+            double w = i > 0 ? u_[at(c, k, i - 1, j)]
+                             : (has_w ? we[static_cast<std::size_t>(c) * my_ + j]
+                                      : 1.0);
+            double nn = j > 0 ? u_[at(c, k, i, j - 1)]
+                              : (has_n ? ns[static_cast<std::size_t>(c) * mx_ + i]
+                                       : 1.0);
+            double below = k > 0 ? u_[at(c, k - 1, i, j)] : 1.0;
+            double& v = u_[at(c, k, i, j)];
+            v = 0.75 * v + 0.08 * (w + nn + below) + 1e-5 * (c + 1);
+          }
+        }
+      }
+      ctx.compute(flops_time(plane_flops));
+      if (has_e) {
+        for (int c = 0; c < kC; ++c) {
+          for (int j = 0; j < my_; ++j) {
+            we[static_cast<std::size_t>(c) * my_ + j] = u_[at(c, k, mx_ - 1, j)];
+          }
+        }
+        comm.send<double>(ctx, we, east, kEast);
+      }
+      if (has_s) {
+        for (int c = 0; c < kC; ++c) {
+          for (int i = 0; i < mx_; ++i) {
+            ns[static_cast<std::size_t>(c) * mx_ + i] = u_[at(c, k, i, my_ - 1)];
+          }
+        }
+        comm.send<double>(ctx, ns, south, kSouth);
+      }
+    }
+
+    // ---- upper sweep: reversed dependencies ----
+    for (int k = n - 1; k >= 0; --k) {
+      if (has_e) comm.recv<double>(ctx, we, east, kWest);
+      if (has_s) comm.recv<double>(ctx, ns, south, kNorth);
+      for (int c = 0; c < kC; ++c) {
+        for (int i = mx_ - 1; i >= 0; --i) {
+          for (int j = my_ - 1; j >= 0; --j) {
+            double e = i < mx_ - 1
+                           ? u_[at(c, k, i + 1, j)]
+                           : (has_e ? we[static_cast<std::size_t>(c) * my_ + j]
+                                    : 1.0);
+            double s = j < my_ - 1
+                           ? u_[at(c, k, i, j + 1)]
+                           : (has_s ? ns[static_cast<std::size_t>(c) * mx_ + i]
+                                    : 1.0);
+            double above = k < n - 1 ? u_[at(c, k + 1, i, j)] : 1.0;
+            double& v = u_[at(c, k, i, j)];
+            v = 0.75 * v + 0.08 * (e + s + above) + 1e-5 * (kC - c);
+          }
+        }
+      }
+      ctx.compute(flops_time(plane_flops));
+      if (has_w) {
+        for (int c = 0; c < kC; ++c) {
+          for (int j = 0; j < my_; ++j) {
+            we[static_cast<std::size_t>(c) * my_ + j] = u_[at(c, k, 0, j)];
+          }
+        }
+        comm.send<double>(ctx, we, west, kWest);
+      }
+      if (has_n) {
+        for (int c = 0; c < kC; ++c) {
+          for (int i = 0; i < mx_; ++i) {
+            ns[static_cast<std::size_t>(c) * mx_ + i] = u_[at(c, k, i, 0)];
+          }
+        }
+        comm.send<double>(ctx, ns, north, kNorth);
+      }
+    }
+
+    double local = 0;
+    for (double v : u_) local += v * v;
+    if (std::getenv("MPIV_LU_TRACE")) {
+      std::fprintf(stderr, "LU r%d iter %d local=%.17g\n", comm.rank(), iter_, local);
+    }
+    norm_ = std::sqrt(comm.allreduce(ctx, local, mpi::ReduceOp::kSum));
+    ctx.compute(flops_time(2.0 * static_cast<double>(u_.size())));
+  }
+}
+
+Buffer LuApp::snapshot() {
+  Writer w;
+  w.i32(iter_);
+  w.boolean(initialized_);
+  w.f64(norm_);
+  w.i32(px_);
+  w.i32(py_);
+  w.i32(ix_);
+  w.i32(iy_);
+  w.i32(mx_);
+  w.i32(my_);
+  w.u32(static_cast<std::uint32_t>(u_.size()));
+  for (double v : u_) w.f64(v);
+  return w.take();
+}
+
+void LuApp::restore(ConstBytes image) {
+  Reader r(image);
+  iter_ = r.i32();
+  initialized_ = r.boolean();
+  norm_ = r.f64();
+  px_ = r.i32();
+  py_ = r.i32();
+  ix_ = r.i32();
+  iy_ = r.i32();
+  mx_ = r.i32();
+  my_ = r.i32();
+  u_.resize(r.u32());
+  for (double& v : u_) v = r.f64();
+}
+
+Buffer LuApp::result() const {
+  Writer w;
+  w.f64(norm_);
+  return w.take();
+}
+
+}  // namespace mpiv::apps

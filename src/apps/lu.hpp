@@ -1,0 +1,55 @@
+// LU: SSOR wavefront kernel (NPB LU analogue).
+//
+// 5-component N^3 grid, 2-D (x,y) process decomposition, z resident.
+// Each sweep pipelines plane-by-plane: a rank receives its west/north
+// edges, relaxes the plane in dependency order, and forwards east/south —
+// thousands of small messages whose payloads all land in the sender logs,
+// the kernel on which the paper's V2 suffers from logging pressure.
+#pragma once
+
+#include <vector>
+
+#include "apps/compute_model.hpp"
+#include "runtime/app.hpp"
+
+namespace mpiv::apps {
+
+class LuApp final : public runtime::App {
+ public:
+  struct Params {
+    int n = 16;    // grid edge; px and py must divide n
+    int iters = 2;
+    static Params for_class(NasClass c);
+  };
+
+  explicit LuApp(Params p) : p_(p) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override;
+  Buffer snapshot() override;
+  void restore(ConstBytes image) override;
+  [[nodiscard]] Buffer result() const override;
+
+  [[nodiscard]] double norm() const { return norm_; }
+
+  /// 2-D process grid used for `size` ranks: px*py == size, px <= py.
+  static std::pair<int, int> grid_for(int size);
+
+ private:
+  static constexpr int kC = 5;  // components per cell
+
+  void init_state(mpi::Rank rank, mpi::Rank size);
+  [[nodiscard]] std::size_t at(int c, int k, int i, int j) const {
+    return ((static_cast<std::size_t>(c) * p_.n + k) * mx_ + i) * my_ + j;
+  }
+
+  Params p_;
+  int iter_ = 0;
+  bool initialized_ = false;
+  double norm_ = 0;
+  int px_ = 1, py_ = 1;
+  int ix_ = 0, iy_ = 0;  // my grid coordinates
+  int mx_ = 0, my_ = 0;  // local extents
+  std::vector<double> u_;
+};
+
+}  // namespace mpiv::apps

@@ -1,0 +1,250 @@
+#include "apps/mg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::apps {
+
+namespace {
+constexpr mpi::Tag kHaloUp = 21;    // plane sent to the z+1 neighbour
+constexpr mpi::Tag kHaloDown = 22;  // plane sent to the z-1 neighbour
+
+std::size_t idx(const int n, int z, int y, int x) {
+  // z includes the halo offset (+1); periodic wrap in x and y.
+  y = (y + n) % n;
+  x = (x + n) % n;
+  return ((static_cast<std::size_t>(z + 1)) * n + y) * n + x;
+}
+}  // namespace
+
+MgApp::Params MgApp::Params::for_class(NasClass c) {
+  switch (c) {
+    case NasClass::kTest: return {16, 2};
+    case NasClass::kA: return {128, 3};
+    case NasClass::kB: return {256, 2};
+  }
+  return {};
+}
+
+void MgApp::init_state(mpi::Rank rank, mpi::Rank size) {
+  if ((p_.n & (p_.n - 1)) != 0) throw ConfigError("mg: n must be a power of two");
+  if (p_.n % size != 0) throw ConfigError("mg: n must divide evenly across ranks");
+  int n = p_.n;
+  int nz = n / size;
+  while (nz >= 1 && n >= 4) {
+    Level lv;
+    lv.n = n;
+    lv.nz = nz;
+    lv.u.assign(static_cast<std::size_t>(nz + 2) * n * n, 0.0);
+    lv.rhs.assign(static_cast<std::size_t>(nz) * n * n, 0.0);
+    levels_.push_back(std::move(lv));
+    if (nz % 2 != 0) break;  // cannot restrict further within the slab
+    n /= 2;
+    nz /= 2;
+  }
+  // Deterministic sparse +1/-1 charges on the finest level (NPB-style).
+  Level& fine = levels_.front();
+  int z0 = rank * fine.nz;
+  for (int z = 0; z < fine.nz; ++z) {
+    for (int y = 0; y < fine.n; ++y) {
+      for (int x = 0; x < fine.n; ++x) {
+        std::uint64_t s =
+            ((static_cast<std::uint64_t>(z0 + z) * fine.n + y) * fine.n + x) *
+            0x9e3779b97f4a7c15ull;
+        s ^= s >> 29;
+        std::uint64_t bucket = s % 997;
+        double v = bucket == 0 ? 1.0 : (bucket == 1 ? -1.0 : 0.0);
+        fine.rhs[(static_cast<std::size_t>(z) * fine.n + y) * fine.n + x] = v;
+      }
+    }
+  }
+  initialized_ = true;
+}
+
+void MgApp::exchange_halo(sim::Context& ctx, mpi::Comm& comm, Level& lv) {
+  const int n = lv.n;
+  const mpi::Rank np = comm.size();
+  const mpi::Rank r = comm.rank();
+  if (np == 1) {
+    // Periodic wrap within the single rank.
+    std::size_t plane = static_cast<std::size_t>(n) * n;
+    std::copy_n(lv.u.data() + plane * static_cast<std::size_t>(lv.nz), plane,
+                lv.u.data());
+    std::copy_n(lv.u.data() + plane, plane,
+                lv.u.data() + plane * static_cast<std::size_t>(lv.nz + 1));
+    return;
+  }
+  const mpi::Rank up = (r + 1) % np;
+  const mpi::Rank down = (r - 1 + np) % np;
+  std::size_t plane = static_cast<std::size_t>(n) * n;
+  // Top plane -> up neighbour's lower halo; bottom plane -> down's upper.
+  std::span<double> top(lv.u.data() + plane * static_cast<std::size_t>(lv.nz),
+                        plane);
+  std::span<double> bottom(lv.u.data() + plane, plane);
+  std::span<double> halo_low(lv.u.data(), plane);
+  std::span<double> halo_high(
+      lv.u.data() + plane * static_cast<std::size_t>(lv.nz + 1), plane);
+  comm.sendrecv(ctx, std::as_bytes(std::span<const double>(top)), up, kHaloUp,
+                std::as_writable_bytes(halo_low), down, kHaloUp);
+  comm.sendrecv(ctx, std::as_bytes(std::span<const double>(bottom)), down,
+                kHaloDown, std::as_writable_bytes(halo_high), up, kHaloDown);
+}
+
+void MgApp::smooth(sim::Context& ctx, mpi::Comm& comm, Level& lv, int sweeps) {
+  const int n = lv.n;
+  std::vector<double> next(lv.u.size());
+  for (int s = 0; s < sweeps; ++s) {
+    exchange_halo(ctx, comm, lv);
+    for (int z = 0; z < lv.nz; ++z) {
+      for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+          double nb = lv.u[idx(n, z - 1, y, x)] + lv.u[idx(n, z + 1, y, x)] +
+                      lv.u[idx(n, z, y - 1, x)] + lv.u[idx(n, z, y + 1, x)] +
+                      lv.u[idx(n, z, y, x - 1)] + lv.u[idx(n, z, y, x + 1)];
+          double rhs =
+              lv.rhs[(static_cast<std::size_t>(z) * n + y) * n + x];
+          next[idx(n, z, y, x)] = (rhs + nb) / 6.0;
+        }
+      }
+    }
+    std::swap(lv.u, next);
+    ctx.compute(flops_time(9.0 * lv.nz * n * n));
+  }
+}
+
+void MgApp::residual_to(sim::Context& ctx, mpi::Comm& comm, Level& lv,
+                        std::vector<double>& out) {
+  const int n = lv.n;
+  exchange_halo(ctx, comm, lv);
+  out.resize(static_cast<std::size_t>(lv.nz) * n * n);
+  for (int z = 0; z < lv.nz; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        double nb = lv.u[idx(n, z - 1, y, x)] + lv.u[idx(n, z + 1, y, x)] +
+                    lv.u[idx(n, z, y - 1, x)] + lv.u[idx(n, z, y + 1, x)] +
+                    lv.u[idx(n, z, y, x - 1)] + lv.u[idx(n, z, y, x + 1)];
+        out[(static_cast<std::size_t>(z) * n + y) * n + x] =
+            lv.rhs[(static_cast<std::size_t>(z) * n + y) * n + x] -
+            (6.0 * lv.u[idx(n, z, y, x)] - nb);
+      }
+    }
+  }
+  ctx.compute(flops_time(10.0 * lv.nz * n * n));
+}
+
+void MgApp::run(sim::Context& ctx, mpi::Comm& comm) {
+  if (!initialized_) init_state(comm.rank(), comm.size());
+  std::vector<double> resid;
+
+  for (; cycle_ < p_.cycles; ++cycle_) {
+    checkpoint_point(ctx, comm);
+    // Down sweep: smooth, restrict residual to the next coarser level.
+    for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+      Level& fine = levels_[l];
+      Level& coarse = levels_[l + 1];
+      smooth(ctx, comm, fine, 2);
+      residual_to(ctx, comm, fine, resid);
+      const int cn = coarse.n;
+      const int fn = fine.n;
+      for (int z = 0; z < coarse.nz; ++z) {
+        for (int y = 0; y < cn; ++y) {
+          for (int x = 0; x < cn; ++x) {
+            // Injection-average over the 2x2x2 fine cell block (local by
+            // construction: fine.nz is even whenever a coarser level exists).
+            double acc = 0;
+            for (int dz = 0; dz < 2; ++dz) {
+              for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                  acc += resid[(static_cast<std::size_t>(2 * z + dz) * fn +
+                                (2 * y + dy)) *
+                                   fn +
+                               (2 * x + dx)];
+                }
+              }
+            }
+            coarse.rhs[(static_cast<std::size_t>(z) * cn + y) * cn + x] =
+                acc / 8.0;
+          }
+        }
+      }
+      std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+      ctx.compute(flops_time(8.0 * coarse.nz * cn * cn));
+    }
+    // Coarsest solve: extra smoothing.
+    smooth(ctx, comm, levels_.back(), 4);
+    // Up sweep: prolong and post-smooth.
+    for (std::size_t l = levels_.size() - 1; l > 0; --l) {
+      Level& coarse = levels_[l];
+      Level& fine = levels_[l - 1];
+      exchange_halo(ctx, comm, coarse);  // needed for the odd-plane average
+      const int cn = coarse.n;
+      const int fn = fine.n;
+      for (int z = 0; z < fine.nz; ++z) {
+        int cz = z / 2;
+        for (int y = 0; y < fn; ++y) {
+          for (int x = 0; x < fn; ++x) {
+            double a = coarse.u[idx(cn, cz, y / 2, x / 2)];
+            double b = (z % 2 == 0) ? a : coarse.u[idx(cn, cz + 1 <= coarse.nz
+                                                               ? cz + 1
+                                                               : cz,
+                                                       y / 2, x / 2)];
+            fine.u[idx(fn, z, y, x)] += 0.5 * (a + b);
+          }
+        }
+      }
+      ctx.compute(flops_time(3.0 * fine.nz * fn * fn));
+      smooth(ctx, comm, fine, 1);
+    }
+    // Global residual norm.
+    residual_to(ctx, comm, levels_.front(), resid);
+    double local = 0;
+    for (double v : resid) local += v * v;
+    resid_ = std::sqrt(comm.allreduce(ctx, local, mpi::ReduceOp::kSum));
+  }
+}
+
+Buffer MgApp::snapshot() {
+  Writer w;
+  w.i32(cycle_);
+  w.boolean(initialized_);
+  w.f64(resid_);
+  w.u32(static_cast<std::uint32_t>(levels_.size()));
+  for (const Level& lv : levels_) {
+    w.i32(lv.n);
+    w.i32(lv.nz);
+    w.u32(static_cast<std::uint32_t>(lv.u.size()));
+    for (double v : lv.u) w.f64(v);
+    w.u32(static_cast<std::uint32_t>(lv.rhs.size()));
+    for (double v : lv.rhs) w.f64(v);
+  }
+  return w.take();
+}
+
+void MgApp::restore(ConstBytes image) {
+  Reader r(image);
+  cycle_ = r.i32();
+  initialized_ = r.boolean();
+  resid_ = r.f64();
+  levels_.clear();
+  std::uint32_t nl = r.u32();
+  for (std::uint32_t i = 0; i < nl; ++i) {
+    Level lv;
+    lv.n = r.i32();
+    lv.nz = r.i32();
+    lv.u.resize(r.u32());
+    for (double& v : lv.u) v = r.f64();
+    lv.rhs.resize(r.u32());
+    for (double& v : lv.rhs) v = r.f64();
+    levels_.push_back(std::move(lv));
+  }
+}
+
+Buffer MgApp::result() const {
+  Writer w;
+  w.f64(resid_);
+  return w.take();
+}
+
+}  // namespace mpiv::apps

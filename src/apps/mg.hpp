@@ -1,0 +1,55 @@
+// MG: 3-D multigrid kernel (NPB MG analogue).
+//
+// V-cycles on an N^3 periodic grid decomposed in z-slabs. Every Jacobi
+// sweep, residual and prolongation exchanges one halo plane with each z
+// neighbour — large messages at the finest level, small ones at coarse
+// levels, with frequent synchronization: a latency-sensitive mix on which
+// the paper shows MPICH-V2 paying its event-logging cost.
+#pragma once
+
+#include <vector>
+
+#include "apps/compute_model.hpp"
+#include "runtime/app.hpp"
+
+namespace mpiv::apps {
+
+class MgApp final : public runtime::App {
+ public:
+  struct Params {
+    int n = 16;     // grid edge (power of two, nprocs divides n)
+    int cycles = 2;
+    static Params for_class(NasClass c);
+  };
+
+  explicit MgApp(Params p) : p_(p) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override;
+  Buffer snapshot() override;
+  void restore(ConstBytes image) override;
+  [[nodiscard]] Buffer result() const override;
+
+  [[nodiscard]] double residual_norm() const { return resid_; }
+
+ private:
+  struct Level {
+    int n = 0;    // edge length at this level
+    int nz = 0;   // local planes (excluding the two halo planes)
+    std::vector<double> u;    // (nz + 2 halos) * n * n
+    std::vector<double> rhs;  // nz * n * n
+  };
+
+  void init_state(mpi::Rank rank, mpi::Rank size);
+  void exchange_halo(sim::Context& ctx, mpi::Comm& comm, Level& lv);
+  void smooth(sim::Context& ctx, mpi::Comm& comm, Level& lv, int sweeps);
+  void residual_to(sim::Context& ctx, mpi::Comm& comm, Level& fine,
+                   std::vector<double>& out);
+
+  Params p_;
+  int cycle_ = 0;
+  bool initialized_ = false;
+  double resid_ = 0;
+  std::vector<Level> levels_;
+};
+
+}  // namespace mpiv::apps

@@ -1,0 +1,94 @@
+// Ping-pong and batched non-blocking exchange micro-apps (figs. 5, 6, 9).
+//
+// Rank 0 and 1 time their exchanges in virtual time and report the
+// per-round-trip mean via result(), so the bench harness reads measured
+// latency/bandwidth directly.
+#pragma once
+
+#include "common/serialize.hpp"
+#include "runtime/app.hpp"
+
+namespace mpiv::apps {
+
+/// Classic synchronous ping-pong between ranks 0 and 1.
+class PingPongApp final : public runtime::App {
+ public:
+  PingPongApp(std::size_t bytes, int reps, int warmup = 2)
+      : bytes_(bytes), reps_(reps), warmup_(warmup) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override {
+    Buffer buf(bytes_);
+    if (comm.rank() == 0) {
+      for (int i = 0; i < warmup_; ++i) {
+        comm.send(ctx, buf, 1, 0);
+        comm.recv(ctx, buf, 1, 0);
+      }
+      SimTime t0 = ctx.now();
+      for (int i = 0; i < reps_; ++i) {
+        comm.send(ctx, buf, 1, 0);
+        comm.recv(ctx, buf, 1, 0);
+      }
+      rtt_ns_ = static_cast<double>(ctx.now() - t0) / reps_;
+    } else if (comm.rank() == 1) {
+      for (int i = 0; i < warmup_ + reps_; ++i) {
+        comm.recv(ctx, buf, 0, 0);
+        comm.send(ctx, buf, 0, 0);
+      }
+    }
+  }
+
+  [[nodiscard]] Buffer result() const override {
+    Writer w;
+    w.f64(rtt_ns_);
+    return w.take();
+  }
+
+ private:
+  std::size_t bytes_;
+  int reps_;
+  int warmup_;
+  double rtt_ns_ = 0;
+};
+
+/// Fig. 9's synthetic pattern: each round both ranks post `batch` Irecvs
+/// and `batch` Isends of `bytes` and Waitall — the BT/SP exchange shape.
+class NonblockingPatternApp final : public runtime::App {
+ public:
+  NonblockingPatternApp(std::size_t bytes, int batch, int reps)
+      : bytes_(bytes), batch_(batch), reps_(reps) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override {
+    if (comm.rank() > 1) return;
+    int peer = 1 - comm.rank();
+    std::vector<Buffer> sbuf(static_cast<std::size_t>(batch_), Buffer(bytes_));
+    std::vector<Buffer> rbuf(static_cast<std::size_t>(batch_), Buffer(bytes_));
+    auto round = [&] {
+      std::vector<mpi::Request> reqs;
+      for (int i = 0; i < batch_; ++i) {
+        reqs.push_back(comm.irecv(ctx, rbuf[static_cast<std::size_t>(i)], peer, i));
+      }
+      for (int i = 0; i < batch_; ++i) {
+        reqs.push_back(comm.isend(ctx, sbuf[static_cast<std::size_t>(i)], peer, i));
+      }
+      comm.waitall(ctx, reqs);
+    };
+    round();  // warmup
+    SimTime t0 = ctx.now();
+    for (int i = 0; i < reps_; ++i) round();
+    round_ns_ = static_cast<double>(ctx.now() - t0) / reps_;
+  }
+
+  [[nodiscard]] Buffer result() const override {
+    Writer w;
+    w.f64(round_ns_);
+    return w.take();
+  }
+
+ private:
+  std::size_t bytes_;
+  int batch_;
+  int reps_;
+  double round_ns_ = 0;
+};
+
+}  // namespace mpiv::apps

@@ -1,0 +1,65 @@
+// Byte buffer primitives shared by every subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpiv {
+
+/// Owning, contiguous byte buffer. All wire messages, checkpoint images and
+/// logged payloads are Buffers.
+using Buffer = std::vector<std::byte>;
+
+/// Read-only view over raw bytes.
+using ConstBytes = std::span<const std::byte>;
+
+/// Mutable view over raw bytes.
+using MutBytes = std::span<std::byte>;
+
+/// Copies a trivially-copyable value into a fresh buffer.
+template <typename T>
+Buffer to_buffer(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  Buffer b(sizeof(T));
+  std::memcpy(b.data(), &value, sizeof(T));
+  return b;
+}
+
+/// Makes a buffer out of an arbitrary byte view.
+inline Buffer to_buffer(ConstBytes bytes) {
+  return Buffer(bytes.begin(), bytes.end());
+}
+
+/// Views any trivially-copyable object as bytes.
+template <typename T>
+ConstBytes as_bytes_of(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::as_bytes(std::span<const T, 1>(&value, 1));
+}
+
+/// Views a vector of trivially-copyable elements as bytes.
+template <typename T>
+ConstBytes as_bytes_of(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::as_bytes(std::span<const T>(v.data(), v.size()));
+}
+
+/// FNV-1a 64-bit checksum; used for payload integrity checks in tests and
+/// for cheap content fingerprints in the fault-equivalence property tests.
+inline std::uint64_t fnv1a(ConstBytes bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Human-readable byte count ("12.3 KiB").
+std::string format_bytes(std::uint64_t n);
+
+}  // namespace mpiv

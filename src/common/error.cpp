@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpiv {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::fprintf(stderr, "MPIV_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, message.c_str());
+  std::abort();
+}
+
+}  // namespace mpiv

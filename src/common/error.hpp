@@ -1,0 +1,33 @@
+// Error primitives. Protocol invariant violations are programming errors and
+// abort loudly; recoverable conditions (peer disconnected, process killed)
+// use dedicated exception types caught at well-defined layers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpiv {
+
+/// Violation of an internal protocol invariant — a bug, not a runtime fault.
+class ProtocolError : public std::logic_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Bad user configuration (unknown option, inconsistent topology, ...).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+/// Always-on invariant check (simulation correctness depends on these; the
+/// cost is negligible next to virtual-time bookkeeping).
+#define MPIV_CHECK(expr, message)                                  \
+  do {                                                             \
+    if (!(expr)) ::mpiv::check_failed(#expr, __FILE__, __LINE__, (message)); \
+  } while (0)
+
+}  // namespace mpiv

@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mpiv::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+const char* name_of(Level l) {
+  switch (l) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void init_from_env() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  const char* env = std::getenv("MPIV_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) set_level(Level::kDebug);
+  else if (std::strcmp(env, "info") == 0) set_level(Level::kInfo);
+  else if (std::strcmp(env, "warn") == 0) set_level(Level::kWarn);
+  else if (std::strcmp(env, "error") == 0) set_level(Level::kError);
+  else if (std::strcmp(env, "off") == 0) set_level(Level::kOff);
+}
+
+void write(Level level, std::string_view component, SimTime now,
+           std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] [%12.6f] %-12.*s %.*s\n", name_of(level),
+               to_seconds(now), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace mpiv::log

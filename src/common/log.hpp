@@ -1,0 +1,52 @@
+// Minimal leveled logger. Off by default; benches and failing tests turn it
+// on via MPIV_LOG=debug or set_level(). Messages carry the virtual timestamp
+// when the caller provides one, which makes protocol traces readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace mpiv::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_level(Level level);
+Level level();
+/// Reads MPIV_LOG from the environment ("debug", "info", ...) once.
+void init_from_env();
+
+void write(Level level, std::string_view component, SimTime now,
+           std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+/// Usage: MPIV_DEBUG("daemon", ctx.now(), "send to ", dest) — note the
+/// message parts are comma-separated, not '<<'-chained.
+#define MPIV_LOG_AT(lvl, component, now, ...)                              \
+  do {                                                                     \
+    if (static_cast<int>(lvl) >= static_cast<int>(::mpiv::log::level())) { \
+      ::mpiv::log::write(lvl, component, now,                              \
+                         ::mpiv::log::detail::concat(__VA_ARGS__));        \
+    }                                                                      \
+  } while (0)
+
+#define MPIV_DEBUG(component, now, ...) \
+  MPIV_LOG_AT(::mpiv::log::Level::kDebug, component, now, __VA_ARGS__)
+#define MPIV_INFO(component, now, ...) \
+  MPIV_LOG_AT(::mpiv::log::Level::kInfo, component, now, __VA_ARGS__)
+#define MPIV_WARN(component, now, ...) \
+  MPIV_LOG_AT(::mpiv::log::Level::kWarn, component, now, __VA_ARGS__)
+#define MPIV_ERROR(component, now, ...) \
+  MPIV_LOG_AT(::mpiv::log::Level::kError, component, now, __VA_ARGS__)
+
+}  // namespace mpiv::log

@@ -1,0 +1,61 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace mpiv {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg] = "true";
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> Options::get_int_list(
+    const std::string& key, std::vector<std::int64_t> def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  if (out.empty()) throw ConfigError("empty list for option " + key);
+  return out;
+}
+
+}  // namespace mpiv

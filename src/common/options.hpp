@@ -1,0 +1,31 @@
+// Tiny key=value command-line parser for bench binaries:
+//   bench_pingpong sizes=0,1024,65536 device=v2 reps=10
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpiv {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+  /// Comma-separated integer list ("1,2,4" -> {1,2,4}).
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace mpiv

@@ -1,0 +1,13 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace mpiv {
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; uniform() never returns exactly 1.0 so log() is finite.
+  double u = uniform();
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace mpiv

@@ -1,0 +1,123 @@
+#include "common/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace mpiv {
+
+namespace {
+template <typename T>
+void put_le(Buffer& buf, T v) {
+  static_assert(std::is_unsigned_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+T get_le(ConstBytes data, std::size_t pos) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+void Writer::u16(std::uint16_t v) { put_le(buf_, v); }
+void Writer::u32(std::uint32_t v) { put_le(buf_, v); }
+void Writer::u64(std::uint64_t v) { put_le(buf_, v); }
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::blob(ConstBytes bytes) {
+  u32(static_cast<std::uint32_t>(bytes.size()));
+  raw(bytes.data(), bytes.size());
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void Writer::raw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw SerializeError("truncated input: need " + std::to_string(n) +
+                         " bytes at offset " + std::to_string(pos_) +
+                         " of " + std::to_string(data_.size()));
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  auto v = get_le<std::uint16_t>(data_, pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  auto v = get_le<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  auto v = get_le<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+double Reader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Buffer Reader::blob() {
+  std::uint32_t n = u32();
+  need(n);
+  Buffer out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::str() {
+  std::uint32_t n = u32();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+void Reader::raw(void* out, std::size_t n) {
+  need(n);
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+ConstBytes Reader::take(std::size_t n) {
+  need(n);
+  ConstBytes view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+}  // namespace mpiv

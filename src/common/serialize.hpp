@@ -1,0 +1,99 @@
+// Little-endian binary serialization used for every wire message and
+// checkpoint image. Deliberately simple: fixed-width integers, explicit
+// lengths, no implicit versioning. Reader throws SerializeError on truncated
+// or malformed input so protocol bugs surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace mpiv {
+
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends primitive values to a growing buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Buffer initial) : buf_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed byte blob.
+  void blob(ConstBytes bytes);
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes without a length prefix (caller knows the framing).
+  void raw(const void* data, std::size_t n);
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& per_element) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const T& e : v) per_element(*this, e);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] Buffer take() { return std::move(buf_); }
+  [[nodiscard]] const Buffer& buffer() const { return buf_; }
+
+ private:
+  Buffer buf_;
+};
+
+/// Consumes primitive values from a byte view.
+class Reader {
+ public:
+  explicit Reader(ConstBytes bytes) : data_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+
+  Buffer blob();
+  std::string str();
+  void raw(void* out, std::size_t n);
+  /// View into the remaining unparsed bytes (does not consume).
+  [[nodiscard]] ConstBytes rest() const { return data_.subspan(pos_); }
+  /// Consumes n bytes and returns a view of them.
+  ConstBytes take(std::size_t n);
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& per_element) {
+    std::uint32_t n = u32();
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(per_element(*this));
+    return out;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  ConstBytes data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mpiv

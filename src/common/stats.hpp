@@ -1,0 +1,60 @@
+// Running statistics and small report helpers used by benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpiv {
+
+/// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores samples; supports exact percentiles. Fine for bench-sized data.
+class Samples {
+ public:
+  void add(double x) { data_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+  [[nodiscard]] double percentile(double p) const;  // p in [0,100]
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double mean() const;
+
+ private:
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width text table for paper-style bench output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 3);
+
+}  // namespace mpiv

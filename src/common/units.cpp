@@ -1,0 +1,38 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+#include "common/bytes.hpp"
+
+namespace mpiv {
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  double v = static_cast<double>(d);
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", v / static_cast<double>(kSecond));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", v / static_cast<double>(kMillisecond));
+  } else if (d >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", v / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t n) {
+  char buf[64];
+  if (n >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(n) / (1ull << 30));
+  } else if (n >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(n) / (1ull << 20));
+  } else if (n >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", static_cast<double>(n) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+}  // namespace mpiv

@@ -1,0 +1,47 @@
+// Virtual-time units. All simulated time is int64 nanoseconds; these helpers
+// keep call sites readable and conversions explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mpiv {
+
+/// Virtual time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+/// Virtual duration, in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kMicrosecond));
+}
+constexpr SimDuration milliseconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kMillisecond));
+}
+constexpr SimDuration seconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_microseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Duration of transferring `bytes` at `bytes_per_second`.
+constexpr SimDuration transfer_time(std::uint64_t bytes, double bytes_per_second) {
+  return static_cast<SimDuration>(static_cast<double>(bytes) /
+                                  bytes_per_second * static_cast<double>(kSecond));
+}
+
+/// "1.234 s" / "56.7 us" style formatting for reports.
+std::string format_duration(SimDuration d);
+
+}  // namespace mpiv

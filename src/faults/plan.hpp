@@ -1,0 +1,69 @@
+// Fault plans: when to kill which rank's node.
+//
+// Plans are data (scripted or generated from a seeded RNG), applied by the
+// runtime as kill_node events — identical runs with identical plans are
+// bit-reproducible.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "mpi/types.hpp"
+
+namespace mpiv::faults {
+
+struct FaultEvent {
+  SimTime at = 0;
+  mpi::Rank rank = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  static FaultPlan none() { return {}; }
+
+  /// One fault every `interval`, starting at `first`, round-robin over
+  /// ranks chosen by `rng` (the paper's fig. 11: a termination signal to a
+  /// randomly selected MPI process, ~1 fault / 45 s).
+  static FaultPlan periodic_random(int count, SimTime first,
+                                   SimDuration interval, mpi::Rank nranks,
+                                   std::uint64_t seed) {
+    FaultPlan plan;
+    Rng rng(seed);
+    for (int i = 0; i < count; ++i) {
+      plan.events.push_back(
+          FaultEvent{first + i * interval,
+                     static_cast<mpi::Rank>(rng.below(
+                         static_cast<std::uint64_t>(nranks)))});
+    }
+    return plan;
+  }
+
+  /// Poisson-ish fault arrivals over a window: volatile desktop-grid nodes.
+  static FaultPlan random_arrivals(double mean_interarrival_s, SimTime start,
+                                   SimTime end, mpi::Rank nranks,
+                                   std::uint64_t seed) {
+    FaultPlan plan;
+    Rng rng(seed);
+    double t = to_seconds(start);
+    for (;;) {
+      t += rng.exponential(mean_interarrival_s);
+      SimTime at = seconds(t);
+      if (at >= end) break;
+      plan.events.push_back(FaultEvent{
+          at, static_cast<mpi::Rank>(
+                  rng.below(static_cast<std::uint64_t>(nranks)))});
+    }
+    return plan;
+  }
+
+  /// Kill specific ranks at one instant (massive correlated failure).
+  static FaultPlan simultaneous(SimTime at, std::vector<mpi::Rank> ranks) {
+    FaultPlan plan;
+    for (mpi::Rank r : ranks) plan.events.push_back(FaultEvent{at, r});
+    return plan;
+  }
+};
+
+}  // namespace mpiv::faults

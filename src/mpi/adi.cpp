@@ -1,0 +1,239 @@
+#include "mpi/adi.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mpiv::mpi {
+
+Adi::ReqState& Adi::state_of(Request req) {
+  auto it = reqs_.find(req.id_);
+  MPIV_CHECK(it != reqs_.end(), "unknown or already-recycled request");
+  return it->second;
+}
+
+Request Adi::isend(sim::Context& ctx, ConstBytes data, Rank dest, Tag tag) {
+  MPIV_CHECK(dest >= 0 && dest < size(), "isend: bad destination rank");
+  MPIV_CHECK(dest != rank(), "isend to self is not supported");
+  std::uint64_t id = next_req_++;
+  std::uint64_t seq = next_seq_++;
+  ReqState rs;
+  rs.is_recv = false;
+  rs.dest = dest;
+  rs.tag = tag;
+  rs.seq = seq;
+
+  Envelope env;
+  env.src = rank();
+  env.tag = tag;
+  env.payload_size = static_cast<std::uint32_t>(data.size());
+  env.seq = seq;
+
+  if (data.size() > dev_.eager_threshold()) {
+    // Rendezvous: RTS now, payload when the CTS comes back.
+    env.kind = PacketKind::kRndvRts;
+    rs.send_data = data.data();
+    rs.send_size = static_cast<std::uint32_t>(data.size());
+    rndv_pending_sends_[seq] = id;
+    reqs_.emplace(id, rs);
+    dev_.bsend(ctx, dest, make_block(env, {}));
+    return Request(id);
+  }
+
+  env.kind = data.size() <= dev_.short_threshold() ? PacketKind::kShort
+                                                   : PacketKind::kEager;
+  rs.done = true;  // completes locally once the channel accepted the block
+  reqs_.emplace(id, rs);
+  dev_.bsend(ctx, dest, make_block(env, data));
+  return Request(id);
+}
+
+Request Adi::irecv(sim::Context& ctx, MutBytes buf, Rank src, Tag tag) {
+  std::uint64_t id = next_req_++;
+  ReqState rs;
+  rs.is_recv = true;
+  rs.buf = buf.data();
+  rs.capacity = static_cast<std::uint32_t>(buf.size());
+  rs.want_src = src;
+  rs.want_tag = tag;
+  reqs_.emplace(id, rs);
+
+  // Opportunistically drain the channel so the unexpected queue is current.
+  progress_poll(ctx);
+
+  // Match against already-arrived messages first (in arrival order).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(src, tag, it->env.src, it->env.tag)) continue;
+    Unexpected um = std::move(*it);
+    unexpected_.erase(it);
+    ReqState& state = reqs_.at(id);
+    if (um.env.kind == PacketKind::kRndvRts) {
+      // Clear the sender to ship the payload; complete on RndvData.
+      rndv_waiting_data_[{um.env.src, um.env.seq}] = id;
+      state.status = Status{um.env.src, um.env.tag, um.env.payload_size};
+      Envelope cts;
+      cts.kind = PacketKind::kRndvCts;
+      cts.src = rank();
+      cts.seq = um.env.seq;
+      dev_.bsend(ctx, um.env.src, make_block(cts, {}));
+    } else {
+      deliver_to(ctx, state, um.env, um.payload);
+    }
+    return Request(id);
+  }
+
+  posted_.push_back(id);
+  return Request(id);
+}
+
+void Adi::deliver_to(sim::Context& /*ctx*/, ReqState& rs, const Envelope& env,
+                     ConstBytes payload) {
+  MPIV_CHECK(payload.size() <= rs.capacity,
+             "receive buffer too small for incoming message");
+  if (!payload.empty()) std::memcpy(rs.buf, payload.data(), payload.size());
+  rs.status = Status{env.src, env.tag, static_cast<std::uint32_t>(payload.size())};
+  rs.done = true;
+}
+
+std::uint64_t Adi::match_posted(Rank src, Tag tag) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    ReqState& rs = reqs_.at(*it);
+    if (matches(rs.want_src, rs.want_tag, src, tag)) {
+      std::uint64_t id = *it;
+      posted_.erase(it);
+      return id;
+    }
+  }
+  return 0;
+}
+
+void Adi::dispatch(sim::Context& ctx, Packet pkt) {
+  Reader r(pkt.data);
+  Envelope env = read_envelope(r);
+  switch (env.kind) {
+    case PacketKind::kShort:
+    case PacketKind::kEager: {
+      ConstBytes payload = r.rest();
+      if (std::uint64_t id = match_posted(env.src, env.tag)) {
+        deliver_to(ctx, reqs_.at(id), env, payload);
+      } else {
+        unexpected_.push_back(Unexpected{env, to_buffer(payload)});
+      }
+      return;
+    }
+    case PacketKind::kRndvRts: {
+      if (std::uint64_t id = match_posted(env.src, env.tag)) {
+        rndv_waiting_data_[{env.src, env.seq}] = id;
+        reqs_.at(id).status = Status{env.src, env.tag, env.payload_size};
+        Envelope cts;
+        cts.kind = PacketKind::kRndvCts;
+        cts.src = rank();
+        cts.seq = env.seq;
+        dev_.bsend(ctx, env.src, make_block(cts, {}));
+      } else {
+        unexpected_.push_back(Unexpected{env, {}});
+      }
+      return;
+    }
+    case PacketKind::kRndvCts: {
+      auto it = rndv_pending_sends_.find(env.seq);
+      MPIV_CHECK(it != rndv_pending_sends_.end(), "CTS for unknown send");
+      std::uint64_t id = it->second;
+      rndv_pending_sends_.erase(it);
+      ReqState& rs = reqs_.at(id);
+      Envelope data_env;
+      data_env.kind = PacketKind::kRndvData;
+      data_env.src = rank();
+      data_env.tag = rs.tag;
+      data_env.payload_size = rs.send_size;
+      data_env.seq = rs.seq;
+      dev_.bsend(ctx, rs.dest,
+                 make_block(data_env, ConstBytes(rs.send_data, rs.send_size)));
+      // Re-lookup: bsend may progress recursively and rehash reqs_.
+      reqs_.at(id).done = true;
+      return;
+    }
+    case PacketKind::kRndvData: {
+      auto it = rndv_waiting_data_.find({env.src, env.seq});
+      MPIV_CHECK(it != rndv_waiting_data_.end(), "data for unknown rendezvous");
+      std::uint64_t id = it->second;
+      rndv_waiting_data_.erase(it);
+      deliver_to(ctx, reqs_.at(id), env, r.rest());
+      return;
+    }
+  }
+  throw ProtocolError("unknown packet kind");
+}
+
+void Adi::progress_poll(sim::Context& ctx) {
+  while (dev_.nprobe(ctx)) dispatch(ctx, dev_.brecv(ctx));
+}
+
+void Adi::progress_block(sim::Context& ctx) {
+  dispatch(ctx, dev_.brecv(ctx));
+}
+
+void Adi::wait(sim::Context& ctx, Request& req, Status* status) {
+  ReqState* rs = &state_of(req);
+  while (!rs->done) {
+    progress_block(ctx);
+    rs = &state_of(req);  // map may rehash during dispatch
+  }
+  if (status != nullptr) *status = rs->status;
+  reqs_.erase(req.id_);
+  req = Request();
+}
+
+bool Adi::test(sim::Context& ctx, Request& req, Status* status) {
+  progress_poll(ctx);
+  ReqState& rs = state_of(req);
+  if (!rs.done) return false;
+  if (status != nullptr) *status = rs.status;
+  reqs_.erase(req.id_);
+  req = Request();
+  return true;
+}
+
+std::optional<Status> Adi::iprobe(sim::Context& ctx, Rank src, Tag tag) {
+  progress_poll(ctx);
+  for (const Unexpected& um : unexpected_) {
+    if (matches(src, tag, um.env.src, um.env.tag)) {
+      return Status{um.env.src, um.env.tag, um.env.payload_size};
+    }
+  }
+  return std::nullopt;
+}
+
+Status Adi::probe(sim::Context& ctx, Rank src, Tag tag) {
+  for (;;) {
+    if (auto st = iprobe(ctx, src, tag)) return *st;
+    progress_block(ctx);
+  }
+}
+
+bool Adi::idle() const {
+  return posted_.empty() && rndv_waiting_data_.empty() &&
+         rndv_pending_sends_.empty() && reqs_.empty();
+}
+
+void Adi::serialize(Writer& w) const {
+  MPIV_CHECK(idle(), "checkpoint with in-flight MPI operations");
+  w.u64(next_seq_);
+  w.u32(static_cast<std::uint32_t>(unexpected_.size()));
+  for (const Unexpected& um : unexpected_) {
+    write_envelope(w, um.env);
+    w.blob(um.payload);
+  }
+}
+
+void Adi::restore(Reader& r) {
+  next_seq_ = r.u64();
+  unexpected_.clear();
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Envelope env = read_envelope(r);
+    unexpected_.push_back(Unexpected{env, r.blob()});
+  }
+}
+
+}  // namespace mpiv::mpi

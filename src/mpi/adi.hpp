@@ -1,0 +1,117 @@
+// Abstract Device Interface: message matching and the progress engine.
+//
+// Sits between the MPI API (Comm) and the channel Device. Implements
+// posted-receive/unexpected-message matching with tag and ANY_SOURCE
+// wildcards, the short/eager/rendezvous protocols, and request completion.
+// MPI's non-overtaking rule holds because each (sender, receiver) pair is a
+// FIFO at the channel level and both queues are scanned in order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "mpi/device.hpp"
+#include "mpi/envelope.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+
+namespace mpiv::mpi {
+
+class Adi {
+ public:
+  explicit Adi(Device& dev) : dev_(dev) {}
+
+  void init(sim::Context& ctx) { dev_.init(ctx); }
+  void finish(sim::Context& ctx) { dev_.finish(ctx); }
+
+  [[nodiscard]] Rank rank() const { return dev_.rank(); }
+  [[nodiscard]] Rank size() const { return dev_.size(); }
+  [[nodiscard]] Device& device() { return dev_; }
+  [[nodiscard]] const Device& device() const { return dev_; }
+
+  /// Starts a send. Short/eager payloads are handed to the channel here
+  /// (the request completes immediately); rendezvous sends emit an RTS and
+  /// complete when the CTS is serviced by progress. The caller must keep
+  /// `data` alive until the request completes.
+  Request isend(sim::Context& ctx, ConstBytes data, Rank dest, Tag tag);
+
+  /// Posts a receive into `buf` (must outlive completion).
+  Request irecv(sim::Context& ctx, MutBytes buf, Rank src, Tag tag);
+
+  /// Blocks until the request completes; recycles it.
+  void wait(sim::Context& ctx, Request& req, Status* status = nullptr);
+  /// Non-blocking completion check (runs one progress poll).
+  bool test(sim::Context& ctx, Request& req, Status* status = nullptr);
+
+  /// Blocking probe: waits for a matching incoming envelope.
+  Status probe(sim::Context& ctx, Rank src, Tag tag);
+  /// Non-blocking probe.
+  std::optional<Status> iprobe(sim::Context& ctx, Rank src, Tag tag);
+
+  /// Drains every packet currently available from the channel.
+  void progress_poll(sim::Context& ctx);
+  /// Receives (blocking) one packet and dispatches it.
+  void progress_block(sim::Context& ctx);
+
+  /// True when no operation is in flight (checkpoint precondition);
+  /// unexpected messages may still be queued — they go into the image.
+  [[nodiscard]] bool idle() const;
+
+  /// Serializes matching-engine state that must survive a checkpoint:
+  /// unexpected queue and sequence counters.
+  void serialize(Writer& w) const;
+  void restore(Reader& r);
+
+ private:
+  struct ReqState {
+    bool done = false;
+    bool is_recv = false;
+    Status status;
+    // recv: destination buffer
+    std::byte* buf = nullptr;
+    std::uint32_t capacity = 0;
+    Rank want_src = kAnySource;
+    Tag want_tag = kAnyTag;
+    // rendezvous send: payload to ship on CTS
+    const std::byte* send_data = nullptr;
+    std::uint32_t send_size = 0;
+    Rank dest = kAnySource;
+    Tag tag = kAnyTag;
+    std::uint64_t seq = 0;
+  };
+
+  struct Unexpected {
+    Envelope env;
+    Buffer payload;  // empty for RTS
+  };
+
+  void dispatch(sim::Context& ctx, Packet pkt);
+  void deliver_to(sim::Context& ctx, ReqState& rs, const Envelope& env,
+                  ConstBytes payload);
+  /// Finds the first posted receive matching (src, tag); removes and
+  /// returns its request id, or 0.
+  std::uint64_t match_posted(Rank src, Tag tag);
+  static bool matches(Rank want_src, Tag want_tag, Rank src, Tag tag) {
+    return (want_src == kAnySource || want_src == src) &&
+           (want_tag == kAnyTag || want_tag == tag);
+  }
+  ReqState& state_of(Request req);
+
+  Device& dev_;
+  std::uint64_t next_req_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, ReqState> reqs_;
+  std::vector<std::uint64_t> posted_;            // recv request ids, post order
+  std::deque<Unexpected> unexpected_;            // arrival order
+  std::map<std::pair<Rank, std::uint64_t>, std::uint64_t>
+      rndv_waiting_data_;                        // (src, seq) -> recv req
+  std::map<std::uint64_t, std::uint64_t> rndv_pending_sends_;  // seq -> req
+};
+
+}  // namespace mpiv::mpi

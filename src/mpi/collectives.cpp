@@ -1,0 +1,251 @@
+// Collective algorithms over point-to-point, as MPICH builds them.
+//
+// Binomial trees for bcast/reduce, dissemination barrier, ring allgather,
+// shifted pairwise exchange for alltoall. Each collective consumes one
+// internal tag round so back-to-back collectives cannot cross-match; within
+// a round, per-pair FIFO ordering disambiguates the algorithm's phases.
+#include <cstring>
+
+#include "common/error.hpp"
+#include "mpi/comm.hpp"
+
+namespace mpiv::mpi {
+
+namespace {
+
+struct Timed {
+  Profiler::Scope scope;
+  sim::Context& ctx;
+  Timed(Profiler& p, MpiFunc f, sim::Context& c) : scope(p, f, c.now()), ctx(c) {}
+  ~Timed() { scope.finish(ctx.now()); }
+};
+
+void combine(std::span<double> acc, std::span<const double> in, ReduceOp op) {
+  MPIV_CHECK(acc.size() == in.size(), "reduce size mismatch");
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      return;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::min(acc[i], in[i]);
+      return;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = std::max(acc[i], in[i]);
+      return;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] *= in[i];
+      return;
+  }
+}
+
+}  // namespace
+
+// Each collective claims a distinct internal tag; 2^20 rounds before reuse,
+// far beyond any window in which stale messages could linger.
+static Tag coll_tag(std::uint64_t round) {
+  return kInternalTagBase + static_cast<Tag>(round % (1u << 20));
+}
+
+void Comm::barrier(sim::Context& ctx) {
+  Timed t(profiler_, MpiFunc::kBarrier, ctx);
+  Tag tag = coll_tag(coll_round_++);
+  const Rank n = size();
+  const Rank r = rank();
+  std::byte token{};
+  for (Rank dist = 1; dist < n; dist *= 2) {
+    Rank to = (r + dist) % n;
+    Rank from = (r - dist + n) % n;
+    Request rr = adi_.irecv(ctx, MutBytes(&token, 1), from, tag);
+    Request sr = adi_.isend(ctx, ConstBytes(&token, 1), to, tag);
+    adi_.wait(ctx, sr);
+    adi_.wait(ctx, rr);
+  }
+}
+
+void Comm::bcast(sim::Context& ctx, MutBytes data, Rank root) {
+  Timed t(profiler_, MpiFunc::kBcast, ctx);
+  Tag tag = coll_tag(coll_round_++);
+  const Rank n = size();
+  if (n == 1) return;
+  const Rank vr = (rank() - root + n) % n;  // relative rank, root -> 0
+  Rank mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      Rank src = (vr - mask + root) % n;
+      Request rr = adi_.irecv(ctx, data, src, tag);
+      adi_.wait(ctx, rr);
+      break;
+    }
+    mask *= 2;
+  }
+  mask /= 2;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      Rank dest = (vr + mask + root) % n;
+      Request sr = adi_.isend(ctx, data, dest, tag);
+      adi_.wait(ctx, sr);
+    }
+    mask /= 2;
+  }
+}
+
+void Comm::reduce(sim::Context& ctx, std::span<const double> sendbuf,
+                  std::span<double> recvbuf, ReduceOp op, Rank root) {
+  Timed t(profiler_, MpiFunc::kReduce, ctx);
+  Tag tag = coll_tag(coll_round_++);
+  const Rank n = size();
+  const Rank vr = (rank() - root + n) % n;
+  std::vector<double> acc(sendbuf.begin(), sendbuf.end());
+  std::vector<double> incoming(sendbuf.size());
+  Rank mask = 1;
+  while (mask < n) {
+    if ((vr & mask) == 0) {
+      Rank partner = vr + mask;
+      if (partner < n) {
+        Rank src = (partner + root) % n;
+        Request rr = adi_.irecv(ctx, std::as_writable_bytes(std::span(incoming)),
+                                src, tag);
+        adi_.wait(ctx, rr);
+        combine(acc, incoming, op);
+      }
+    } else {
+      Rank dest = (vr - mask + root) % n;
+      Request sr =
+          adi_.isend(ctx, std::as_bytes(std::span<const double>(acc)), dest, tag);
+      adi_.wait(ctx, sr);
+      break;
+    }
+    mask *= 2;
+  }
+  if (rank() == root) {
+    MPIV_CHECK(recvbuf.size() == sendbuf.size(), "reduce recvbuf size");
+    std::memcpy(recvbuf.data(), acc.data(), acc.size() * sizeof(double));
+  }
+}
+
+void Comm::allreduce(sim::Context& ctx, std::span<const double> sendbuf,
+                     std::span<double> recvbuf, ReduceOp op) {
+  Timed t(profiler_, MpiFunc::kAllreduce, ctx);
+  MPIV_CHECK(recvbuf.size() == sendbuf.size(), "allreduce size mismatch");
+  reduce(ctx, sendbuf, recvbuf, op, 0);
+  bcast(ctx, std::as_writable_bytes(recvbuf), 0);
+}
+
+double Comm::allreduce(sim::Context& ctx, double value, ReduceOp op) {
+  double out = 0;
+  allreduce(ctx, std::span<const double>(&value, 1), std::span<double>(&out, 1),
+            op);
+  return out;
+}
+
+void Comm::alltoall(sim::Context& ctx, ConstBytes sendbuf, MutBytes recvbuf,
+                    std::size_t block_bytes) {
+  Timed t(profiler_, MpiFunc::kAlltoall, ctx);
+  Tag tag = coll_tag(coll_round_++);
+  const Rank n = size();
+  const Rank r = rank();
+  MPIV_CHECK(sendbuf.size() == block_bytes * static_cast<std::size_t>(n),
+             "alltoall sendbuf size");
+  MPIV_CHECK(recvbuf.size() == block_bytes * static_cast<std::size_t>(n),
+             "alltoall recvbuf size");
+  // Local block.
+  std::memcpy(recvbuf.data() + block_bytes * static_cast<std::size_t>(r),
+              sendbuf.data() + block_bytes * static_cast<std::size_t>(r),
+              block_bytes);
+  for (Rank i = 1; i < n; ++i) {
+    Rank dest = (r + i) % n;
+    Rank src = (r - i + n) % n;
+    Request rr = adi_.irecv(
+        ctx,
+        recvbuf.subspan(block_bytes * static_cast<std::size_t>(src), block_bytes),
+        src, tag);
+    Request sr = adi_.isend(
+        ctx,
+        sendbuf.subspan(block_bytes * static_cast<std::size_t>(dest), block_bytes),
+        dest, tag);
+    adi_.wait(ctx, sr);
+    adi_.wait(ctx, rr);
+  }
+}
+
+void Comm::allgather(sim::Context& ctx, ConstBytes sendblock, MutBytes recvbuf) {
+  Timed t(profiler_, MpiFunc::kAllgather, ctx);
+  Tag tag = coll_tag(coll_round_++);
+  const Rank n = size();
+  const Rank r = rank();
+  const std::size_t bs = sendblock.size();
+  MPIV_CHECK(recvbuf.size() == bs * static_cast<std::size_t>(n),
+             "allgather recvbuf size");
+  std::memcpy(recvbuf.data() + bs * static_cast<std::size_t>(r),
+              sendblock.data(), bs);
+  // Ring: in step s we forward the block that originated at (r - s).
+  Rank right = (r + 1) % n;
+  Rank left = (r - 1 + n) % n;
+  for (Rank s = 0; s < n - 1; ++s) {
+    Rank send_origin = (r - s + n) % n;
+    Rank recv_origin = (r - s - 1 + n) % n;
+    Request rr = adi_.irecv(
+        ctx, recvbuf.subspan(bs * static_cast<std::size_t>(recv_origin), bs),
+        left, tag);
+    Request sr = adi_.isend(
+        ctx,
+        ConstBytes(recvbuf.data() + bs * static_cast<std::size_t>(send_origin),
+                   bs),
+        right, tag);
+    adi_.wait(ctx, sr);
+    adi_.wait(ctx, rr);
+  }
+}
+
+void Comm::gather(sim::Context& ctx, ConstBytes sendblock, MutBytes recvbuf,
+                  Rank root) {
+  Timed t(profiler_, MpiFunc::kGather, ctx);
+  Tag tag = coll_tag(coll_round_++);
+  const Rank n = size();
+  const std::size_t bs = sendblock.size();
+  if (rank() == root) {
+    MPIV_CHECK(recvbuf.size() == bs * static_cast<std::size_t>(n),
+               "gather recvbuf size");
+    std::memcpy(recvbuf.data() + bs * static_cast<std::size_t>(root),
+                sendblock.data(), bs);
+    std::vector<Request> reqs;
+    for (Rank src = 0; src < n; ++src) {
+      if (src == root) continue;
+      reqs.push_back(adi_.irecv(
+          ctx, recvbuf.subspan(bs * static_cast<std::size_t>(src), bs), src,
+          tag));
+    }
+    for (Request& rq : reqs) adi_.wait(ctx, rq);
+  } else {
+    Request sr = adi_.isend(ctx, sendblock, root, tag);
+    adi_.wait(ctx, sr);
+  }
+}
+
+void Comm::scatter(sim::Context& ctx, ConstBytes sendbuf, MutBytes recvblock,
+                   Rank root) {
+  Timed t(profiler_, MpiFunc::kScatter, ctx);
+  Tag tag = coll_tag(coll_round_++);
+  const Rank n = size();
+  const std::size_t bs = recvblock.size();
+  if (rank() == root) {
+    MPIV_CHECK(sendbuf.size() == bs * static_cast<std::size_t>(n),
+               "scatter sendbuf size");
+    std::memcpy(recvblock.data(),
+                sendbuf.data() + bs * static_cast<std::size_t>(root), bs);
+    for (Rank dest = 0; dest < n; ++dest) {
+      if (dest == root) continue;
+      Request sr = adi_.isend(
+          ctx, sendbuf.subspan(bs * static_cast<std::size_t>(dest), bs), dest,
+          tag);
+      adi_.wait(ctx, sr);
+    }
+  } else {
+    Request rr = adi_.irecv(ctx, recvblock, root, tag);
+    adi_.wait(ctx, rr);
+  }
+}
+
+}  // namespace mpiv::mpi

@@ -1,0 +1,105 @@
+#include "mpi/comm.hpp"
+
+#include "common/error.hpp"
+
+namespace mpiv::mpi {
+
+namespace {
+/// Profiler scope helper: measures from construction to explicit end.
+struct Timed {
+  Profiler::Scope scope;
+  sim::Context& ctx;
+  Timed(Profiler& p, MpiFunc f, sim::Context& c) : scope(p, f, c.now()), ctx(c) {}
+  ~Timed() { scope.finish(ctx.now()); }
+};
+}  // namespace
+
+void Comm::init(sim::Context& ctx) {
+  Timed t(profiler_, MpiFunc::kInit, ctx);
+  adi_.init(ctx);
+}
+
+void Comm::finalize(sim::Context& ctx) {
+  Timed t(profiler_, MpiFunc::kFinalize, ctx);
+  adi_.finish(ctx);
+}
+
+void Comm::send(sim::Context& ctx, ConstBytes data, Rank dest, Tag tag) {
+  Timed t(profiler_, MpiFunc::kSend, ctx);
+  Request r = adi_.isend(ctx, data, dest, tag);
+  adi_.wait(ctx, r);
+}
+
+void Comm::recv(sim::Context& ctx, MutBytes buf, Rank src, Tag tag,
+                Status* status) {
+  Timed t(profiler_, MpiFunc::kRecv, ctx);
+  Request r = adi_.irecv(ctx, buf, src, tag);
+  adi_.wait(ctx, r, status);
+}
+
+Request Comm::isend(sim::Context& ctx, ConstBytes data, Rank dest, Tag tag) {
+  Timed t(profiler_, MpiFunc::kIsend, ctx);
+  return adi_.isend(ctx, data, dest, tag);
+}
+
+Request Comm::irecv(sim::Context& ctx, MutBytes buf, Rank src, Tag tag) {
+  Timed t(profiler_, MpiFunc::kIrecv, ctx);
+  return adi_.irecv(ctx, buf, src, tag);
+}
+
+void Comm::wait(sim::Context& ctx, Request& req, Status* status) {
+  Timed t(profiler_, MpiFunc::kWait, ctx);
+  adi_.wait(ctx, req, status);
+}
+
+void Comm::waitall(sim::Context& ctx, std::span<Request> reqs) {
+  Timed t(profiler_, MpiFunc::kWaitall, ctx);
+  for (Request& r : reqs) {
+    if (r.valid()) adi_.wait(ctx, r);
+  }
+}
+
+bool Comm::test(sim::Context& ctx, Request& req, Status* status) {
+  Timed t(profiler_, MpiFunc::kTest, ctx);
+  return adi_.test(ctx, req, status);
+}
+
+Status Comm::probe(sim::Context& ctx, Rank src, Tag tag) {
+  Timed t(profiler_, MpiFunc::kProbe, ctx);
+  return adi_.probe(ctx, src, tag);
+}
+
+std::optional<Status> Comm::iprobe(sim::Context& ctx, Rank src, Tag tag) {
+  Timed t(profiler_, MpiFunc::kIprobe, ctx);
+  return adi_.iprobe(ctx, src, tag);
+}
+
+void Comm::sendrecv(sim::Context& ctx, ConstBytes sendbuf, Rank dest,
+                    Tag sendtag, MutBytes recvbuf, Rank src, Tag recvtag,
+                    Status* status) {
+  Timed t(profiler_, MpiFunc::kSendrecv, ctx);
+  Request rr = adi_.irecv(ctx, recvbuf, src, recvtag);
+  Request sr = adi_.isend(ctx, sendbuf, dest, sendtag);
+  adi_.wait(ctx, sr);
+  adi_.wait(ctx, rr, status);
+}
+
+void Comm::take_checkpoint(sim::Context& ctx, ConstBytes app_state) {
+  MPIV_CHECK(adi_.idle(), "take_checkpoint with outstanding requests");
+  Writer w;
+  w.u64(coll_round_);
+  adi_.serialize(w);
+  w.blob(app_state);
+  adi_.device().send_checkpoint(ctx, w.take());
+}
+
+std::optional<Buffer> Comm::restore_checkpoint(sim::Context& ctx) {
+  std::optional<Buffer> image = adi_.device().take_restart_image(ctx);
+  if (!image) return std::nullopt;
+  Reader r(*image);
+  coll_round_ = r.u64();
+  adi_.restore(r);
+  return r.blob();
+}
+
+}  // namespace mpiv::mpi

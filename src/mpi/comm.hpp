@@ -1,0 +1,112 @@
+// The MPI-level API handed to applications.
+//
+// A thin, typed facade over the ADI plus the collective algorithms. Every
+// entry point is instrumented through the Profiler so benches can decompose
+// execution time per MPI function (paper Table 1 / Figure 8).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mpi/adi.hpp"
+#include "mpi/profiler.hpp"
+#include "mpi/types.hpp"
+
+namespace mpiv::mpi {
+
+class Comm {
+ public:
+  explicit Comm(Device& dev) : adi_(dev) {}
+
+  void init(sim::Context& ctx);
+  void finalize(sim::Context& ctx);
+
+  [[nodiscard]] Rank rank() const { return adi_.rank(); }
+  [[nodiscard]] Rank size() const { return adi_.size(); }
+
+  // ---- Point-to-point (byte spans) ----
+  void send(sim::Context& ctx, ConstBytes data, Rank dest, Tag tag);
+  void recv(sim::Context& ctx, MutBytes buf, Rank src, Tag tag,
+            Status* status = nullptr);
+  Request isend(sim::Context& ctx, ConstBytes data, Rank dest, Tag tag);
+  Request irecv(sim::Context& ctx, MutBytes buf, Rank src, Tag tag);
+  void wait(sim::Context& ctx, Request& req, Status* status = nullptr);
+  void waitall(sim::Context& ctx, std::span<Request> reqs);
+  bool test(sim::Context& ctx, Request& req, Status* status = nullptr);
+  Status probe(sim::Context& ctx, Rank src, Tag tag);
+  std::optional<Status> iprobe(sim::Context& ctx, Rank src, Tag tag);
+  void sendrecv(sim::Context& ctx, ConstBytes sendbuf, Rank dest, Tag sendtag,
+                MutBytes recvbuf, Rank src, Tag recvtag,
+                Status* status = nullptr);
+
+  // ---- Typed convenience wrappers ----
+  template <typename T>
+  void send(sim::Context& ctx, std::span<const T> data, Rank dest, Tag tag) {
+    send(ctx, std::as_bytes(data), dest, tag);
+  }
+  template <typename T>
+  void recv(sim::Context& ctx, std::span<T> buf, Rank src, Tag tag,
+            Status* status = nullptr) {
+    recv(ctx, std::as_writable_bytes(buf), src, tag, status);
+  }
+  template <typename T>
+  Request isend(sim::Context& ctx, std::span<const T> data, Rank dest, Tag tag) {
+    return isend(ctx, std::as_bytes(data), dest, tag);
+  }
+  template <typename T>
+  Request irecv(sim::Context& ctx, std::span<T> buf, Rank src, Tag tag) {
+    return irecv(ctx, std::as_writable_bytes(buf), src, tag);
+  }
+  template <typename T>
+  void send_value(sim::Context& ctx, const T& v, Rank dest, Tag tag) {
+    send(ctx, std::span<const T>(&v, 1), dest, tag);
+  }
+  template <typename T>
+  T recv_value(sim::Context& ctx, Rank src, Tag tag) {
+    T v{};
+    recv(ctx, std::span<T>(&v, 1), src, tag);
+    return v;
+  }
+
+  // ---- Collectives ----
+  void barrier(sim::Context& ctx);
+  void bcast(sim::Context& ctx, MutBytes data, Rank root);
+  /// Element-wise reduction of doubles/int64s; recvbuf only valid at root.
+  void reduce(sim::Context& ctx, std::span<const double> sendbuf,
+              std::span<double> recvbuf, ReduceOp op, Rank root);
+  void allreduce(sim::Context& ctx, std::span<const double> sendbuf,
+                 std::span<double> recvbuf, ReduceOp op);
+  double allreduce(sim::Context& ctx, double value, ReduceOp op);
+  /// sendbuf holds size() blocks of block_bytes; block i goes to rank i.
+  void alltoall(sim::Context& ctx, ConstBytes sendbuf, MutBytes recvbuf,
+                std::size_t block_bytes);
+  void allgather(sim::Context& ctx, ConstBytes sendblock, MutBytes recvbuf);
+  void gather(sim::Context& ctx, ConstBytes sendblock, MutBytes recvbuf,
+              Rank root);
+  void scatter(sim::Context& ctx, ConstBytes sendbuf, MutBytes recvblock,
+               Rank root);
+
+  // ---- Fault-tolerance hooks ----
+  /// Cheap: true if the daemon requested a checkpoint (piggybacked flag).
+  [[nodiscard]] bool checkpoint_requested() const {
+    return adi_.device().checkpoint_requested();
+  }
+  /// Ships an application+ADI image through the device. The caller must
+  /// have no outstanding requests.
+  void take_checkpoint(sim::Context& ctx, ConstBytes app_state);
+  /// If this process is restarting from a checkpoint, returns the app-state
+  /// blob saved by take_checkpoint and restores the ADI part.
+  std::optional<Buffer> restore_checkpoint(sim::Context& ctx);
+
+  [[nodiscard]] Profiler& profiler() { return profiler_; }
+  [[nodiscard]] const Profiler& profiler() const { return profiler_; }
+  [[nodiscard]] Adi& adi() { return adi_; }
+
+ private:
+  Adi adi_;
+  Profiler profiler_;
+  std::uint64_t coll_round_ = 0;  // distinguishes back-to-back collectives
+};
+
+}  // namespace mpiv::mpi

@@ -1,0 +1,66 @@
+// The channel interface — the layer MPICH-V2 replaces under MPICH.
+//
+// Mirrors the six primitives of the paper (§4.4): PIbsend, PIbrecv,
+// PInprobe, PIfrom, PIiInit, PIiFinish, plus the runtime extensions our
+// devices need (checkpoint/restart plumbing). Everything above this
+// interface (protocol layer, ADI, MPI API, collectives) is shared verbatim
+// between the P4, V1 and V2 devices — "we only replace the P4 driver".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "mpi/types.hpp"
+#include "sim/process.hpp"
+
+namespace mpiv::mpi {
+
+/// A block received from the channel: opaque bytes plus the sending rank
+/// (the PIfrom information).
+struct Packet {
+  Rank from = kAnySource;
+  Buffer data;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// PIiInit: connect to peers/services; blocks until the job is ready.
+  virtual void init(sim::Context& ctx) = 0;
+  /// PIiFinish: flush and tear down.
+  virtual void finish(sim::Context& ctx) = 0;
+
+  /// PIbsend: blocking send of one block to `dest`.
+  virtual void bsend(sim::Context& ctx, Rank dest, Buffer block) = 0;
+  /// PIbrecv: blocking receive of the next incoming block (any source).
+  virtual Packet brecv(sim::Context& ctx) = 0;
+  /// PInprobe: is a block pending?
+  virtual bool nprobe(sim::Context& ctx) = 0;
+
+  [[nodiscard]] virtual Rank rank() const = 0;
+  [[nodiscard]] virtual Rank size() const = 0;
+
+  /// Payload size (bytes) above which the protocol layer switches from the
+  /// eager to the rendezvous protocol.
+  [[nodiscard]] virtual std::uint32_t eager_threshold() const {
+    return 64 * 1024;
+  }
+  /// Payload size up to which the short protocol (single block) is used.
+  [[nodiscard]] virtual std::uint32_t short_threshold() const { return 1024; }
+
+  // ---- Fault-tolerance extensions (no-ops on devices without FT). ----
+
+  /// True when the daemon asked for a checkpoint; the MPI layer polls this
+  /// at application checkpoint points (piggybacked flag: costs nothing).
+  [[nodiscard]] virtual bool checkpoint_requested() const { return false; }
+  /// Ships a checkpoint image (app + ADI state) to the daemon.
+  virtual void send_checkpoint(sim::Context& /*ctx*/, Buffer /*image*/) {}
+  /// Image to restore from, when this process is a restart. Consumed once.
+  virtual std::optional<Buffer> take_restart_image(sim::Context& /*ctx*/) {
+    return std::nullopt;
+  }
+};
+
+}  // namespace mpiv::mpi

@@ -1,0 +1,66 @@
+// Protocol-layer packet framing (above the channel, below the ADI).
+//
+// Three wire protocols, as in MPICH:
+//   * short:      envelope + payload in a single channel block
+//   * eager:      like short (single unsolicited block) for mid-size payloads
+//   * rendezvous: RTS (envelope only) -> CTS -> DATA, for large payloads
+// The split point between eager and rendezvous is the device's
+// eager_threshold(); the short/eager distinction only affects header
+// accounting (both are one unsolicited block).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "mpi/types.hpp"
+
+namespace mpiv::mpi {
+
+enum class PacketKind : std::uint8_t {
+  kShort = 1,
+  kEager = 2,
+  kRndvRts = 3,
+  kRndvCts = 4,
+  kRndvData = 5,
+};
+
+struct Envelope {
+  PacketKind kind = PacketKind::kShort;
+  Rank src = kAnySource;
+  Tag tag = kAnyTag;
+  std::uint32_t payload_size = 0;
+  /// Per-sender sequence number; pairs RndvData with its RTS/CTS.
+  std::uint64_t seq = 0;
+};
+
+inline void write_envelope(Writer& w, const Envelope& e) {
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.i32(e.src);
+  w.i32(e.tag);
+  w.u32(e.payload_size);
+  w.u64(e.seq);
+}
+
+inline Envelope read_envelope(Reader& r) {
+  Envelope e;
+  e.kind = static_cast<PacketKind>(r.u8());
+  e.src = r.i32();
+  e.tag = r.i32();
+  e.payload_size = r.u32();
+  e.seq = r.u64();
+  return e;
+}
+
+/// Serialized envelope size; the protocol layer's fixed per-message header.
+constexpr std::uint32_t kEnvelopeBytes = 1 + 4 + 4 + 4 + 8;
+
+/// Builds a block = envelope followed by (optional) payload bytes.
+inline Buffer make_block(const Envelope& e, ConstBytes payload) {
+  Writer w;
+  write_envelope(w, e);
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+}  // namespace mpiv::mpi

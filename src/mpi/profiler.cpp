@@ -1,0 +1,38 @@
+#include "mpi/profiler.hpp"
+
+namespace mpiv::mpi {
+
+std::string_view mpi_func_name(MpiFunc f) {
+  switch (f) {
+    case MpiFunc::kSend: return "MPI_Send";
+    case MpiFunc::kRecv: return "MPI_Recv";
+    case MpiFunc::kIsend: return "MPI_Isend";
+    case MpiFunc::kIrecv: return "MPI_Irecv";
+    case MpiFunc::kWait: return "MPI_Wait";
+    case MpiFunc::kWaitall: return "MPI_Waitall";
+    case MpiFunc::kTest: return "MPI_Test";
+    case MpiFunc::kProbe: return "MPI_Probe";
+    case MpiFunc::kIprobe: return "MPI_Iprobe";
+    case MpiFunc::kSendrecv: return "MPI_Sendrecv";
+    case MpiFunc::kBarrier: return "MPI_Barrier";
+    case MpiFunc::kBcast: return "MPI_Bcast";
+    case MpiFunc::kReduce: return "MPI_Reduce";
+    case MpiFunc::kAllreduce: return "MPI_Allreduce";
+    case MpiFunc::kAlltoall: return "MPI_Alltoall";
+    case MpiFunc::kAllgather: return "MPI_Allgather";
+    case MpiFunc::kGather: return "MPI_Gather";
+    case MpiFunc::kScatter: return "MPI_Scatter";
+    case MpiFunc::kInit: return "MPI_Init";
+    case MpiFunc::kFinalize: return "MPI_Finalize";
+    case MpiFunc::kCount: break;
+  }
+  return "?";
+}
+
+SimDuration Profiler::total_mpi_time() const {
+  SimDuration sum = 0;
+  for (const Entry& e : entries_) sum += e.total;
+  return sum;
+}
+
+}  // namespace mpiv::mpi

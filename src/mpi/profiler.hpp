@@ -1,0 +1,96 @@
+// Per-process accounting of virtual time spent inside MPI calls.
+//
+// Used to regenerate the paper's Table 1 (time inside MPI_(I)send /
+// MPI_Irecv / MPI_Wait) and Figure 8 (compute vs communication breakdown:
+// compute = wall - sum of MPI time). Nested calls (collectives built on
+// point-to-point) are attributed to the outermost function only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace mpiv::mpi {
+
+enum class MpiFunc : int {
+  kSend = 0,
+  kRecv,
+  kIsend,
+  kIrecv,
+  kWait,
+  kWaitall,
+  kTest,
+  kProbe,
+  kIprobe,
+  kSendrecv,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kAlltoall,
+  kAllgather,
+  kGather,
+  kScatter,
+  kInit,
+  kFinalize,
+  kCount
+};
+
+std::string_view mpi_func_name(MpiFunc f);
+
+class Profiler {
+ public:
+  struct Entry {
+    SimDuration total = 0;
+    std::uint64_t calls = 0;
+  };
+
+  [[nodiscard]] const Entry& entry(MpiFunc f) const {
+    return entries_[static_cast<std::size_t>(f)];
+  }
+  [[nodiscard]] SimDuration total(MpiFunc f) const { return entry(f).total; }
+  /// Sum over all MPI functions — the "communication time" of Figure 8.
+  [[nodiscard]] SimDuration total_mpi_time() const;
+
+  void reset() { *this = Profiler{}; }
+
+  /// RAII guard measuring one call; only the outermost nesting level records.
+  class Scope {
+   public:
+    Scope(Profiler& p, MpiFunc f, SimTime now) : p_(p), f_(f), start_(now) {
+      outermost_ = (p_.depth_++ == 0);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    /// Must be called with the end time before destruction.
+    void finish(SimTime now) {
+      --p_.depth_;
+      if (outermost_ && !finished_) {
+        auto& e = p_.entries_[static_cast<std::size_t>(f_)];
+        e.total += now - start_;
+        e.calls += 1;
+      }
+      finished_ = true;
+    }
+    ~Scope() {
+      // finish() not called => the call unwound (kill); drop the sample but
+      // fix the depth.
+      if (!finished_) --p_.depth_;
+    }
+
+   private:
+    Profiler& p_;
+    MpiFunc f_;
+    SimTime start_;
+    bool outermost_ = false;
+    bool finished_ = false;
+  };
+
+ private:
+  std::array<Entry, static_cast<std::size_t>(MpiFunc::kCount)> entries_{};
+  int depth_ = 0;
+};
+
+}  // namespace mpiv::mpi

@@ -1,0 +1,26 @@
+// Nonblocking operation handles.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/types.hpp"
+
+namespace mpiv::mpi {
+
+class Adi;
+
+/// Opaque handle to a pending send/receive. Value type; copies refer to the
+/// same underlying operation. Completed requests are recycled by the ADI
+/// after wait/test observes completion.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Adi;
+  explicit Request(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace mpiv::mpi

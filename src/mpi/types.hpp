@@ -1,0 +1,27 @@
+// MiniMPI basic types and constants.
+#pragma once
+
+#include <cstdint>
+
+namespace mpiv::mpi {
+
+using Rank = std::int32_t;
+using Tag = std::int32_t;
+
+constexpr Rank kAnySource = -1;
+constexpr Tag kAnyTag = -1;
+
+/// Tags at or above this value are reserved for internal use (collectives).
+constexpr Tag kInternalTagBase = 1 << 24;
+
+/// Completion information of a receive.
+struct Status {
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  std::uint32_t count = 0;  // bytes received
+};
+
+/// Reduction operators for the typed collective helpers.
+enum class ReduceOp { kSum, kMin, kMax, kProd };
+
+}  // namespace mpiv::mpi

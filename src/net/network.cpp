@@ -1,0 +1,342 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace mpiv::net {
+
+/// Shared state of one connection; owns both Conn sides.
+class Link {
+ public:
+  Link(Network& net, std::uint64_t id, NodeId a, NodeId b, Endpoint* ep_a,
+       Endpoint* ep_b, std::int32_t server_port)
+      : net_(net), id_(id), server_port_(server_port) {
+    nodes_[0] = a;
+    nodes_[1] = b;
+    eps_[0] = ep_a;
+    eps_[1] = ep_b;
+    sides_[0].link_ = this;
+    sides_[0].side_ = 0;
+    sides_[1].link_ = this;
+    sides_[1].side_ = 1;
+  }
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] bool open() const { return open_; }
+  [[nodiscard]] NodeId node(int side) const { return nodes_[side]; }
+  Conn* conn(int side) { return &sides_[side]; }
+
+  bool send_from(sim::Context& ctx, int side, Buffer msg,
+                 const std::function<void(sim::Context&)>& while_blocked) {
+    const NetParams& p = net_.params();
+    // Flow control: admit the message only while the window has room.
+    while (open_ && !aborted_ &&
+           in_flight_[side] >= static_cast<std::int64_t>(p.tcp_window_bytes)) {
+      if (while_blocked) {
+        // Wake on either window space or traffic arriving at our own
+        // endpoint (which the handler will drain, freeing the peer).
+        sim::Process& proc = ctx.self();
+        std::uint64_t token = proc.wake_token();
+        window_waiters_[side].add(proc, token);
+        if (eps_[side] != nullptr) eps_[side]->waiters_.add(proc, token);
+        proc.park();
+        while_blocked(ctx);
+      } else {
+        window_waiters_[side].wait(ctx);
+      }
+    }
+    if (!open_ || aborted_) return false;
+    Network::Node& sender = net_.nodes_[static_cast<std::size_t>(nodes_[side])];
+    if (!sender.alive) return false;
+    in_flight_[side] += static_cast<std::int64_t>(msg.size());
+    SimTime now = ctx.now();
+    SimTime start = std::max(now, sender.nic_tx_busy_until);
+    SimDuration dur = p.per_msg_send_cpu +
+                      transfer_time(msg.size(), p.bandwidth_bps);
+    SimTime done = start + dur;
+    sender.nic_tx_busy_until = done;
+
+    net_.counters_.messages += 1;
+    net_.counters_.bytes += msg.size();
+    net_.counters_.messages_by_port[server_port_] += 1;
+    net_.counters_.bytes_by_port[server_port_] += msg.size();
+
+    int other = 1 - side;
+    net_.engine().schedule_at(
+        done + p.wire_latency,
+        [this, other, m = std::move(msg)]() mutable { deliver(other, std::move(m)); });
+    ctx.sleep(done - now);
+    return open_;
+  }
+
+  void deliver(int side, Buffer msg) {
+    // A gracefully closed link still flushes in-flight data (TCP FIN
+    // semantics); an aborted link (crash) drops it.
+    if (aborted_) return;
+    if (eps_[side] == nullptr) return;
+    if (!net_.nodes_[static_cast<std::size_t>(nodes_[side])].alive) return;
+    eps_[side]->enqueue(
+        NetEvent{NetEvent::Type::kData, &sides_[side], std::move(msg)});
+  }
+
+  void close_from(int side, bool graceful) {
+    if (!graceful) aborted_ = true;
+    if (!open_ && !graceful) {
+      // Still release any window-blocked senders on abort.
+      window_waiters_[0].wake_all(net_.engine());
+      window_waiters_[1].wake_all(net_.engine());
+    }
+    if (!open_) return;
+    open_ = false;
+    window_waiters_[0].wake_all(net_.engine());
+    window_waiters_[1].wake_all(net_.engine());
+    int other = 1 - side;
+    Endpoint* remote = eps_[other];
+    if (remote != nullptr &&
+        net_.nodes_[static_cast<std::size_t>(nodes_[other])].alive) {
+      net_.engine().schedule_in(net_.params().wire_latency, [this, other] {
+        if (eps_[other] != nullptr &&
+            net_.nodes_[static_cast<std::size_t>(nodes_[other])].alive) {
+          eps_[other]->enqueue(NetEvent{NetEvent::Type::kClosed, &sides_[other], {}});
+        }
+      });
+    }
+  }
+
+  void detach_endpoint(Endpoint* ep, bool graceful) {
+    for (int s = 0; s < 2; ++s) {
+      if (eps_[s] == ep) {
+        eps_[s] = nullptr;
+        close_from(s, graceful);
+      }
+    }
+  }
+
+  void attach_acceptor(Endpoint* ep) { eps_[1] = ep; }
+
+  /// Receiver-side dequeue: frees window space for the sending side.
+  void on_dequeued(int receiving_side, std::size_t bytes) {
+    int sending_side = 1 - receiving_side;
+    in_flight_[sending_side] -= static_cast<std::int64_t>(bytes);
+    window_waiters_[sending_side].wake_all(net_.engine());
+  }
+
+ private:
+  friend class Conn;
+  friend class Network;
+  Network& net_;
+  std::uint64_t id_;
+  std::int32_t server_port_;
+  bool open_ = true;
+  bool aborted_ = false;
+  std::int64_t in_flight_[2] = {0, 0};      // bytes sent by side i, not yet dequeued
+  sim::WaitList window_waiters_[2];          // senders blocked on window of side i
+  NodeId nodes_[2] = {kNoNode, kNoNode};
+  Endpoint* eps_[2] = {nullptr, nullptr};
+  Conn sides_[2];
+};
+
+// ---------------------------------------------------------------- Conn
+
+bool Conn::send(sim::Context& ctx, Buffer msg,
+                const std::function<void(sim::Context&)>& while_blocked) {
+  return link_->send_from(ctx, side_, std::move(msg), while_blocked);
+}
+
+void Conn::close() { link_->close_from(side_, /*graceful=*/true); }
+
+bool Conn::writable() const {
+  return link_->open() && !link_->aborted_ &&
+         link_->in_flight_[side_] <
+             static_cast<std::int64_t>(link_->net_.params().tcp_window_bytes);
+}
+
+void Conn::add_window_waiter(sim::Process& p, std::uint64_t token) {
+  link_->window_waiters_[side_].add(p, token);
+}
+bool Conn::is_open() const { return link_->open(); }
+NodeId Conn::local_node() const { return link_->node(side_); }
+NodeId Conn::peer_node() const { return link_->node(1 - side_); }
+std::uint64_t Conn::id() const { return link_->id(); }
+
+// ---------------------------------------------------------------- Endpoint
+
+Endpoint::Endpoint(Network& net, NodeId node) : net_(net), node_(node) {
+  net_.endpoint_created(this);
+}
+
+Endpoint::~Endpoint() {
+  destroyed_ = true;
+  // Unwinding through ProcessKilled (a crash) aborts connections, dropping
+  // in-flight data; a normal return closes them gracefully.
+  net_.endpoint_destroyed(this, /*graceful=*/std::uncaught_exceptions() == 0);
+}
+
+void Endpoint::listen(std::int32_t port) {
+  MPIV_CHECK(net_.listener_at({node_, port}) == nullptr,
+             "port already in use on node");
+  listen_ports_.push_back(port);
+}
+
+void Endpoint::enqueue(NetEvent ev) {
+  queue_.push_back(std::move(ev));
+  waiters_.wake_all(net_.engine());
+  if (notifier_ != nullptr) notifier_->notify();
+}
+
+NetEvent Endpoint::finish_event(sim::Context& ctx, NetEvent ev) {
+  if (ev.type == NetEvent::Type::kData) {
+    ev.conn->link_->on_dequeued(ev.conn->side_, ev.data.size());
+    ctx.sleep(net_.params().per_msg_recv_cpu);
+  }
+  return ev;
+}
+
+NetEvent Endpoint::wait(sim::Context& ctx) {
+  while (queue_.empty()) waiters_.wait(ctx);
+  NetEvent ev = std::move(queue_.front());
+  queue_.pop_front();
+  return finish_event(ctx, std::move(ev));
+}
+
+std::optional<NetEvent> Endpoint::wait_until(sim::Context& ctx, SimTime deadline) {
+  while (queue_.empty()) {
+    if (ctx.now() >= deadline) return std::nullopt;
+    sim::Process& p = ctx.self();
+    std::uint64_t token = p.wake_token();
+    sim::EventId timer =
+        net_.engine().schedule_at(deadline, [&p, token] { p.unpark(token); });
+    waiters_.wait(ctx);
+    net_.engine().cancel(timer);
+  }
+  NetEvent ev = std::move(queue_.front());
+  queue_.pop_front();
+  return finish_event(ctx, std::move(ev));
+}
+
+std::optional<NetEvent> Endpoint::poll(sim::Context& ctx) {
+  if (queue_.empty()) return std::nullopt;
+  NetEvent ev = std::move(queue_.front());
+  queue_.pop_front();
+  return finish_event(ctx, std::move(ev));
+}
+
+// ---------------------------------------------------------------- Network
+
+Network::Network(sim::Engine& engine, NetParams params)
+    : engine_(engine), params_(params) {}
+
+Network::~Network() {
+  // Fibers hold endpoints/connections that reference this network; unwind
+  // them all (synchronously) before any member is torn down. Network objects
+  // are declared after the Engine they use, so this runs first.
+  engine_.shutdown();
+}
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(Node{std::move(name), true, 0, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  return nodes_[static_cast<std::size_t>(id)].name;
+}
+
+bool Network::node_alive(NodeId id) const {
+  return nodes_[static_cast<std::size_t>(id)].alive;
+}
+
+void Network::kill_node(NodeId id) {
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  if (!n.alive) return;
+  n.alive = false;
+  n.nic_tx_busy_until = 0;
+  MPIV_INFO("net", engine_.now(), "kill node ", n.name);
+  // Close links first so in-flight deliveries are dropped at delivery time.
+  for (auto& link : links_) {
+    for (int s = 0; s < 2; ++s) {
+      if (link->node(s) == id) link->close_from(s, /*graceful=*/false);
+    }
+  }
+  auto procs = std::move(n.processes);
+  n.processes.clear();
+  for (sim::Process* p : procs) engine_.kill(p);
+}
+
+void Network::revive_node(NodeId id) {
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  n.alive = true;
+  n.nic_tx_busy_until = 0;
+}
+
+void Network::register_process(NodeId id, sim::Process* p) {
+  nodes_[static_cast<std::size_t>(id)].processes.push_back(p);
+}
+
+void Network::endpoint_created(Endpoint* ep) { endpoints_.push_back(ep); }
+
+void Network::endpoint_destroyed(Endpoint* ep, bool graceful) {
+  endpoints_.erase(std::remove(endpoints_.begin(), endpoints_.end(), ep),
+                   endpoints_.end());
+  for (auto& link : links_) link->detach_endpoint(ep, graceful);
+}
+
+Endpoint* Network::listener_at(Address addr) {
+  for (Endpoint* ep : endpoints_) {
+    if (ep->node() != addr.node) continue;
+    for (std::int32_t port : ep->listen_ports_) {
+      if (port == addr.port) return ep;
+    }
+  }
+  return nullptr;
+}
+
+SimDuration Network::tx_time(std::size_t bytes) const {
+  return params_.per_msg_send_cpu + transfer_time(bytes, params_.bandwidth_bps);
+}
+
+Conn* Network::connect(sim::Context& ctx, Endpoint& local, Address remote) {
+  if (!node_alive(local.node())) return nullptr;
+  if (remote.node == kNoNode || !node_alive(remote.node)) {
+    ctx.sleep(params_.connect_rtt);
+    return nullptr;
+  }
+  Endpoint* acceptor = listener_at(remote);
+  if (acceptor == nullptr) {
+    ctx.sleep(params_.connect_rtt);
+    return nullptr;
+  }
+  links_.push_back(std::make_unique<Link>(*this, next_link_id_++, local.node(),
+                                          remote.node, &local, acceptor,
+                                          remote.port));
+  Link* link = links_.back().get();
+  local.conns_.push_back(link->conn(0));
+  // Accepted event reaches the server after half the handshake.
+  engine_.schedule_in(params_.connect_rtt / 2, [this, link, remote] {
+    Endpoint* server = listener_at(remote);
+    if (server == nullptr || !link->open()) {
+      link->close_from(1, /*graceful=*/false);
+      return;
+    }
+    server->conns_.push_back(link->conn(1));
+    server->enqueue(NetEvent{NetEvent::Type::kAccepted, link->conn(1), {}});
+  });
+  ctx.sleep(params_.connect_rtt);
+  if (!link->open()) return nullptr;
+  return link->conn(0);
+}
+
+Conn* Network::connect_retry(sim::Context& ctx, Endpoint& local, Address remote,
+                             SimDuration retry_interval, SimTime deadline) {
+  for (;;) {
+    Conn* c = connect(ctx, local, remote);
+    if (c != nullptr) return c;
+    if (ctx.now() >= deadline) return nullptr;
+    ctx.sleep(retry_interval);
+  }
+}
+
+}  // namespace mpiv::net

@@ -1,0 +1,203 @@
+// Simulated cluster network.
+//
+// Nodes host processes and own a full-duplex NIC. Connections are reliable
+// FIFO byte-message streams (TCP-like): while both ends are alive, every
+// message sent is delivered in order; when a node is killed every connection
+// touching it is closed and the remote endpoint receives a Closed event —
+// the paper's "socket disconnection as a trusty fault detector".
+//
+// Timing model (see NetParams): a send occupies the sender NIC for
+// per_msg_send_cpu + bytes/bandwidth (the sending fiber sleeps through it,
+// which also models the CPU cost of driving TCP), then arrives wire_latency
+// later; the receiver pays per_msg_recv_cpu when it dequeues the event.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/params.hpp"
+#include "sim/mailbox.hpp"
+
+namespace mpiv::net {
+
+using NodeId = std::int32_t;
+constexpr NodeId kNoNode = -1;
+
+struct Address {
+  NodeId node = kNoNode;
+  std::int32_t port = 0;
+  bool operator<(const Address& o) const {
+    return node != o.node ? node < o.node : port < o.port;
+  }
+  bool operator==(const Address& o) const = default;
+};
+
+class Network;
+class Endpoint;
+class Link;
+
+/// One side of an established connection. Raw pointers to Conn stay valid
+/// for the lifetime of the Network; a closed Conn simply fails sends.
+class Conn {
+ public:
+  /// Blocking send: charges the calling fiber NIC/CPU time, and blocks
+  /// while the flow-control window toward the peer is exhausted (more than
+  /// tcp_window_bytes in flight). `while_blocked`, when provided, runs each
+  /// time the sender wakes up still window-blocked — single-threaded
+  /// drivers (P4) use it to service their own incoming queue, which is what
+  /// real ch_p4 does to avoid deadlock. Returns false if the connection is
+  /// (or becomes) closed. Never throws on peer death.
+  bool send(sim::Context& ctx, Buffer msg,
+            const std::function<void(sim::Context&)>& while_blocked = {});
+
+  void close();  // non-blocking; remote gets a Closed event
+  [[nodiscard]] bool is_open() const;
+  /// True when a send would be admitted immediately (window has room).
+  /// Between this check and a send() the state cannot change (single
+  /// runnable fiber), so daemons use it to avoid head-of-line blocking.
+  [[nodiscard]] bool writable() const;
+  /// Arms `p` (with its current park token) to wake when the window toward
+  /// the peer frees up; used together with other wait sources.
+  void add_window_waiter(sim::Process& p, std::uint64_t token);
+  [[nodiscard]] NodeId local_node() const;
+  [[nodiscard]] NodeId peer_node() const;
+  [[nodiscard]] std::uint64_t id() const;
+
+  /// Free-form tag for select loops (e.g. peer rank). Defaults to ~0.
+  std::uint64_t user_tag = ~0ull;
+
+ private:
+  friend class Network;
+  friend class Link;
+  friend class Endpoint;
+  Link* link_ = nullptr;
+  int side_ = 0;  // 0 = initiator, 1 = acceptor
+};
+
+struct NetEvent {
+  enum class Type { kData, kClosed, kAccepted };
+  Type type = Type::kData;
+  Conn* conn = nullptr;
+  Buffer data;
+};
+
+/// Per-process event queue: connections deliver Data/Closed/Accepted events
+/// here. Owned by exactly one fiber; destroying it closes all its
+/// connections and removes its listeners (crash semantics via RAII).
+class Endpoint {
+ public:
+  Endpoint(Network& net, NodeId node);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Starts accepting connections on (node, port).
+  void listen(std::int32_t port);
+
+  /// Blocking: next event; charges per-message receive CPU for Data events.
+  NetEvent wait(sim::Context& ctx);
+  /// As wait() but returns nullopt once `deadline` passes.
+  std::optional<NetEvent> wait_until(sim::Context& ctx, SimTime deadline);
+  /// Non-blocking variant; Data events still charge receive CPU so the
+  /// modeled cost is identical on both paths.
+  std::optional<NetEvent> poll(sim::Context& ctx);
+  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] Network& network() { return net_; }
+
+  /// Select-loop integration: poke this notifier whenever an event lands.
+  void set_notifier(sim::Notifier* n) { notifier_ = n; }
+
+ private:
+  friend class Network;
+  friend class Link;
+  void enqueue(NetEvent ev);
+  NetEvent finish_event(sim::Context& ctx, NetEvent ev);
+
+  Network& net_;
+  NodeId node_;
+  std::deque<NetEvent> queue_;
+  sim::WaitList waiters_;
+  sim::Notifier* notifier_ = nullptr;
+  std::vector<std::int32_t> listen_ports_;
+  std::vector<Conn*> conns_;  // sides owned by this endpoint
+  bool destroyed_ = false;
+};
+
+/// Aggregate wire statistics, also broken down by server-side port so
+/// benches can report e.g. event-logger traffic separately.
+struct WireCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::map<std::int32_t, std::uint64_t> messages_by_port;
+  std::map<std::int32_t, std::uint64_t> bytes_by_port;
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, NetParams params);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NodeId add_node(std::string name);
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] bool node_alive(NodeId id) const;
+  [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  /// Kills every process registered on the node and closes its connections.
+  void kill_node(NodeId id);
+  /// Marks the node usable again (dispatcher restarts processes on it).
+  void revive_node(NodeId id);
+
+  /// Associates a process with a node so kill_node can terminate it.
+  void register_process(NodeId id, sim::Process* p);
+
+  /// Blocking connect; returns nullptr if nobody listens or the node is dead.
+  Conn* connect(sim::Context& ctx, Endpoint& local, Address remote);
+  /// Connect with retry until `deadline`; services may come up out of order.
+  Conn* connect_retry(sim::Context& ctx, Endpoint& local, Address remote,
+                      SimDuration retry_interval, SimTime deadline);
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const NetParams& params() const { return params_; }
+  [[nodiscard]] const WireCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = WireCounters{}; }
+
+  /// Transfer duration of one wire message of `bytes` (excludes latency).
+  [[nodiscard]] SimDuration tx_time(std::size_t bytes) const;
+
+ private:
+  friend class Conn;
+  friend class Endpoint;
+  friend class Link;
+
+  struct Node {
+    std::string name;
+    bool alive = true;
+    SimTime nic_tx_busy_until = 0;
+    std::vector<sim::Process*> processes;
+  };
+
+  void endpoint_created(Endpoint* ep);
+  void endpoint_destroyed(Endpoint* ep, bool graceful);
+  Endpoint* listener_at(Address addr);
+
+  sim::Engine& engine_;
+  NetParams params_;
+  std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Endpoint*> endpoints_;
+  WireCounters counters_;
+  std::uint64_t next_link_id_ = 1;
+};
+
+}  // namespace mpiv::net

@@ -1,0 +1,47 @@
+// Network timing model parameters.
+//
+// Defaults are calibrated against the paper's testbed (100 Mb/s switched
+// Ethernet, Athlon XP nodes, MPICH 1.2.5 ch_p4):
+//   * P4 0-byte one-way MPI latency  = send_cpu + wire + recv_cpu ~ 76 us
+//     (paper measures 77 us)
+//   * large-message payload bandwidth ~ 11.5 MB/s (paper: 11.3 MB/s for P4)
+//   * V2 0-byte one-way = 2 pipe hops + wire + EL round trip ~ 238 us
+//     (paper: 237 us)
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace mpiv::net {
+
+struct NetParams {
+  /// One-way wire propagation + switch transit.
+  SimDuration wire_latency = microseconds(40);
+  /// Payload bandwidth of a node's NIC, bytes per second.
+  double bandwidth_bps = 11.5e6;
+  /// CPU cost paid by the sender per wire message (syscalls, TCP stack).
+  SimDuration per_msg_send_cpu = microseconds(18);
+  /// CPU cost paid by the receiver per wire message on dequeue.
+  SimDuration per_msg_recv_cpu = microseconds(18);
+  /// Connection establishment round trip.
+  SimDuration connect_rtt = microseconds(160);
+
+  /// Local UNIX-socket pipe between the MPI process and its daemon.
+  SimDuration pipe_latency = microseconds(1);
+  SimDuration pipe_per_msg = microseconds(4);
+  /// Local copy bandwidth through the pipe, bytes per second.
+  double pipe_bandwidth_bps = 300e6;
+
+  /// Chunk size used by daemons that interleave TX with their select loop.
+  std::uint32_t daemon_chunk_bytes = 16 * 1024;
+
+  /// TCP flow control: a new message is admitted onto a connection only
+  /// while fewer than this many bytes are in flight (sent but not yet
+  /// dequeued by the receiving process). Models kernel send+receive
+  /// buffering; the reason inline eager senders (P4) stall when their peer
+  /// is not draining.
+  std::uint32_t tcp_window_bytes = 64 * 1024;
+};
+
+}  // namespace mpiv::net

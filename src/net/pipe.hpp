@@ -1,0 +1,74 @@
+// Local "UNIX socket" between an MPI process and its communication daemon.
+//
+// Synchronous at whole-protocol-message granularity, as in the paper: the
+// sender pays the local copy cost (per-message overhead + bytes at local
+// pipe bandwidth) and the message appears on the other end pipe_latency
+// later. Pipes do not occupy the NIC and are not counted as wire messages.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "net/params.hpp"
+#include "sim/mailbox.hpp"
+
+namespace mpiv::net {
+
+class Pipe {
+ public:
+  class End {
+   public:
+    End(Pipe& pipe, int side) : pipe_(pipe), side_(side) {}
+
+    /// Blocking send; charges the calling fiber the local copy cost.
+    void send(sim::Context& ctx, Buffer msg) {
+      const NetParams& p = pipe_.params_;
+      ctx.sleep(p.pipe_per_msg + transfer_time(msg.size(), p.pipe_bandwidth_bps));
+      Pipe& pipe = pipe_;
+      int other = 1 - side_;
+      pipe_.engine_.schedule_in(
+          p.pipe_latency, [&pipe, other, m = std::move(msg)]() mutable {
+            pipe.boxes_[other].push(std::move(m));
+            if (pipe.notifiers_[other] != nullptr) pipe.notifiers_[other]->notify();
+          });
+    }
+
+    /// Blocking receive.
+    Buffer recv(sim::Context& ctx) { return pipe_.boxes_[side_].recv(ctx); }
+
+    std::optional<Buffer> try_recv() { return pipe_.boxes_[side_].try_recv(); }
+
+    [[nodiscard]] bool has_pending() const {
+      return !pipe_.boxes_[side_].empty();
+    }
+
+    /// Select-loop integration: poke this notifier when a message lands here.
+    void set_notifier(sim::Notifier* n) { pipe_.notifiers_[side_] = n; }
+
+   private:
+    Pipe& pipe_;
+    int side_;
+  };
+
+  Pipe(sim::Engine& engine, const NetParams& params)
+      : engine_(engine),
+        params_(params),
+        boxes_{sim::Mailbox<Buffer>(engine), sim::Mailbox<Buffer>(engine)},
+        ends_{End(*this, 0), End(*this, 1)} {}
+
+  /// The MPI-process side.
+  End& app_end() { return ends_[0]; }
+  /// The daemon side.
+  End& daemon_end() { return ends_[1]; }
+
+ private:
+  friend class End;
+  sim::Engine& engine_;
+  NetParams params_;
+  sim::Mailbox<Buffer> boxes_[2];
+  sim::Notifier* notifiers_[2] = {nullptr, nullptr};
+  End ends_[2];
+};
+
+}  // namespace mpiv::net

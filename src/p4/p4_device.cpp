@@ -1,0 +1,111 @@
+#include "p4/p4_device.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::p4 {
+
+P4Device::P4Device(net::Network& net, P4Config config)
+    : net_(net), config_(std::move(config)) {
+  conns_.resize(static_cast<std::size_t>(config_.size), nullptr);
+}
+
+void P4Device::init(sim::Context& ctx) {
+  endpoint_.emplace(net_, config_.node);
+  endpoint_->listen(kPortBase + config_.rank);
+  SimTime deadline = ctx.now() + config_.connect_timeout;
+
+  // Standard pairwise setup: connect to every lower rank (sending a hello
+  // block carrying our rank), accept from every higher rank.
+  for (mpi::Rank r = 0; r < config_.rank; ++r) {
+    net::Conn* c = net_.connect_retry(
+        ctx, *endpoint_, config_.directory[static_cast<std::size_t>(r)],
+        milliseconds(1), deadline);
+    MPIV_CHECK(c != nullptr, "p4: failed to connect to lower rank");
+    c->user_tag = static_cast<std::uint64_t>(r);
+    conns_[static_cast<std::size_t>(r)] = c;
+    Writer hello;
+    hello.i32(config_.rank);
+    c->send(ctx, hello.take());
+  }
+  int expected = config_.size - 1 - config_.rank;
+  int have = 0;
+  while (have < expected) {
+    net::NetEvent ev = endpoint_->wait(ctx);
+    if (ev.type == net::NetEvent::Type::kData &&
+        ev.conn->user_tag == ~0ull) {
+      Reader r(ev.data);
+      mpi::Rank peer = r.i32();
+      ev.conn->user_tag = static_cast<std::uint64_t>(peer);
+      conns_[static_cast<std::size_t>(peer)] = ev.conn;
+      ++have;
+    } else if (ev.type == net::NetEvent::Type::kData) {
+      pending_.push_back(mpi::Packet{
+          static_cast<mpi::Rank>(ev.conn->user_tag), std::move(ev.data)});
+    }
+    // Accepted events carry no information until the hello arrives.
+  }
+}
+
+void P4Device::finish(sim::Context& /*ctx*/) {
+  for (net::Conn* c : conns_) {
+    if (c != nullptr) c->close();
+  }
+}
+
+void P4Device::handle_event(sim::Context& /*ctx*/, net::NetEvent ev) {
+  if (ev.type != net::NetEvent::Type::kData) return;
+  MPIV_CHECK(ev.conn->user_tag != ~0ull, "p4: data before hello");
+  pending_.push_back(mpi::Packet{static_cast<mpi::Rank>(ev.conn->user_tag),
+                                 std::move(ev.data)});
+}
+
+void P4Device::service(sim::Context& ctx) {
+  while (auto ev = endpoint_->poll(ctx)) handle_event(ctx, std::move(*ev));
+}
+
+void P4Device::bsend(sim::Context& ctx, mpi::Rank dest, Buffer block) {
+  net::Conn* c = conns_[static_cast<std::size_t>(dest)];
+  MPIV_CHECK(c != nullptr, "p4: no connection to destination");
+  // Inline whole-message push. While window-blocked (the peer is not
+  // draining), the single-threaded driver only services its own receive
+  // queue coarsely — every blocked_service_interval — which is what keeps
+  // two nodes pushing at each other from deadlocking, at the cost of
+  // serializing the two directions (fig. 9's P4 behaviour). A window wake
+  // (peer drained) always proceeds immediately.
+  SimTime last_service = ctx.now();
+  while (!c->writable()) {
+    MPIV_CHECK(c->is_open(), "p4: connection lost (P4 has no fault tolerance)");
+    sim::Process& proc = ctx.self();
+    std::uint64_t token = proc.wake_token();
+    c->add_window_waiter(proc, token);
+    sim::EventId timer = net_.engine().schedule_at(
+        last_service + config_.blocked_service_interval,
+        [&proc, token] { proc.unpark(token); });
+    proc.park();
+    net_.engine().cancel(timer);
+    if (ctx.now() >= last_service + config_.blocked_service_interval) {
+      service(ctx);
+      last_service = ctx.now();
+    }
+  }
+  bool ok = c->send(ctx, std::move(block));
+  MPIV_CHECK(ok, "p4: connection lost (P4 has no fault tolerance)");
+}
+
+mpi::Packet P4Device::brecv(sim::Context& ctx) {
+  while (pending_.empty()) {
+    net::NetEvent ev = endpoint_->wait(ctx);
+    handle_event(ctx, std::move(ev));
+  }
+  mpi::Packet pkt = std::move(pending_.front());
+  pending_.pop_front();
+  return pkt;
+}
+
+bool P4Device::nprobe(sim::Context& ctx) {
+  service(ctx);
+  return !pending_.empty();
+}
+
+}  // namespace mpiv::p4

@@ -1,0 +1,49 @@
+// Application interface for jobs run under the MPICH-V runtime.
+//
+// Checkpoint support is cooperative (the Condor-library substitute, see
+// DESIGN.md): an app exposes snapshot()/restore() over its own state and
+// calls checkpoint_point() at quiescent points (no outstanding requests).
+// Apps must be deterministic functions of (rank, size, received messages) —
+// the piecewise-determinism assumption the protocol is built on; any
+// randomness must be drawn from seeded state included in the snapshot.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "mpi/comm.hpp"
+
+namespace mpiv::runtime {
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  /// The MPI program. Called after restore() when resuming from an image.
+  virtual void run(sim::Context& ctx, mpi::Comm& comm) = 0;
+
+  /// Serializes the application state for a checkpoint image.
+  virtual Buffer snapshot() { return {}; }
+  /// Restores from a snapshot() blob; run() must then continue from there.
+  virtual void restore(ConstBytes /*image*/) {}
+
+  /// Final output fingerprint (used by tests to prove that executions with
+  /// faults are equivalent to fault-free ones).
+  [[nodiscard]] virtual Buffer result() const { return {}; }
+
+ protected:
+  /// Call between iterations, with no requests in flight: takes a
+  /// checkpoint if the daemon asked for one (polling is free — the request
+  /// flag piggybacks on every daemon reply).
+  void checkpoint_point(sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.checkpoint_requested()) {
+      comm.take_checkpoint(ctx, snapshot());
+    }
+  }
+};
+
+using AppFactory =
+    std::function<std::unique_ptr<App>(mpi::Rank rank, mpi::Rank size)>;
+
+}  // namespace mpiv::runtime

@@ -1,0 +1,347 @@
+#include "runtime/job.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "p4/p4_device.hpp"
+#include "services/ckpt_scheduler.hpp"
+#include "services/ckpt_server.hpp"
+#include "services/dispatcher.hpp"
+#include "services/event_logger.hpp"
+#include "v1/v1_device.hpp"
+#include "v2/v2_device.hpp"
+
+namespace mpiv::runtime {
+
+const char* device_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kP4: return "MPICH-P4";
+    case DeviceKind::kV1: return "MPICH-V1";
+    case DeviceKind::kV2: return "MPICH-V2";
+  }
+  return "?";
+}
+
+SimDuration JobResult::max_mpi_time() const {
+  SimDuration m = 0;
+  for (const RankResult& r : ranks) m = std::max(m, r.profiler.total_mpi_time());
+  return m;
+}
+
+bool JobResult::outputs_all_equal() const {
+  for (const RankResult& r : ranks) {
+    if (r.output != ranks[0].output) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Owns every object the job's fibers reference. Destroyed only after
+/// Engine::shutdown() unwinds the fibers (see destructor).
+class Cluster {
+ public:
+  Cluster(sim::Engine& eng, net::Network& net, const JobConfig& cfg,
+          const AppFactory& factory)
+      : eng_(eng), net_(net), cfg_(cfg), factory_(factory) {
+    results_.resize(static_cast<std::size_t>(cfg_.nprocs));
+  }
+
+  ~Cluster() { eng_.shutdown(); }
+
+  void start() {
+    svc_node_ = net_.add_node("frontend");
+    cs_node_ = net_.add_node("ckpt-server");
+    for (int r = 0; r < cfg_.nprocs; ++r) {
+      compute_nodes_.push_back(net_.add_node("cn" + std::to_string(r)));
+    }
+    node_of_rank_ = compute_nodes_;
+    for (int i = 0; i < cfg_.spare_nodes; ++i) {
+      spare_pool_.push_back(net_.add_node("spare" + std::to_string(i)));
+    }
+    switch (cfg_.device) {
+      case DeviceKind::kP4: start_p4(); break;
+      case DeviceKind::kV1: start_v1(); break;
+      case DeviceKind::kV2: start_v2(); break;
+    }
+    for (const faults::FaultEvent& f : cfg_.fault_plan.events) {
+      MPIV_CHECK(cfg_.device != DeviceKind::kP4,
+                 "fault plans require a fault-tolerant device");
+      mpi::Rank rank = f.rank;
+      eng_.schedule_at(f.at, [this, rank] {
+        if (disp_ == nullptr || !disp_->job_complete()) {
+          net_.kill_node(node_of_rank_[static_cast<std::size_t>(rank)]);
+        }
+      });
+    }
+    if (cfg_.ckpt_server_fails_at >= 0) {
+      eng_.schedule_at(cfg_.ckpt_server_fails_at,
+                       [this] { net_.kill_node(cs_node_); });
+      if (cfg_.ckpt_server_recovers && cs_ != nullptr) {
+        // Reboot with the image store intact (stable storage).
+        eng_.schedule_at(cfg_.ckpt_server_fails_at + cfg_.restart_delay,
+                         [this] {
+                           net_.revive_node(cs_node_);
+                           sim::Process* p = eng_.spawn(
+                               "ckpt-server'",
+                               [srv = cs_.get()](sim::Context& ctx) {
+                                 srv->run(ctx);
+                               });
+                           net_.register_process(cs_node_, p);
+                         });
+      }
+    }
+  }
+
+  JobResult collect() {
+    JobResult out;
+    out.ranks = results_;
+    out.wire = net_.counters();
+    bool all = true;
+    for (const RankResult& r : out.ranks) {
+      all = all && r.finished;
+      out.makespan = std::max(out.makespan, r.finish_time);
+    }
+    out.success = all && (disp_ == nullptr || disp_->job_complete());
+    out.restarts = disp_ != nullptr ? disp_->total_restarts() : 0;
+    for (v2::Daemon* d : latest_daemon_) {
+      if (d == nullptr) continue;
+      const v2::DaemonStats& s = d->stats();
+      out.daemon_stats.sent_msgs += s.sent_msgs;
+      out.daemon_stats.recv_msgs += s.recv_msgs;
+      out.daemon_stats.sent_bytes += s.sent_bytes;
+      out.daemon_stats.recv_bytes += s.recv_bytes;
+      out.daemon_stats.duplicates_dropped += s.duplicates_dropped;
+      out.daemon_stats.replayed_deliveries += s.replayed_deliveries;
+      out.daemon_stats.events_logged += s.events_logged;
+      out.daemon_stats.checkpoints_taken += s.checkpoints_taken;
+      out.daemon_stats.gc_pruned_entries += s.gc_pruned_entries;
+    }
+    if (cs_ != nullptr) out.checkpoints_stored = cs_->images_stored();
+    for (const auto& el : els_) out.el_events_stored += el->total_events_stored();
+    return out;
+  }
+
+ private:
+  // ---------------- P4: no services, direct connections ----------------
+  void start_p4() {
+    MPIV_CHECK(cfg_.fault_plan.events.empty(), "P4 cannot survive faults");
+    std::vector<net::Address> directory;
+    for (int r = 0; r < cfg_.nprocs; ++r) {
+      directory.push_back({compute_nodes_[static_cast<std::size_t>(r)],
+                           p4::kPortBase + r});
+    }
+    for (int r = 0; r < cfg_.nprocs; ++r) {
+      sim::Process* p = eng_.spawn(
+          "rank" + std::to_string(r), [this, r, directory](sim::Context& ctx) {
+            p4::P4Config pcfg;
+            pcfg.node = directory[static_cast<std::size_t>(r)].node;
+            pcfg.rank = r;
+            pcfg.size = cfg_.nprocs;
+            pcfg.directory = directory;
+            p4::P4Device dev(net_, pcfg);
+            run_app(ctx, dev, r);
+          });
+      net_.register_process(compute_nodes_[static_cast<std::size_t>(r)], p);
+    }
+  }
+
+  // ---------------- V1: channel memories ----------------
+  void start_v1() {
+    MPIV_CHECK(cfg_.fault_plan.events.empty(),
+               "V1 fault recovery is exercised through its own tests; the "
+               "job runner wires V1 for performance comparison only");
+    int ncm = cfg_.channel_memories > 0 ? cfg_.channel_memories
+                                        : (cfg_.nprocs + 3) / 4;
+    std::vector<net::Address> cms;
+    for (int i = 0; i < ncm; ++i) {
+      net::NodeId n = net_.add_node("cm" + std::to_string(i));
+      cms.push_back({n, v2::kChannelMemoryPort + i});
+      auto cm = std::make_unique<v1::ChannelMemory>(
+          net_, v1::ChannelMemory::Config{n, v2::kChannelMemoryPort + i});
+      sim::Process* pcm = eng_.spawn(
+          "cm" + std::to_string(i),
+          [srv = cm.get()](sim::Context& ctx) { srv->run(ctx); });
+      net_.register_process(n, pcm);
+      cms_.push_back(std::move(cm));
+    }
+    for (int r = 0; r < cfg_.nprocs; ++r) {
+      sim::Process* p = eng_.spawn(
+          "rank" + std::to_string(r), [this, r, cms](sim::Context& ctx) {
+            v1::V1Config vcfg;
+            vcfg.node = compute_nodes_[static_cast<std::size_t>(r)];
+            vcfg.rank = r;
+            vcfg.size = cfg_.nprocs;
+            vcfg.channel_memories = cms;
+            v1::V1Device dev(net_, vcfg);
+            run_app(ctx, dev, r);
+          });
+      net_.register_process(compute_nodes_[static_cast<std::size_t>(r)], p);
+    }
+  }
+
+  // ---------------- V2: full fault-tolerant stack ----------------
+  void start_v2() {
+    latest_daemon_.assign(static_cast<std::size_t>(cfg_.nprocs), nullptr);
+
+    // One or several event loggers; rank r binds to logger r % n. The
+    // first logger shares the frontend; extra ones get reliable nodes of
+    // their own.
+    int nels = std::max(1, cfg_.n_event_loggers);
+    for (int i = 0; i < nels; ++i) {
+      net::NodeId el_node =
+          i == 0 ? svc_node_ : net_.add_node("el" + std::to_string(i));
+      els_.push_back(std::make_unique<services::EventLoggerServer>(
+          net_, services::EventLoggerServer::Config{el_node}));
+      el_addrs_.push_back({el_node, v2::kEventLoggerPort});
+      sim::Process* pel = eng_.spawn(
+          "event-logger" + std::to_string(i),
+          [srv = els_.back().get()](sim::Context& ctx) { srv->run(ctx); });
+      net_.register_process(el_node, pel);
+    }
+
+    cs_ = std::make_unique<services::CkptServer>(
+        net_, services::CkptServer::Config{cs_node_});
+    sim::Process* pcs = eng_.spawn(
+        "ckpt-server", [srv = cs_.get()](sim::Context& ctx) { srv->run(ctx); });
+    net_.register_process(cs_node_, pcs);
+
+    net::Address sched_addr{net::kNoNode, 0};
+    if (cfg_.checkpointing) {
+      services::CkptScheduler::Config scfg;
+      scfg.node = svc_node_;
+      scfg.nranks = cfg_.nprocs;
+      scfg.policy = cfg_.ckpt_policy;
+      scfg.seed = cfg_.seed;
+      scfg.period = cfg_.ckpt_period;
+      scfg.first_order_after = cfg_.first_ckpt_after;
+      sched_ = std::make_unique<services::CkptScheduler>(net_, scfg);
+      sim::Process* psc = eng_.spawn(
+          "ckpt-scheduler",
+          [srv = sched_.get()](sim::Context& ctx) { srv->run(ctx); });
+      net_.register_process(svc_node_, psc);
+      sched_addr = {svc_node_, v2::kSchedulerPort};
+    }
+
+    services::Dispatcher::Config dcfg;
+    dcfg.node = svc_node_;
+    dcfg.nranks = cfg_.nprocs;
+    dcfg.restart_delay = cfg_.restart_delay;
+    dcfg.scheduler = sched_addr;
+    dcfg.respawn = [this](mpi::Rank rank, int incarnation) {
+      auto ri = static_cast<std::size_t>(rank);
+      if (!spare_pool_.empty()) {
+        // Restart on a different node: take a spare, return the vacated
+        // (rebooted) node to the pool.
+        net::NodeId fresh = spare_pool_.front();
+        spare_pool_.erase(spare_pool_.begin());
+        net_.revive_node(node_of_rank_[ri]);
+        spare_pool_.push_back(node_of_rank_[ri]);
+        node_of_rank_[ri] = fresh;
+      }
+      spawn_rank_v2(rank, incarnation);
+    };
+    dcfg.locate = [this](mpi::Rank rank) {
+      return net::Address{node_of_rank_[static_cast<std::size_t>(rank)],
+                          v2::kDaemonPortBase + rank};
+    };
+    disp_ = std::make_unique<services::Dispatcher>(net_, dcfg);
+    sim::Process* pd = eng_.spawn(
+        "dispatcher", [srv = disp_.get()](sim::Context& ctx) { srv->run(ctx); });
+    net_.register_process(svc_node_, pd);
+
+    for (int r = 0; r < cfg_.nprocs; ++r) spawn_rank_v2(r, 0);
+  }
+
+  void spawn_rank_v2(mpi::Rank rank, int incarnation) {
+    auto ri = static_cast<std::size_t>(rank);
+    net::NodeId node = node_of_rank_[ri];
+    net_.revive_node(node);
+    pipes_.push_back(std::make_unique<net::Pipe>(eng_, cfg_.net_params));
+    net::Pipe* pipe = pipes_.back().get();
+
+    v2::DaemonConfig dcfg;
+    dcfg.rank = rank;
+    dcfg.size = cfg_.nprocs;
+    dcfg.incarnation = incarnation;
+    dcfg.node = node;
+    dcfg.peer_addrs.clear();
+    for (int q = 0; q < cfg_.nprocs; ++q) {
+      dcfg.peer_addrs.push_back({node_of_rank_[static_cast<std::size_t>(q)],
+                                 v2::kDaemonPortBase + q});
+    }
+    dcfg.event_logger =
+        el_addrs_[static_cast<std::size_t>(rank) % el_addrs_.size()];
+    dcfg.ckpt_server = {cs_node_, v2::kCkptServerPort};
+    if (cfg_.checkpointing) dcfg.scheduler = {svc_node_, v2::kSchedulerPort};
+    dcfg.dispatcher = {svc_node_, v2::kDispatcherPort};
+    dcfg.gate_sends = cfg_.v2_gate_sends;
+    daemons_.push_back(std::make_unique<v2::Daemon>(net_, *pipe, dcfg));
+    v2::Daemon* daemon = daemons_.back().get();
+    latest_daemon_[ri] = daemon;
+
+    std::string suffix =
+        std::to_string(rank) + "#" + std::to_string(incarnation);
+    sim::Process* dp = eng_.spawn(
+        "daemon" + suffix, [daemon](sim::Context& ctx) { daemon->run(ctx); });
+    sim::Process* ap =
+        eng_.spawn("rank" + suffix, [this, pipe, rank](sim::Context& ctx) {
+          v2::V2Device dev(*pipe, rank, cfg_.nprocs);
+          run_app(ctx, dev, rank);
+        });
+    net_.register_process(node, dp);
+    net_.register_process(node, ap);
+  }
+
+  /// Common app-process body for all devices.
+  void run_app(sim::Context& ctx, mpi::Device& dev, mpi::Rank rank) {
+    mpi::Comm comm(dev);
+    comm.init(ctx);
+    std::unique_ptr<App> app = factory_(rank, cfg_.nprocs);
+    if (auto blob = comm.restore_checkpoint(ctx)) app->restore(*blob);
+    app->run(ctx, comm);
+    RankResult rr;
+    rr.finished = true;
+    rr.output = app->result();
+    comm.finalize(ctx);
+    rr.finish_time = ctx.now();
+    rr.profiler = comm.profiler();
+    results_[static_cast<std::size_t>(rank)] = std::move(rr);
+  }
+
+  sim::Engine& eng_;
+  net::Network& net_;
+  const JobConfig& cfg_;
+  const AppFactory& factory_;
+
+  net::NodeId svc_node_ = net::kNoNode;
+  net::NodeId cs_node_ = net::kNoNode;
+  std::vector<net::NodeId> compute_nodes_;
+  std::vector<net::Address> peer_addrs_;
+  std::vector<std::unique_ptr<net::Pipe>> pipes_;
+  std::vector<std::unique_ptr<v2::Daemon>> daemons_;
+  std::vector<std::unique_ptr<v1::ChannelMemory>> cms_;
+  std::vector<v2::Daemon*> latest_daemon_;
+  std::vector<std::unique_ptr<services::EventLoggerServer>> els_;
+  std::vector<net::Address> el_addrs_;
+  std::vector<net::NodeId> node_of_rank_;   // current placement per rank
+  std::vector<net::NodeId> spare_pool_;
+  std::unique_ptr<services::CkptServer> cs_;
+  std::unique_ptr<services::CkptScheduler> sched_;
+  std::unique_ptr<services::Dispatcher> disp_;
+  std::vector<RankResult> results_;
+};
+
+}  // namespace
+
+JobResult run_job(const JobConfig& config, const AppFactory& factory) {
+  sim::Engine eng;
+  net::Network net(eng, config.net_params);
+  Cluster cluster(eng, net, config, factory);
+  cluster.start();
+  eng.run_until(config.time_limit);
+  return cluster.collect();
+}
+
+}  // namespace mpiv::runtime

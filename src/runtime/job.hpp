@@ -1,0 +1,93 @@
+// Job runner: builds a simulated cluster for one MPI job, wires the chosen
+// channel device (P4 / V1 / V2) with its services, applies the fault plan,
+// runs to completion and collects results. This is the public entry point
+// used by examples, benches and the integration tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "faults/plan.hpp"
+#include "mpi/profiler.hpp"
+#include "net/network.hpp"
+#include "runtime/app.hpp"
+#include "services/ckpt_policies.hpp"
+#include "v2/daemon.hpp"
+
+namespace mpiv::runtime {
+
+enum class DeviceKind { kP4, kV1, kV2 };
+
+const char* device_name(DeviceKind kind);
+
+struct JobConfig {
+  int nprocs = 2;
+  DeviceKind device = DeviceKind::kV2;
+  net::NetParams net_params;
+
+  // Checkpointing (V2; ignored by P4).
+  bool checkpointing = false;
+  services::PolicyKind ckpt_policy = services::PolicyKind::kRoundRobin;
+  SimDuration ckpt_period = 0;              // 0 = continuous
+  SimDuration first_ckpt_after = seconds(1);
+
+  // Faults (V2/V1 only; P4 has no recovery).
+  faults::FaultPlan fault_plan;
+  SimDuration restart_delay = milliseconds(100);
+
+  // MPICH-V1: number of Channel Memory servers (0 = one per 4 nodes).
+  int channel_memories = 0;
+
+  /// Spare computing nodes: a crashed rank restarts on a free spare when
+  /// one is available ("possibly on a different node"); the vacated node
+  /// rejoins the spare pool once revived.
+  int spare_nodes = 0;
+
+  /// Several event loggers may serve one system (§4.5); each daemon binds
+  /// to rank % n_event_loggers. Loggers never talk to each other.
+  int n_event_loggers = 1;
+
+  /// Fault injection against the checkpoint server (allowed to be
+  /// unreliable, §4.3): kill its node at this time (-1 = never).
+  SimTime ckpt_server_fails_at = -1;
+  /// Whether the checkpoint server reboots (restart_delay later) with its
+  /// stored images intact — it writes to stable storage. When false it
+  /// stays dead; ranks that crash later restart from scratch, which is
+  /// only fully recoverable while no event-log pruning has happened yet.
+  bool ckpt_server_recovers = true;
+
+  /// ABLATION ONLY: run V2 without the WAITLOGGED send gate (see
+  /// v2::DaemonConfig::gate_sends).
+  bool v2_gate_sends = true;
+
+  SimTime time_limit = seconds(100000);
+  std::uint64_t seed = 1;
+};
+
+struct RankResult {
+  bool finished = false;
+  SimTime finish_time = 0;
+  mpi::Profiler profiler;
+  Buffer output;  // App::result()
+};
+
+struct JobResult {
+  bool success = false;
+  /// Latest app completion across ranks (excludes shutdown housekeeping).
+  SimTime makespan = 0;
+  std::vector<RankResult> ranks;
+  int restarts = 0;
+  net::WireCounters wire;
+  /// Aggregate V2 daemon statistics (final incarnations). Zero for P4.
+  v2::DaemonStats daemon_stats;
+  std::uint64_t checkpoints_stored = 0;
+  std::uint64_t el_events_stored = 0;
+
+  [[nodiscard]] SimDuration max_mpi_time() const;
+  /// Uniform-output check: true if every rank's output equals rank 0's.
+  [[nodiscard]] bool outputs_all_equal() const;
+};
+
+JobResult run_job(const JobConfig& config, const AppFactory& factory);
+
+}  // namespace mpiv::runtime

@@ -1,0 +1,64 @@
+#include "services/ckpt_policies.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mpiv::services {
+
+std::unique_ptr<CkptPolicy> make_policy(PolicyKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kAdaptive: return std::make_unique<AdaptivePolicy>();
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(seed);
+  }
+  return nullptr;
+}
+
+std::vector<mpi::Rank> RoundRobinPolicy::sweep(
+    const std::vector<std::optional<v2::DaemonStatus>>& /*statuses*/,
+    mpi::Rank nranks) {
+  std::vector<mpi::Rank> order(static_cast<std::size_t>(nranks));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<mpi::Rank> AdaptivePolicy::sweep(
+    const std::vector<std::optional<v2::DaemonStatus>>& statuses,
+    mpi::Rank nranks) {
+  // Greedy: one pick per sweep, the node with the highest received/sent
+  // ratio (checkpointing a heavy receiver garbage-collects the most
+  // sender-log storage and keeps heavy senders' images small). The paper
+  // notes the scheduling "does not have to be fair" — a pure sender may
+  // simply never be checkpointed while the ratio order holds.
+  std::vector<mpi::Rank> order(static_cast<std::size_t>(nranks));
+  std::iota(order.begin(), order.end(), 0);
+  auto ratio = [&statuses](mpi::Rank r) {
+    const auto& s = statuses[static_cast<std::size_t>(r)];
+    if (!s.has_value()) return -1.0;  // silent daemons go last
+    double sent = static_cast<double>(s->sent_bytes) + 1.0;
+    return static_cast<double>(s->recv_bytes) / sent;
+  };
+  if (last_pick_.size() != static_cast<std::size_t>(nranks)) {
+    last_pick_.assign(static_cast<std::size_t>(nranks), -1);
+  }
+  // Equal ratios (symmetric schemes) fall back to least-recently
+  // checkpointed, i.e. round-robin — "never provides a worse scheduling".
+  std::stable_sort(order.begin(), order.end(), [&](mpi::Rank a, mpi::Rank b) {
+    double ra = ratio(a), rb = ratio(b);
+    if (ra != rb) return ra > rb;
+    return last_pick_[static_cast<std::size_t>(a)] <
+           last_pick_[static_cast<std::size_t>(b)];
+  });
+  mpi::Rank pick = order.front();
+  last_pick_[static_cast<std::size_t>(pick)] = slot_++;
+  return {pick};
+}
+
+std::vector<mpi::Rank> RandomPolicy::sweep(
+    const std::vector<std::optional<v2::DaemonStatus>>& /*statuses*/,
+    mpi::Rank nranks) {
+  // One random pick per sweep: the scheduler asks again for each order.
+  return {static_cast<mpi::Rank>(rng_.below(static_cast<std::uint64_t>(nranks)))};
+}
+
+}  // namespace mpiv::services

@@ -1,0 +1,69 @@
+// Checkpoint scheduling policies (§4.6.2).
+//
+// The scheduler orders one checkpoint at a time; a policy decides the order.
+//   * round-robin: fixed cyclic order, needs no communication;
+//   * adaptive:    sweeps ranks in decreasing (received / sent) byte ratio —
+//                  checkpointing heavy receivers first lets their peers
+//                  garbage-collect the most sender-log storage;
+//   * random:      uniform choice (the paper's fig. 11 setup).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::services {
+
+enum class PolicyKind { kRoundRobin, kAdaptive, kRandom };
+
+class CkptPolicy {
+ public:
+  virtual ~CkptPolicy() = default;
+  /// True if sweep() wants fresh DaemonStatus snapshots.
+  [[nodiscard]] virtual bool needs_status() const = 0;
+  /// Produces the next sweep of ranks to checkpoint, in order. `statuses`
+  /// has one entry per rank (nullopt when the daemon did not answer).
+  virtual std::vector<mpi::Rank> sweep(
+      const std::vector<std::optional<v2::DaemonStatus>>& statuses,
+      mpi::Rank nranks) = 0;
+};
+
+std::unique_ptr<CkptPolicy> make_policy(PolicyKind kind,
+                                        std::uint64_t seed = 1);
+
+class RoundRobinPolicy final : public CkptPolicy {
+ public:
+  [[nodiscard]] bool needs_status() const override { return false; }
+  std::vector<mpi::Rank> sweep(
+      const std::vector<std::optional<v2::DaemonStatus>>& statuses,
+      mpi::Rank nranks) override;
+};
+
+class AdaptivePolicy final : public CkptPolicy {
+ public:
+  [[nodiscard]] bool needs_status() const override { return true; }
+  std::vector<mpi::Rank> sweep(
+      const std::vector<std::optional<v2::DaemonStatus>>& statuses,
+      mpi::Rank nranks) override;
+
+ private:
+  std::vector<std::int64_t> last_pick_;  // slot of each rank's last order
+  std::int64_t slot_ = 0;
+};
+
+class RandomPolicy final : public CkptPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] bool needs_status() const override { return false; }
+  std::vector<mpi::Rank> sweep(
+      const std::vector<std::optional<v2::DaemonStatus>>& statuses,
+      mpi::Rank nranks) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace mpiv::services

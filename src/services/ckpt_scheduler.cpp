@@ -1,0 +1,124 @@
+#include "services/ckpt_scheduler.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::services {
+
+void CkptScheduler::handle(net::NetEvent ev) {
+  switch (ev.type) {
+    case net::NetEvent::Type::kAccepted:
+      return;
+    case net::NetEvent::Type::kClosed: {
+      std::uint64_t tag = ev.conn->user_tag;
+      if (tag < daemon_conns_.size() && daemon_conns_[tag] == ev.conn) {
+        daemon_conns_[tag] = nullptr;
+        if (awaiting_ == static_cast<mpi::Rank>(tag)) awaiting_ = -1;
+      }
+      return;
+    }
+    case net::NetEvent::Type::kData:
+      break;
+  }
+  Reader r(ev.data);
+  auto type = static_cast<v2::CtlMsg>(r.u8());
+  switch (type) {
+    case v2::CtlMsg::kRegister: {
+      mpi::Rank rank = r.i32();
+      ev.conn->user_tag = static_cast<std::uint64_t>(rank);
+      daemon_conns_[static_cast<std::size_t>(rank)] = ev.conn;
+      return;
+    }
+    case v2::CtlMsg::kStatus: {
+      v2::DaemonStatus s = v2::read_status(r);
+      statuses_[static_cast<std::size_t>(s.rank)] = s;
+      return;
+    }
+    case v2::CtlMsg::kCkptDone: {
+      mpi::Rank rank = r.i32();
+      ++completions_;
+      if (rank == awaiting_) awaiting_ = -1;
+      return;
+    }
+    case v2::CtlMsg::kShutdown:
+      shutdown_ = true;
+      return;
+    default:
+      throw ProtocolError("scheduler: unexpected message");
+  }
+}
+
+void CkptScheduler::run(sim::Context& ctx) {
+  daemon_conns_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
+  statuses_.assign(static_cast<std::size_t>(config_.nranks), std::nullopt);
+  net::Endpoint ep(net_, config_.node);
+  ep.listen(config_.port);
+
+  auto pump_until = [&](SimTime deadline) {
+    while (!shutdown_ && ctx.now() < deadline) {
+      auto ev = ep.wait_until(ctx, deadline);
+      if (!ev) return;
+      handle(std::move(*ev));
+    }
+  };
+
+  pump_until(ctx.now() + config_.first_order_after);
+
+  std::vector<mpi::Rank> queue;
+  while (!shutdown_) {
+    if (queue.empty()) {
+      if (policy_->needs_status()) {
+        statuses_.assign(static_cast<std::size_t>(config_.nranks), std::nullopt);
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(v2::CtlMsg::kStatusReq));
+        Buffer req = w.take();
+        int asked = 0;
+        for (net::Conn* c : daemon_conns_) {
+          if (c != nullptr) {
+            c->send(ctx, Buffer(req));
+            ++asked;
+          }
+        }
+        // Collect replies; stop as soon as every live daemon answered so a
+        // status round costs one round trip, not the full timeout.
+        SimTime deadline = ctx.now() + config_.status_timeout;
+        while (!shutdown_ && ctx.now() < deadline) {
+          int have = 0;
+          for (const auto& st : statuses_) have += st.has_value() ? 1 : 0;
+          if (have >= asked) break;
+          auto ev = ep.wait_until(ctx, deadline);
+          if (!ev) break;
+          handle(std::move(*ev));
+        }
+        if (shutdown_) break;
+      }
+      queue = policy_->sweep(statuses_, config_.nranks);
+    }
+    mpi::Rank target = queue.front();
+    queue.erase(queue.begin());
+    net::Conn* c = daemon_conns_[static_cast<std::size_t>(target)];
+    if (c == nullptr) {
+      // Daemon down (crashed or not yet re-registered): skip this slot but
+      // keep time flowing so we do not spin.
+      pump_until(ctx.now() + std::max<SimDuration>(config_.period, milliseconds(10)));
+      continue;
+    }
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(v2::CtlMsg::kCkptOrder));
+    c->send(ctx, w.take());
+    ++orders_;
+    awaiting_ = target;
+    SimTime deadline = ctx.now() + config_.ckpt_timeout;
+    while (!shutdown_ && awaiting_ == target && ctx.now() < deadline) {
+      auto ev = ep.wait_until(ctx, deadline);
+      if (!ev) break;
+      handle(std::move(*ev));
+    }
+    awaiting_ = -1;
+    if (config_.period > 0) pump_until(ctx.now() + config_.period);
+  }
+  MPIV_INFO("scheduler", ctx.now(), "shut down after ", orders_, " orders");
+}
+
+}  // namespace mpiv::services

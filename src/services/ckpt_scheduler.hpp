@@ -1,0 +1,61 @@
+// Checkpoint Scheduler (§4.6.2): orders checkpoints one at a time across
+// the computing nodes, according to a pluggable policy. Daemons register on
+// startup (each incarnation re-registers); orders to dead daemons are
+// skipped; a daemon dying mid-checkpoint simply forfeits that slot.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "services/ckpt_policies.hpp"
+#include "sim/process.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::services {
+
+class CkptScheduler {
+ public:
+  struct Config {
+    net::NodeId node = net::kNoNode;
+    std::int32_t port = v2::kSchedulerPort;
+    mpi::Rank nranks = 0;
+    PolicyKind policy = PolicyKind::kRoundRobin;
+    std::uint64_t seed = 1;
+    /// Delay before the first checkpoint order.
+    SimDuration first_order_after = seconds(1);
+    /// Pause between a completed checkpoint and the next order
+    /// (0 = continuous checkpointing, the paper's fig. 11 mode).
+    SimDuration period = 0;
+    /// How long to wait for status replies / checkpoint completion.
+    SimDuration status_timeout = milliseconds(200);
+    SimDuration ckpt_timeout = seconds(60);
+  };
+
+  CkptScheduler(net::Network& net, Config config)
+      : net_(net), config_(config), policy_(make_policy(config.policy, config.seed)) {}
+
+  /// Fiber body; returns on dispatcher Shutdown.
+  void run(sim::Context& ctx);
+
+  [[nodiscard]] std::uint64_t orders_issued() const { return orders_; }
+  [[nodiscard]] std::uint64_t completions_seen() const { return completions_; }
+
+ private:
+  /// Processes one network event; updates registration/ack state.
+  void handle(net::NetEvent ev);
+
+  net::Network& net_;
+  Config config_;
+  std::unique_ptr<CkptPolicy> policy_;
+  std::vector<net::Conn*> daemon_conns_;
+  std::vector<std::optional<v2::DaemonStatus>> statuses_;
+  std::optional<std::uint64_t> done_for_rank_;  // set when kCkptDone arrives
+  mpi::Rank awaiting_ = -1;
+  bool shutdown_ = false;
+  std::uint64_t orders_ = 0;
+  std::uint64_t completions_ = 0;
+};
+
+}  // namespace mpiv::services

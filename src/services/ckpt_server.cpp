@@ -1,0 +1,91 @@
+#include "services/ckpt_server.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::services {
+
+void CkptServer::run(sim::Context& ctx) {
+  net::Endpoint ep(net_, config_.node);
+  ep.listen(config_.port);
+  for (;;) {
+    net::NetEvent ev = ep.wait(ctx);
+    switch (ev.type) {
+      case net::NetEvent::Type::kAccepted:
+        break;
+      case net::NetEvent::Type::kClosed:
+        // Abandoned upload from a crashed daemon: discard the partial image.
+        uploads_.erase(ev.conn->id());
+        break;
+      case net::NetEvent::Type::kData:
+        handle(ctx, ev.conn, std::move(ev.data));
+        break;
+    }
+  }
+}
+
+void CkptServer::handle(sim::Context& ctx, net::Conn* conn, Buffer data) {
+  Reader r(data);
+  auto type = static_cast<v2::CsMsg>(r.u8());
+  switch (type) {
+    case v2::CsMsg::kStoreBegin: {
+      Upload up;
+      up.rank = r.i32();
+      up.ckpt_seq = r.u64();
+      up.total = r.u64();
+      up.data.reserve(up.total);
+      uploads_[conn->id()] = std::move(up);
+      return;
+    }
+    case v2::CsMsg::kStoreChunk: {
+      auto it = uploads_.find(conn->id());
+      MPIV_CHECK(it != uploads_.end(), "ckpt server: chunk without begin");
+      ConstBytes chunk = r.rest();
+      it->second.data.insert(it->second.data.end(), chunk.begin(), chunk.end());
+      return;
+    }
+    case v2::CsMsg::kStoreEnd: {
+      auto it = uploads_.find(conn->id());
+      MPIV_CHECK(it != uploads_.end(), "ckpt server: end without begin");
+      Upload up = std::move(it->second);
+      uploads_.erase(it);
+      MPIV_CHECK(up.data.size() == up.total, "ckpt server: truncated image");
+      images_[up.rank] = Image{up.ckpt_seq, std::move(up.data)};
+      ++store_count_;
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreOk));
+      w.u64(up.ckpt_seq);
+      conn->send(ctx, w.take());
+      return;
+    }
+    case v2::CsMsg::kFetch: {
+      mpi::Rank rank = r.i32();
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::CsMsg::kImage));
+      auto it = images_.find(rank);
+      if (it == images_.end()) {
+        w.boolean(false);
+        w.u64(0);
+        w.blob({});
+      } else {
+        w.boolean(true);
+        w.u64(it->second.ckpt_seq);
+        w.blob(it->second.data);
+      }
+      conn->send(ctx, w.take());
+      return;
+    }
+    case v2::CsMsg::kStoreOk:
+    case v2::CsMsg::kImage:
+      break;
+  }
+  throw ProtocolError("ckpt server: unexpected message type");
+}
+
+std::uint64_t CkptServer::stored_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [rank, img] : images_) n += img.data.size();
+  return n;
+}
+
+}  // namespace mpiv::services

@@ -1,0 +1,56 @@
+// Checkpoint Server: reliable storage for checkpoint images (§4.6.1).
+//
+// Daemons stream images in chunks (so the upload interleaves with normal
+// traffic) and fetch the latest image on restart. Only the newest image per
+// rank is kept — once a checkpoint is stable, older ones are dead weight.
+#pragma once
+
+#include <map>
+
+#include "net/network.hpp"
+#include "sim/process.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::services {
+
+class CkptServer {
+ public:
+  struct Config {
+    net::NodeId node = net::kNoNode;
+    std::int32_t port = v2::kCkptServerPort;
+  };
+
+  CkptServer(net::Network& net, Config config) : net_(net), config_(config) {}
+
+  /// Fiber body; serves until killed.
+  void run(sim::Context& ctx);
+
+  // ---- test/bench introspection ----
+  [[nodiscard]] bool has_image(mpi::Rank rank) const {
+    return images_.count(rank) > 0;
+  }
+  [[nodiscard]] std::uint64_t stored_bytes() const;
+  [[nodiscard]] std::uint64_t images_stored() const { return store_count_; }
+
+ private:
+  struct Image {
+    std::uint64_t ckpt_seq = 0;
+    Buffer data;
+  };
+  struct Upload {
+    mpi::Rank rank = -1;
+    std::uint64_t ckpt_seq = 0;
+    std::uint64_t total = 0;
+    Buffer data;
+  };
+
+  void handle(sim::Context& ctx, net::Conn* conn, Buffer data);
+
+  net::Network& net_;
+  Config config_;
+  std::map<mpi::Rank, Image> images_;
+  std::map<std::uint64_t, Upload> uploads_;  // keyed by connection id
+  std::uint64_t store_count_ = 0;
+};
+
+}  // namespace mpiv::services

@@ -1,0 +1,85 @@
+#include "services/dispatcher.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::services {
+
+void Dispatcher::run(sim::Context& ctx) {
+  conns_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
+  done_.assign(static_cast<std::size_t>(config_.nranks), false);
+  incarnation_.assign(static_cast<std::size_t>(config_.nranks), 0);
+  net::Endpoint ep(net_, config_.node);
+  ep.listen(config_.port);
+
+  while (done_count_ < config_.nranks) {
+    net::NetEvent ev = ep.wait(ctx);
+    switch (ev.type) {
+      case net::NetEvent::Type::kAccepted:
+        break;
+      case net::NetEvent::Type::kClosed: {
+        std::uint64_t tag = ev.conn->user_tag;
+        if (tag >= conns_.size() || conns_[tag] != ev.conn) break;
+        auto rank = static_cast<mpi::Rank>(tag);
+        conns_[tag] = nullptr;
+        // Socket disconnection == fault detection. Restart after the delay
+        // (even if the rank already finished: its sender log may still be
+        // needed by a peer that is replaying).
+        MPIV_WARN("dispatcher", ctx.now(), "rank ", rank,
+                  " disconnected; restarting in ",
+                  format_duration(config_.restart_delay));
+        int inc = ++incarnation_[tag];
+        ++restarts_;
+        net_.engine().schedule_in(config_.restart_delay, [this, rank, inc] {
+          if (!complete_) config_.respawn(rank, inc);
+        });
+        break;
+      }
+      case net::NetEvent::Type::kData: {
+        Reader r(ev.data);
+        auto type = static_cast<v2::CtlMsg>(r.u8());
+        if (type == v2::CtlMsg::kRegister) {
+          mpi::Rank rank = r.i32();
+          ev.conn->user_tag = static_cast<std::uint64_t>(rank);
+          conns_[static_cast<std::size_t>(rank)] = ev.conn;
+        } else if (type == v2::CtlMsg::kDone) {
+          mpi::Rank rank = r.i32();
+          if (!done_[static_cast<std::size_t>(rank)]) {
+            done_[static_cast<std::size_t>(rank)] = true;
+            ++done_count_;
+          }
+        } else if (type == v2::CtlMsg::kWhereIs) {
+          mpi::Rank rank = r.i32();
+          net::Address addr =
+              config_.locate ? config_.locate(rank) : net::Address{};
+          Writer w;
+          w.u8(static_cast<std::uint8_t>(v2::CtlMsg::kAddr));
+          w.i32(rank);
+          w.i32(addr.node);
+          w.i32(addr.port);
+          ev.conn->send(ctx, w.take());
+        } else {
+          throw ProtocolError("dispatcher: unexpected message");
+        }
+        break;
+      }
+    }
+  }
+
+  complete_ = true;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(v2::CtlMsg::kShutdown));
+  Buffer shutdown = w.take();
+  for (net::Conn* c : conns_) {
+    if (c != nullptr) c->send(ctx, Buffer(shutdown));
+  }
+  if (config_.scheduler.node != net::kNoNode) {
+    net::Conn* sc = net_.connect(ctx, ep, config_.scheduler);
+    if (sc != nullptr) sc->send(ctx, Buffer(shutdown));
+  }
+  MPIV_INFO("dispatcher", ctx.now(), "job complete after ", restarts_,
+            " restarts");
+}
+
+}  // namespace mpiv::services

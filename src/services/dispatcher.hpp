@@ -1,0 +1,56 @@
+// Dispatcher (the mpirun execution monitor, §4.7).
+//
+// Launches nothing itself — the runtime provides a respawn hook — but owns
+// fault detection and the job lifecycle: every daemon keeps a connection to
+// the dispatcher open; a disconnection is the failure detector. On failure
+// the dispatcher waits the restart delay and re-spawns the rank (new
+// incarnation). When every rank has reported Finalize, it broadcasts
+// Shutdown to all daemons and to the checkpoint scheduler.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/process.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::services {
+
+class Dispatcher {
+ public:
+  struct Config {
+    net::NodeId node = net::kNoNode;
+    std::int32_t port = v2::kDispatcherPort;
+    mpi::Rank nranks = 0;
+    SimDuration restart_delay = milliseconds(100);
+    /// Runtime hook: revive the node of `rank` and spawn a fresh daemon +
+    /// MPI process with the given incarnation number.
+    std::function<void(mpi::Rank rank, int incarnation)> respawn;
+    /// Runtime hook: current daemon address of a rank (spare-node restarts
+    /// move ranks; daemons ask via the WhereIs message).
+    std::function<net::Address(mpi::Rank rank)> locate;
+    net::Address scheduler{net::kNoNode, 0};  // shut it down at job end
+  };
+
+  Dispatcher(net::Network& net, Config config)
+      : net_(net), config_(std::move(config)) {}
+
+  /// Fiber body; returns once the job completed and shutdowns are sent.
+  void run(sim::Context& ctx);
+
+  [[nodiscard]] bool job_complete() const { return complete_; }
+  [[nodiscard]] int total_restarts() const { return restarts_; }
+
+ private:
+  net::Network& net_;
+  Config config_;
+  std::vector<net::Conn*> conns_;
+  std::vector<bool> done_;
+  std::vector<int> incarnation_;
+  int done_count_ = 0;
+  int restarts_ = 0;
+  bool complete_ = false;
+};
+
+}  // namespace mpiv::services

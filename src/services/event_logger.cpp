@@ -1,0 +1,108 @@
+#include "services/event_logger.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::services {
+
+void EventLoggerServer::run(sim::Context& ctx) {
+  net::Endpoint ep(net_, config_.node);
+  ep.listen(config_.port);
+  for (;;) {
+    net::NetEvent ev = ep.wait(ctx);
+    switch (ev.type) {
+      case net::NetEvent::Type::kAccepted:
+        break;  // rank learned from the Hello
+      case net::NetEvent::Type::kClosed:
+        break;  // client died; state is kept for its re-incarnation
+      case net::NetEvent::Type::kData:
+        handle(ctx, ev.conn, std::move(ev.data));
+        break;
+    }
+  }
+}
+
+void EventLoggerServer::handle(sim::Context& ctx, net::Conn* conn,
+                               Buffer data) {
+  Reader r(data);
+  auto type = static_cast<v2::ElMsg>(r.u8());
+  switch (type) {
+    case v2::ElMsg::kHello: {
+      conn->user_tag = static_cast<std::uint64_t>(r.i32());
+      return;
+    }
+    case v2::ElMsg::kAppend: {
+      auto rank = static_cast<mpi::Rank>(conn->user_tag);
+      auto& events = store_[rank];
+      std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        v2::ReceptionEvent e = v2::read_event(r);
+        // Replayed events are never re-appended, so delivery clocks must
+        // advance; probe batches are stamped with the upcoming delivery
+        // clock and may share it with the delivery that follows.
+        if (!events.empty()) {
+          const v2::ReceptionEvent& last = events.back();
+          bool ok = e.recv_clock > last.recv_clock ||
+                    (e.recv_clock == last.recv_clock &&
+                     last.kind == v2::ReceptionEvent::Kind::kProbeBatch);
+          MPIV_CHECK(ok, "event logger: non-monotonic reception clock");
+        }
+        events.push_back(e);
+      }
+      appended_[rank] += n;
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::ElMsg::kAck));
+      w.u64(n);  // batch size: the daemon tracks per-incarnation totals
+      conn->send(ctx, w.take());
+      return;
+    }
+    case v2::ElMsg::kDownload: {
+      auto rank = static_cast<mpi::Rank>(conn->user_tag);
+      v2::Clock after = r.i64();
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::ElMsg::kEvents));
+      const auto& events = store_[rank];
+      auto first = std::find_if(events.begin(), events.end(),
+                                [after](const v2::ReceptionEvent& e) {
+                                  return e.recv_clock > after;
+                                });
+      w.u32(static_cast<std::uint32_t>(events.end() - first));
+      for (auto it = first; it != events.end(); ++it) v2::write_event(w, *it);
+      conn->send(ctx, w.take());
+      return;
+    }
+    case v2::ElMsg::kPrune: {
+      auto rank = static_cast<mpi::Rank>(conn->user_tag);
+      v2::Clock upto = r.i64();
+      auto& events = store_[rank];
+      auto first_kept = std::find_if(events.begin(), events.end(),
+                                     [upto](const v2::ReceptionEvent& e) {
+                                       return e.recv_clock > upto;
+                                     });
+      events.erase(events.begin(), first_kept);
+      return;
+    }
+    case v2::ElMsg::kAck:
+    case v2::ElMsg::kEvents:
+      break;
+  }
+  throw ProtocolError("event logger: unexpected message type");
+}
+
+const std::vector<v2::ReceptionEvent>& EventLoggerServer::events_for(
+    mpi::Rank rank) const {
+  static const std::vector<v2::ReceptionEvent> kEmpty;
+  auto it = store_.find(rank);
+  return it == store_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t EventLoggerServer::total_events_stored() const {
+  std::uint64_t n = 0;
+  for (const auto& [rank, events] : store_) n += events.size();
+  return n;
+}
+
+}  // namespace mpiv::services

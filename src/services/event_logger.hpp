@@ -1,0 +1,48 @@
+// Event Logger: the reliable repository of reception events (§4.5).
+//
+// Stores, per computing rank, the ordered list of reception events
+// (sender, sender clock, receiver clock, probe count). Appends are
+// acknowledged — the daemon-side WAITLOGGED gate counts these acks. On
+// restart a daemon downloads every event after its checkpoint clock.
+// Several event loggers may serve one system (each daemon binds to exactly
+// one); loggers never talk to each other.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/process.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::services {
+
+class EventLoggerServer {
+ public:
+  struct Config {
+    net::NodeId node = net::kNoNode;
+    std::int32_t port = v2::kEventLoggerPort;
+  };
+
+  EventLoggerServer(net::Network& net, Config config)
+      : net_(net), config_(config) {}
+
+  /// Fiber body; serves until killed (the EL lives on a reliable node).
+  void run(sim::Context& ctx);
+
+  // ---- test/bench introspection ----
+  [[nodiscard]] const std::vector<v2::ReceptionEvent>& events_for(
+      mpi::Rank rank) const;
+  [[nodiscard]] std::uint64_t total_events_stored() const;
+
+ private:
+  void handle(sim::Context& ctx, net::Conn* conn, Buffer data);
+
+  net::Network& net_;
+  Config config_;
+  std::map<mpi::Rank, std::vector<v2::ReceptionEvent>> store_;
+  // Cumulative number of events appended per rank (ack payload).
+  std::map<mpi::Rank, std::uint64_t> appended_;
+};
+
+}  // namespace mpiv::services

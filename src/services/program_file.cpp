@@ -1,0 +1,180 @@
+#include "services/program_file.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace mpiv::services {
+
+const char* role_name(Role role) {
+  switch (role) {
+    case Role::kCompute: return "compute";
+    case Role::kDispatcher: return "dispatcher";
+    case Role::kEventLogger: return "event_logger";
+    case Role::kCkptServer: return "ckpt_server";
+    case Role::kCkptScheduler: return "ckpt_scheduler";
+    case Role::kSpare: return "spare";
+  }
+  return "?";
+}
+
+namespace {
+Role role_from(const std::string& s, int line) {
+  if (s == "compute") return Role::kCompute;
+  if (s == "dispatcher") return Role::kDispatcher;
+  if (s == "event_logger") return Role::kEventLogger;
+  if (s == "ckpt_server") return Role::kCkptServer;
+  if (s == "ckpt_scheduler") return Role::kCkptScheduler;
+  if (s == "spare") return Role::kSpare;
+  throw ConfigError("program file line " + std::to_string(line) +
+                    ": unknown role '" + s + "'");
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    auto next = s.find(sep, pos);
+    if (next == std::string::npos) next = s.size();
+    if (next > pos) out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+}  // namespace
+
+bool Machine::has_role(Role r) const {
+  return std::find(roles.begin(), roles.end(), r) != roles.end();
+}
+
+ProgramFile ProgramFile::parse(const std::string& text) {
+  ProgramFile pf;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  int next_rank = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string name, roles_spec;
+    if (!(ls >> name)) continue;  // blank / comment line
+    if (!(ls >> roles_spec)) {
+      throw ConfigError("program file line " + std::to_string(lineno) +
+                        ": machine '" + name + "' has no role");
+    }
+    Machine m;
+    m.name = name;
+    for (const std::string& r : split(roles_spec, ',')) {
+      m.roles.push_back(role_from(r, lineno));
+    }
+    std::string opt;
+    while (ls >> opt) {
+      auto eq = opt.find('=');
+      if (eq == std::string::npos) {
+        m.options[opt] = "true";
+      } else {
+        m.options[opt.substr(0, eq)] = opt.substr(eq + 1);
+      }
+    }
+    if (m.has_role(Role::kCompute)) {
+      auto it = m.options.find("rank");
+      m.rank = it != m.options.end() ? std::stoi(it->second) : next_rank;
+      next_rank = std::max(next_rank, m.rank + 1);
+    }
+    pf.machines_.push_back(std::move(m));
+  }
+  pf.validate();
+  return pf;
+}
+
+void ProgramFile::validate() const {
+  if (count(Role::kDispatcher) != 1) {
+    throw ConfigError("program file: exactly one dispatcher is required");
+  }
+  if (count(Role::kEventLogger) < 1) {
+    throw ConfigError("program file: at least one event logger is required");
+  }
+  int ncompute = count(Role::kCompute);
+  if (ncompute < 1) {
+    throw ConfigError("program file: at least one computing node is required");
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(ncompute), false);
+  for (const Machine& m : machines_) {
+    if (!m.has_role(Role::kCompute)) continue;
+    if (m.rank < 0 || m.rank >= ncompute) {
+      throw ConfigError("program file: rank " + std::to_string(m.rank) +
+                        " out of range (ranks must be 0.." +
+                        std::to_string(ncompute - 1) + ")");
+    }
+    if (seen[static_cast<std::size_t>(m.rank)]) {
+      throw ConfigError("program file: duplicate rank " +
+                        std::to_string(m.rank));
+    }
+    seen[static_cast<std::size_t>(m.rank)] = true;
+  }
+  if (count(Role::kCkptScheduler) > 1) {
+    throw ConfigError("program file: at most one checkpoint scheduler");
+  }
+}
+
+int ProgramFile::count(Role role) const {
+  int n = 0;
+  for (const Machine& m : machines_) n += m.has_role(role) ? 1 : 0;
+  return n;
+}
+
+const Machine* ProgramFile::machine_of_rank(int rank) const {
+  for (const Machine& m : machines_) {
+    if (m.has_role(Role::kCompute) && m.rank == rank) return &m;
+  }
+  return nullptr;
+}
+
+runtime::JobConfig ProgramFile::to_job_config() const {
+  runtime::JobConfig cfg;
+  cfg.device = runtime::DeviceKind::kV2;
+  cfg.nprocs = count(Role::kCompute);
+  cfg.n_event_loggers = count(Role::kEventLogger);
+  cfg.spare_nodes = count(Role::kSpare);
+  cfg.checkpointing = count(Role::kCkptScheduler) > 0;
+  for (const Machine& m : machines_) {
+    if (!m.has_role(Role::kCkptScheduler)) continue;
+    auto it = m.options.find("policy");
+    if (it == m.options.end()) continue;
+    if (it->second == "round_robin") {
+      cfg.ckpt_policy = PolicyKind::kRoundRobin;
+    } else if (it->second == "adaptive") {
+      cfg.ckpt_policy = PolicyKind::kAdaptive;
+    } else if (it->second == "random") {
+      cfg.ckpt_policy = PolicyKind::kRandom;
+    } else {
+      throw ConfigError("program file: unknown checkpoint policy '" +
+                        it->second + "'");
+    }
+  }
+  return cfg;
+}
+
+std::string ProgramFile::describe() const {
+  TextTable t({"machine", "roles", "rank", "options"});
+  for (const Machine& m : machines_) {
+    std::string roles;
+    for (std::size_t i = 0; i < m.roles.size(); ++i) {
+      roles += (i ? "," : "") + std::string(role_name(m.roles[i]));
+    }
+    std::string opts;
+    for (const auto& [k, v] : m.options) {
+      if (k == "rank") continue;
+      opts += (opts.empty() ? "" : " ") + k + "=" + v;
+    }
+    t.add_row({m.name, roles, m.rank >= 0 ? std::to_string(m.rank) : "",
+               opts});
+  }
+  return t.render();
+}
+
+}  // namespace mpiv::services

@@ -1,0 +1,69 @@
+// The run-description "program file" (§4.7) — the MPICH-V2 equivalent of
+// MPICH's P4PGFILE. Each line names a machine, its role(s) inside the
+// system and per-machine options:
+//
+//     # machine        roles                          options
+//     frontend         dispatcher,event_logger,ckpt_scheduler  policy=adaptive
+//     storage0         ckpt_server
+//     node0            compute                         rank=0
+//     node1            compute
+//     standby0         spare
+//
+// Ranks are assigned in file order unless given explicitly. The parser
+// validates the topology (exactly one dispatcher, at least one event
+// logger, at least one computing node, contiguous ranks) and converts it
+// into a runtime::JobConfig.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace mpiv::services {
+
+enum class Role {
+  kCompute,
+  kDispatcher,
+  kEventLogger,
+  kCkptServer,
+  kCkptScheduler,
+  kSpare,
+};
+
+const char* role_name(Role role);
+
+struct Machine {
+  std::string name;
+  std::vector<Role> roles;
+  std::map<std::string, std::string> options;
+  int rank = -1;  // computing nodes only
+
+  [[nodiscard]] bool has_role(Role r) const;
+};
+
+class ProgramFile {
+ public:
+  /// Parses the text; throws ConfigError with a line number on bad input.
+  static ProgramFile parse(const std::string& text);
+
+  [[nodiscard]] const std::vector<Machine>& machines() const {
+    return machines_;
+  }
+  [[nodiscard]] int count(Role role) const;
+  [[nodiscard]] const Machine* machine_of_rank(int rank) const;
+
+  /// Maps the described deployment onto a JobConfig (device fixed to V2:
+  /// program files describe MPICH-V2 deployments).
+  [[nodiscard]] runtime::JobConfig to_job_config() const;
+
+  /// Renders the parsed deployment as a table (the mpirun "run plan").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  void validate() const;
+  std::vector<Machine> machines_;
+};
+
+}  // namespace mpiv::services

@@ -1,0 +1,100 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "sim/process.hpp"
+
+namespace mpiv::sim {
+
+Engine::Engine() {
+  log::init_from_env();  // idempotent; lets MPIV_LOG work everywhere
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  // Unwinding a fiber may spawn no new processes, but it may push mailbox
+  // events or close connections — all non-blocking by the destructor rule.
+  for (auto& p : processes_) p->synchronous_kill();
+}
+
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  MPIV_CHECK(t >= now_, "event scheduled in the past");
+  std::uint64_t seq = next_seq_++;
+  queue_.push(Event{t, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+EventId Engine::schedule_in(SimDuration d, std::function<void()> fn) {
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+void Engine::cancel(EventId id) {
+  if (id.seq != 0) cancelled_.push_back(id.seq);
+}
+
+Process* Engine::spawn(std::string name, std::function<void(Context&)> body) {
+  processes_.push_back(
+      std::make_unique<Process>(*this, std::move(name), std::move(body)));
+  Process* p = processes_.back().get();
+  schedule_at(now_, [p] { p->start(); });
+  return p;
+}
+
+void Engine::kill(Process* p) { p->request_kill(); }
+
+// Pops the next event; drops cancelled ones without advancing the clock so a
+// cancelled far-future timer cannot drag virtual time forward.
+bool Engine::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (!cancelled_.empty()) {
+      auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.seq);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_ && pop_next(ev)) {
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+}
+
+void Engine::run_until(SimTime t) {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_) {
+    if (std::getenv("MPIV_ENGINE_TRACE") && executed_ % 5000000 == 0) {
+      std::fprintf(stderr, "[engine] %llu events, t=%f\n",
+                   (unsigned long long)executed_, to_seconds(now_));
+    }
+    if (!pop_next(ev)) break;
+    if (ev.time > t) {
+      // Put it back; it stays pending for a later run call.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace mpiv::sim

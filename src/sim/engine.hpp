@@ -1,0 +1,89 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an event queue ordered by
+// (time, insertion sequence) — ties break deterministically in insertion
+// order, which together with the one-runnable-process-at-a-time fiber
+// handshake makes every simulation bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mpiv::sim {
+
+class Process;
+class Context;
+
+/// Handle used to cancel a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+};
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+  EventId schedule_in(SimDuration d, std::function<void()> fn);
+  void cancel(EventId id);
+
+  /// Spawns a cooperative process; its body starts at the current virtual
+  /// time (via an immediate event). The returned pointer stays valid for the
+  /// engine's lifetime.
+  Process* spawn(std::string name, std::function<void(Context&)> body);
+
+  /// Requests termination of a process: its blocking call throws
+  /// ProcessKilled, unwinding the fiber stack (running destructors).
+  void kill(Process* p);
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+  /// Runs until virtual time would exceed `t` (clock is left at min(t, next)).
+  void run_until(SimTime t);
+  void stop() { stopped_ = true; }
+
+  /// Unwinds every live fiber immediately (throwing ProcessKilled inside
+  /// them) and returns when all are finished. Call before destroying
+  /// resources that fibers reference (e.g. the Network). Idempotent;
+  /// also invoked by the destructor as a safety net.
+  void shutdown();
+
+  /// Number of events executed so far (for diagnostics).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted lazily; small
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace mpiv::sim

@@ -1,0 +1,143 @@
+// Blocking FIFO mailboxes and wait lists — the only inter-process
+// synchronization primitives in the simulator. Because at most one fiber (or
+// the engine) runs at a time, these structures need no locking.
+//
+// Rule: destructors must never block (park); cleanup paths only schedule
+// events. A blocking call in a destructor during kill-unwinding would
+// terminate the program.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/process.hpp"
+
+namespace mpiv::sim {
+
+/// Set of parked processes waiting for a condition; wakers schedule
+/// immediate engine events so wakeups interleave deterministically.
+class WaitList {
+ public:
+  /// Fiber side: parks the calling process until woken (or killed).
+  void wait(Context& ctx) {
+    Process& p = ctx.self();
+    waiters_.push_back({&p, p.wake_token()});
+    p.park();
+  }
+
+  /// Registers an already-armed waiter without parking: used to park one
+  /// process on several wait lists at once (first waker wins; the park
+  /// token makes the others stale).
+  void add(Process& p, std::uint64_t token) { waiters_.push_back({&p, token}); }
+
+  /// Wakes every waiter registered so far.
+  void wake_all(Engine& engine) {
+    for (auto& w : waiters_) {
+      Process* p = w.first;
+      std::uint64_t token = w.second;
+      engine.schedule_at(engine.now(), [p, token] { p->unpark(token); });
+    }
+    waiters_.clear();
+  }
+
+  /// Wakes the longest-waiting process, if any.
+  void wake_one(Engine& engine) {
+    if (waiters_.empty()) return;
+    auto [p, token] = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    engine.schedule_at(engine.now(), [p = p, token = token] { p->unpark(token); });
+  }
+
+  [[nodiscard]] bool empty() const { return waiters_.empty(); }
+
+ private:
+  std::vector<std::pair<Process*, std::uint64_t>> waiters_;
+};
+
+/// Wakeup channel for select loops that multiplex several event sources
+/// (network endpoint + local pipe). Sources poke the notifier on arrival;
+/// the owner parks on it when all sources are drained. Single-threaded
+/// execution makes the check-then-wait pattern race-free.
+class Notifier {
+ public:
+  explicit Notifier(Engine& engine) : engine_(engine) {}
+
+  void notify() { waiters_.wake_all(engine_); }
+
+  void wait(Context& ctx) { waiters_.wait(ctx); }
+
+  /// Registers an externally-armed waiter (multi-source park); see
+  /// WaitList::add.
+  void arm(Process& p, std::uint64_t token) { waiters_.add(p, token); }
+
+  /// Returns false if the deadline passed without a notification.
+  bool wait_until(Context& ctx, SimTime deadline) {
+    if (ctx.now() >= deadline) return false;
+    Process& p = ctx.self();
+    std::uint64_t token = p.wake_token();
+    EventId timer = engine_.schedule_at(deadline, [&p, token] { p.unpark(token); });
+    waiters_.wait(ctx);
+    engine_.cancel(timer);
+    return ctx.now() < deadline;
+  }
+
+ private:
+  Engine& engine_;
+  WaitList waiters_;
+};
+
+/// Unbounded FIFO channel. push() may be called from any fiber or from an
+/// engine event; recv() only from a fiber.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : engine_(engine) {}
+
+  void push(T value) {
+    queue_.push_back(std::move(value));
+    waiters_.wake_all(engine_);
+  }
+
+  /// Blocks until a value is available.
+  T recv(Context& ctx) {
+    while (queue_.empty()) waiters_.wait(ctx);
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  /// Blocks until a value is available or `deadline` passes.
+  std::optional<T> recv_until(Context& ctx, SimTime deadline) {
+    while (queue_.empty()) {
+      if (ctx.now() >= deadline) return std::nullopt;
+      Process& p = ctx.self();
+      std::uint64_t token = p.wake_token();
+      EventId timer = engine_.schedule_at(deadline, [&p, token] { p.unpark(token); });
+      waiters_.wait(ctx);
+      engine_.cancel(timer);
+    }
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+ private:
+  Engine& engine_;
+  std::deque<T> queue_;
+  WaitList waiters_;
+};
+
+}  // namespace mpiv::sim

@@ -1,0 +1,143 @@
+#include "sim/process.hpp"
+
+#include "common/error.hpp"
+
+namespace mpiv::sim {
+
+namespace {
+thread_local Process* t_current_fiber = nullptr;
+}
+
+Process::Process(Engine& engine, std::string name,
+                 std::function<void(Context&)> body)
+    : engine_(engine), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] { fiber_main(); });
+}
+
+Process::~Process() {
+  if (thread_.joinable()) {
+    {
+      // If the fiber never ran or is parked forever, release it via kill.
+      std::unique_lock<std::mutex> lock(mu_);
+      kill_requested_ = true;
+      fiber_turn_ = true;
+      started_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+}
+
+bool Process::on_fiber() const { return t_current_fiber == this; }
+
+void Process::fiber_main() {
+  // Wait for the first transfer of control.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return fiber_turn_ && started_; });
+    if (kill_requested_) {
+      killed_flag_ = true;
+      finished_ = true;
+      fiber_turn_ = false;
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+  }
+  t_current_fiber = this;
+  Context ctx(*this);
+  try {
+    body_(ctx);
+  } catch (ProcessKilled) {
+    killed_flag_ = true;
+  }
+  // Final handoff back to the engine.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    finished_ = true;
+    fiber_turn_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Process::start() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_ = true;
+    fiber_turn_ = true;
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !fiber_turn_; });
+}
+
+void Process::unpark(std::uint64_t token) {
+  if (finished_) return;
+  if (token != token_) return;  // stale wakeup
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    fiber_turn_ = true;
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !fiber_turn_; });
+}
+
+void Process::synchronous_kill() {
+  if (finished_) return;
+  kill_requested_ = true;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_ = true;
+    fiber_turn_ = true;
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !fiber_turn_; });
+}
+
+void Process::request_kill() {
+  if (finished_) return;
+  kill_requested_ = true;
+  std::uint64_t token = token_;
+  // Wake it (now, in virtual time) so the blocking call observes the kill.
+  engine_.schedule_at(engine_.now(), [this, token] { unpark(token); });
+}
+
+void Process::park() {
+  MPIV_CHECK(on_fiber(), "park() called outside the fiber");
+  if (kill_requested_) throw ProcessKilled{};
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    fiber_turn_ = false;
+  }
+  cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return fiber_turn_; });
+  }
+  ++token_;  // invalidate any other waker armed for the previous park
+  if (kill_requested_) throw ProcessKilled{};
+}
+
+void Context::sleep(SimDuration d) {
+  MPIV_CHECK(d >= 0, "negative sleep");
+  Process& p = p_;
+  std::uint64_t token = p.wake_token();
+  EventId timer = p.engine().schedule_in(d, [&p, token] { p.unpark(token); });
+  try {
+    p.park();
+  } catch (...) {
+    // Killed mid-sleep: cancel the timer so the dead wakeup does not advance
+    // the virtual clock past the kill time.
+    p.engine().cancel(timer);
+    throw;
+  }
+}
+
+void Context::compute(SimDuration d) {
+  compute_time_ += d;
+  sleep(d);
+}
+
+}  // namespace mpiv::sim

@@ -1,0 +1,113 @@
+// Cooperative simulated processes.
+//
+// Each Process runs its body on a dedicated OS thread, but a strict
+// mutex/condvar handshake guarantees that at any instant either the engine
+// thread or exactly one fiber thread is running. Blocking operations park the
+// fiber and hand control back to the engine; wakers are engine events.
+//
+// Parking uses a generation token so that a process with several potential
+// wakers (timer, mailbox, kill) ignores stale wakeups deterministically.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace mpiv::sim {
+
+/// Thrown inside a fiber when the process is killed; unwinds the stack so
+/// RAII releases resources (closing connections = the failure detector).
+/// Intentionally NOT derived from std::exception: protocol code that catches
+/// std::exception will not accidentally swallow a kill.
+struct ProcessKilled {};
+
+class Context;
+
+class Process {
+ public:
+  Process(Engine& engine, std::string name,
+          std::function<void(Context&)> body);
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool was_killed() const { return killed_flag_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+  /// Engine side: transfers control into the fiber until it parks/finishes.
+  /// `token` must match the park generation (stale wakeups are dropped).
+  void unpark(std::uint64_t token);
+
+  /// Engine side: request kill. If parked, wakes it so the blocking call
+  /// throws ProcessKilled.
+  void request_kill();
+
+  /// Engine side, teardown only: kills and unwinds the fiber *now* (without
+  /// going through the event queue) and returns once it finished. Used by
+  /// Engine::shutdown() so fibers unwind while their resources still exist.
+  void synchronous_kill();
+
+  /// Fiber side: parks the fiber; returns on wakeup; throws ProcessKilled if
+  /// a kill was requested.
+  void park();
+
+  /// Fiber side: current park generation. A waker scheduled *before* parking
+  /// must capture wake_token() and call unpark(token).
+  [[nodiscard]] std::uint64_t wake_token() const { return token_; }
+
+  /// Fiber side: true when inside this process's fiber thread.
+  [[nodiscard]] bool on_fiber() const;
+
+ private:
+  friend class Engine;
+  friend class Context;
+  void fiber_main();
+  void start();  // engine side: first transfer into the fiber
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void(Context&)> body_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool fiber_turn_ = false;   // protected by mu_
+  bool started_ = false;
+  bool finished_ = false;     // written by fiber before final handoff
+  bool kill_requested_ = false;
+  bool killed_flag_ = false;
+  std::uint64_t token_ = 0;   // park generation; engine/fiber alternate access
+  std::thread thread_;
+};
+
+/// The interface a process body uses to interact with virtual time.
+class Context {
+ public:
+  explicit Context(Process& p) : p_(p) {}
+
+  [[nodiscard]] Engine& engine() { return p_.engine(); }
+  [[nodiscard]] Process& self() { return p_; }
+  [[nodiscard]] SimTime now() const { return p_.engine_.now(); }
+
+  /// Blocks for `d` of virtual time.
+  void sleep(SimDuration d);
+  /// Semantically a computation phase; accounted separately for reports.
+  void compute(SimDuration d);
+  /// Lets other ready events at the current time run first.
+  void yield() { sleep(0); }
+
+  [[nodiscard]] SimDuration compute_time() const { return compute_time_; }
+
+ private:
+  Process& p_;
+  SimDuration compute_time_ = 0;
+};
+
+}  // namespace mpiv::sim

@@ -1,0 +1,194 @@
+#include "v1/v1_device.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace mpiv::v1 {
+
+// ----------------------------------------------------------- ChannelMemory
+
+void ChannelMemory::run(sim::Context& ctx) {
+  net::Endpoint ep(net_, config_.node);
+  ep.listen(config_.port);
+  ep_ = &ep;
+  for (;;) {
+    net::NetEvent ev;
+    if (!backlog_.empty()) {
+      ev = std::move(backlog_.front());
+      backlog_.pop_front();
+    } else {
+      ev = ep.wait(ctx);
+    }
+    switch (ev.type) {
+      case net::NetEvent::Type::kAccepted:
+        break;
+      case net::NetEvent::Type::kClosed: {
+        // Drop any pull pending on the dead connection.
+        for (auto it = pending_pulls_.begin(); it != pending_pulls_.end();) {
+          if (it->second.first == ev.conn) {
+            it = pending_pulls_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
+      case net::NetEvent::Type::kData:
+        handle(ctx, ev.conn, std::move(ev.data));
+        break;
+    }
+  }
+}
+
+void ChannelMemory::handle(sim::Context& ctx, net::Conn* conn, Buffer data) {
+  Reader r(data);
+  auto type = static_cast<CmMsg>(r.u8());
+  switch (type) {
+    case CmMsg::kHello: {
+      conn->user_tag = static_cast<std::uint64_t>(r.i32());
+      return;
+    }
+    case CmMsg::kSend: {
+      mpi::Rank dest = r.i32();
+      mpi::Rank sender = r.i32();
+      std::uint64_t seq = r.u64();
+      Buffer block = r.blob();
+      // Re-executed sends arrive again with the same (sender, seq): absorb.
+      if (!seen_.emplace(std::make_pair(sender, seq), true).second) return;
+      bytes_ += block.size();
+      ++stored_;
+      queues_[dest].push_back(Stored{sender, std::move(block)});
+      satisfy_pull(ctx, dest);
+      return;
+    }
+    case CmMsg::kPull: {
+      mpi::Rank rank = r.i32();
+      std::uint64_t cursor = r.u64();
+      pending_pulls_[rank] = {conn, cursor};
+      satisfy_pull(ctx, rank);
+      return;
+    }
+    case CmMsg::kProbe: {
+      mpi::Rank rank = r.i32();
+      std::uint64_t cursor = r.u64();
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(CmMsg::kProbeR));
+      w.boolean(queues_[rank].size() > cursor);
+      conn->send(ctx, w.take());
+      return;
+    }
+    case CmMsg::kMsg:
+    case CmMsg::kProbeR:
+      break;
+  }
+  throw ProtocolError("channel memory: unexpected message");
+}
+
+void ChannelMemory::satisfy_pull(sim::Context& ctx, mpi::Rank rank) {
+  auto it = pending_pulls_.find(rank);
+  if (it == pending_pulls_.end()) return;
+  auto [conn, cursor] = it->second;
+  const auto& q = queues_[rank];
+  if (cursor >= q.size()) return;
+  pending_pulls_.erase(it);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(CmMsg::kMsg));
+  w.i32(q[cursor].from);
+  w.blob(q[cursor].block);
+  // While window-blocked on a busy receiver, keep draining our own
+  // endpoint into the backlog (frees peers' windows; avoids deadlock).
+  conn->send(ctx, w.take(), [this](sim::Context& c2) {
+    while (auto e = ep_->poll(c2)) backlog_.push_back(std::move(*e));
+  });
+}
+
+// ----------------------------------------------------------- V1Device
+
+V1Device::V1Device(net::Network& net, V1Config config)
+    : net_(net), config_(std::move(config)) {}
+
+void V1Device::init(sim::Context& ctx) {
+  endpoint_.emplace(net_, config_.node);
+  SimTime deadline = ctx.now() + config_.connect_timeout;
+  for (const net::Address& addr : config_.channel_memories) {
+    net::Conn* c =
+        net_.connect_retry(ctx, *endpoint_, addr, milliseconds(2), deadline);
+    MPIV_CHECK(c != nullptr, "v1: cannot reach channel memory");
+    cm_conns_.push_back(c);
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(CmMsg::kHello));
+    w.i32(config_.rank);
+    c->send(ctx, w.take());
+  }
+  post_pull(ctx);
+}
+
+void V1Device::post_pull(sim::Context& ctx) {
+  // Standing pull: one outstanding request at the home CM at all times, so
+  // the next message is pushed as soon as it exists and probes stay local.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(CmMsg::kPull));
+  w.i32(config_.rank);
+  w.u64(pull_cursor_++);
+  cm_conns_[cm_of(config_.rank)]->send(ctx, w.take());
+}
+
+void V1Device::finish(sim::Context& /*ctx*/) {
+  for (net::Conn* c : cm_conns_) c->close();
+}
+
+void V1Device::service(sim::Context& ctx) {
+  while (auto ev = endpoint_->poll(ctx)) {
+    if (ev->type == net::NetEvent::Type::kData) {
+      home_replies_.push_back(std::move(ev->data));
+    }
+  }
+}
+
+void V1Device::bsend(sim::Context& ctx, mpi::Rank dest, Buffer block) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(CmMsg::kSend));
+  w.i32(dest);
+  w.i32(config_.rank);
+  w.u64(++send_seq_);
+  w.blob(block);
+  net::Conn* c = cm_conns_[cm_of(dest)];
+  bool ok =
+      c->send(ctx, w.take(), [this](sim::Context& c2) { service(c2); });
+  MPIV_CHECK(ok, "v1: lost channel memory connection");
+}
+
+Buffer V1Device::wait_home_reply(sim::Context& ctx, CmMsg expect) {
+  for (;;) {
+    if (!home_replies_.empty()) {
+      Buffer b = std::move(home_replies_.front());
+      home_replies_.pop_front();
+      Reader r(b);
+      MPIV_CHECK(static_cast<CmMsg>(r.u8()) == static_cast<CmMsg>(expect),
+                 "v1: unexpected reply from channel memory");
+      return b;
+    }
+    net::NetEvent ev = endpoint_->wait(ctx);
+    if (ev.type == net::NetEvent::Type::kData) {
+      home_replies_.push_back(std::move(ev.data));
+    }
+  }
+}
+
+mpi::Packet V1Device::brecv(sim::Context& ctx) {
+  Buffer reply = wait_home_reply(ctx, CmMsg::kMsg);
+  post_pull(ctx);  // re-arm for the next message
+  Reader r(reply);
+  r.u8();  // type
+  mpi::Packet pkt;
+  pkt.from = r.i32();
+  pkt.data = r.blob();
+  return pkt;
+}
+
+bool V1Device::nprobe(sim::Context& ctx) {
+  service(ctx);
+  return !home_replies_.empty();
+}
+
+}  // namespace mpiv::v1

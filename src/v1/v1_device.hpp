@@ -1,0 +1,112 @@
+// MPICH-V1: the Channel Memory architecture (the paper's baseline).
+//
+// Every communication transits a reliable Channel Memory (CM) server:
+// the sender pushes to the *receiver's* home CM; the receiver pulls its
+// messages, in order, from its home CM. The CM stores everything (remote
+// pessimistic logging), which is what lets a crashed process re-pull its
+// whole reception sequence — and what costs V1 half of P4's bandwidth:
+// each payload crosses two serialized TCP streams.
+//
+// Re-execution support: pulls are cursor-addressed (a restarted process
+// re-reads from cursor 0) and sends are deduplicated by (sender, seq), so
+// re-executed sends are absorbed by the CM.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mpi/device.hpp"
+#include "net/network.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::v1 {
+
+enum class CmMsg : std::uint8_t {
+  kHello = 1,   // {rank} — identifies a computing process connection
+  kSend,        // {dest, sender, seq, block}
+  kPull,        // {rank, cursor}
+  kMsg,         // {from, block} — pull reply
+  kProbe,       // {rank, cursor}
+  kProbeR,      // {pending}
+};
+
+/// Reliable Channel Memory server; one serves `ranks_per_cm` processes.
+class ChannelMemory {
+ public:
+  struct Config {
+    net::NodeId node = net::kNoNode;
+    std::int32_t port = v2::kChannelMemoryPort;
+  };
+
+  ChannelMemory(net::Network& net, Config config) : net_(net), config_(config) {}
+
+  /// Fiber body; serves until killed (CMs are reliable nodes).
+  void run(sim::Context& ctx);
+
+  [[nodiscard]] std::uint64_t messages_stored() const { return stored_; }
+  [[nodiscard]] std::uint64_t bytes_stored() const { return bytes_; }
+
+ private:
+  struct Stored {
+    mpi::Rank from;
+    Buffer block;
+  };
+  void handle(sim::Context& ctx, net::Conn* conn, Buffer data);
+  void satisfy_pull(sim::Context& ctx, mpi::Rank rank);
+
+  net::Network& net_;
+  Config config_;
+  std::map<mpi::Rank, std::vector<Stored>> queues_;
+  std::map<mpi::Rank, std::pair<net::Conn*, std::uint64_t>> pending_pulls_;
+  std::map<std::pair<mpi::Rank, std::uint64_t>, bool> seen_;  // (sender, seq)
+  std::uint64_t stored_ = 0;
+  std::uint64_t bytes_ = 0;
+  net::Endpoint* ep_ = nullptr;
+  std::deque<net::NetEvent> backlog_;
+};
+
+struct V1Config {
+  net::NodeId node = net::kNoNode;
+  mpi::Rank rank = 0;
+  mpi::Rank size = 1;
+  /// Channel Memory addresses; rank r's home CM is channel_memories[r % n].
+  std::vector<net::Address> channel_memories;
+  SimDuration connect_timeout = seconds(30);
+};
+
+class V1Device final : public mpi::Device {
+ public:
+  V1Device(net::Network& net, V1Config config);
+
+  void init(sim::Context& ctx) override;
+  void finish(sim::Context& ctx) override;
+  void bsend(sim::Context& ctx, mpi::Rank dest, Buffer block) override;
+  mpi::Packet brecv(sim::Context& ctx) override;
+  bool nprobe(sim::Context& ctx) override;
+
+  [[nodiscard]] mpi::Rank rank() const override { return config_.rank; }
+  [[nodiscard]] mpi::Rank size() const override { return config_.size; }
+  [[nodiscard]] std::uint32_t eager_threshold() const override {
+    return 128 * 1024;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cm_of(mpi::Rank r) const {
+    return static_cast<std::size_t>(r) % config_.channel_memories.size();
+  }
+  Buffer wait_home_reply(sim::Context& ctx, CmMsg expect);
+  void service(sim::Context& ctx);
+  void post_pull(sim::Context& ctx);
+
+  net::Network& net_;
+  V1Config config_;
+  std::optional<net::Endpoint> endpoint_;
+  std::vector<net::Conn*> cm_conns_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t pull_cursor_ = 0;
+  std::deque<Buffer> home_replies_;
+};
+
+}  // namespace mpiv::v1

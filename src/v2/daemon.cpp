@@ -1,0 +1,943 @@
+#include "v2/daemon.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace mpiv::v2 {
+
+namespace {
+// user_tag values for service connections (peer conns use the peer rank).
+constexpr std::uint64_t kTagEl = 1u << 20;
+constexpr std::uint64_t kTagCs = (1u << 20) + 1;
+constexpr std::uint64_t kTagSched = (1u << 20) + 2;
+constexpr std::uint64_t kTagDisp = (1u << 20) + 3;
+}  // namespace
+
+Daemon::Daemon(net::Network& net, net::Pipe& pipe, DaemonConfig config)
+    : net_(net), pipe_(pipe), config_(std::move(config)) {
+  auto n = static_cast<std::size_t>(config_.size);
+  hs_.assign(n, 0);
+  hr_.assign(n, 0);
+  saved_ = SenderLog(config_.size);
+  peers_.assign(n, nullptr);
+  reassembly_.assign(n, {});
+  tx_.assign(n, {});
+  awaiting_marker_.assign(n, false);
+  accepted_.assign(n, {});
+  reconnect_at_.assign(n, -1);
+  last_stable_hr_.assign(n, 0);
+}
+
+// --------------------------------------------------------------- setup
+
+void Daemon::setup(sim::Context& ctx) {
+  endpoint_.emplace(net_, config_.node);
+  endpoint_->listen(kDaemonPortBase + config_.rank);
+  connect_services(ctx);
+  fetch_checkpoint(ctx);
+  download_events(ctx);
+
+  if (config_.incarnation > 0) {
+    for (mpi::Rank q = 0; q < config_.size; ++q) {
+      if (q != config_.rank) awaiting_marker_[static_cast<std::size_t>(q)] = true;
+    }
+  }
+  // The lower rank of each pair initiates; we connect to all higher ranks.
+  for (mpi::Rank q = config_.rank + 1; q < config_.size; ++q) {
+    connect_peer(ctx, q);
+  }
+}
+
+/// Waits for a Data event on `conn`; stashes everything else for the main
+/// loop (used for the synchronous fetch/download exchanges during setup).
+static Buffer wait_for_data(sim::Context& ctx, net::Endpoint& ep,
+                            net::Conn* conn,
+                            std::deque<net::NetEvent>& backlog) {
+  for (;;) {
+    net::NetEvent ev = ep.wait(ctx);
+    if (ev.type == net::NetEvent::Type::kData && ev.conn == conn) {
+      return std::move(ev.data);
+    }
+    MPIV_CHECK(!(ev.type == net::NetEvent::Type::kClosed && ev.conn == conn),
+               "daemon: service connection lost during setup");
+    backlog.push_back(std::move(ev));
+  }
+}
+
+void Daemon::connect_services(sim::Context& ctx) {
+  SimTime deadline = ctx.now() + config_.connect_timeout;
+  auto connect_to = [&](net::Address addr, std::uint64_t tag) -> net::Conn* {
+    if (addr.node == net::kNoNode) return nullptr;
+    net::Conn* c =
+        net_.connect_retry(ctx, *endpoint_, addr, milliseconds(2), deadline);
+    MPIV_CHECK(c != nullptr, "daemon: cannot reach service");
+    c->user_tag = tag;
+    return c;
+  };
+  // The checkpoint server and scheduler are allowed to be unreliable
+  // (§4.3): if they cannot be reached the node simply runs without
+  // checkpoint support and would restart from scratch, at worst.
+  auto connect_optional = [&](net::Address addr, std::uint64_t tag,
+                              SimDuration budget) -> net::Conn* {
+    if (addr.node == net::kNoNode) return nullptr;
+    net::Conn* c = net_.connect_retry(ctx, *endpoint_, addr, milliseconds(2),
+                                      ctx.now() + budget);
+    if (c == nullptr) {
+      MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank,
+                " cannot reach optional service; continuing without it");
+      return nullptr;
+    }
+    c->user_tag = tag;
+    return c;
+  };
+  disp_conn_ = connect_to(config_.dispatcher, kTagDisp);
+  if (disp_conn_ != nullptr) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(CtlMsg::kRegister));
+    w.i32(config_.rank);
+    w.i32(config_.incarnation);
+    disp_conn_->send(ctx, w.take());
+  }
+  cs_conn_ = connect_optional(config_.ckpt_server, kTagCs, milliseconds(100));
+  sched_conn_ = connect_optional(config_.scheduler, kTagSched, milliseconds(100));
+  if (sched_conn_ != nullptr) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(CtlMsg::kRegister));
+    w.i32(config_.rank);
+    w.i32(config_.incarnation);
+    sched_conn_->send(ctx, w.take());
+  }
+  el_conn_ = connect_to(config_.event_logger, kTagEl);
+  MPIV_CHECK(el_conn_ != nullptr, "daemon: an event logger is required");
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(ElMsg::kHello));
+  w.i32(config_.rank);
+  el_conn_->send(ctx, w.take());
+}
+
+void Daemon::fetch_checkpoint(sim::Context& ctx) {
+  if (cs_conn_ == nullptr || config_.incarnation == 0) return;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(CsMsg::kFetch));
+  w.i32(config_.rank);
+  cs_conn_->send(ctx, w.take());
+  Buffer reply = wait_for_data(ctx, *endpoint_, cs_conn_, setup_backlog_);
+  Reader r(reply);
+  MPIV_CHECK(static_cast<CsMsg>(r.u8()) == CsMsg::kImage,
+             "daemon: bad fetch reply");
+  bool found = r.boolean();
+  std::uint64_t seq = r.u64();
+  Buffer image = r.blob();
+  if (!found) return;
+  ckpt_seq_ = seq;
+  app_restart_image_ = restore_daemon_state(image);
+  have_restart_image_ = true;
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
+            " restored checkpoint seq ", seq, " at delivery clock ",
+            recv_clock_);
+}
+
+void Daemon::download_events(sim::Context& ctx) {
+  if (config_.incarnation == 0) return;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(ElMsg::kDownload));
+  w.i64(recv_clock_);
+  el_conn_->send(ctx, w.take());
+  Buffer reply = wait_for_data(ctx, *endpoint_, el_conn_, setup_backlog_);
+  Reader r(reply);
+  MPIV_CHECK(static_cast<ElMsg>(r.u8()) == ElMsg::kEvents,
+             "daemon: bad download reply");
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) replay_.push_back(read_event(r));
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank, " will replay ", n,
+            " logged receptions");
+}
+
+void Daemon::connect_peer(sim::Context& ctx, mpi::Rank q) {
+  net::Address addr = config_.peer_addrs[static_cast<std::size_t>(q)];
+  net::Conn* c = net_.connect(ctx, *endpoint_, addr);
+  if (c == nullptr) {
+    // Peer not up (yet) — or restarted on a different node. Ask the
+    // dispatcher where the rank lives now, then retry from the main loop.
+    if (disp_conn_ != nullptr) {
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(CtlMsg::kWhereIs));
+      w.i32(q);
+      disp_conn_->send(ctx, w.take());
+    }
+    reconnect_at_[static_cast<std::size_t>(q)] = ctx.now() + config_.peer_retry;
+    return;
+  }
+  c->user_tag = static_cast<std::uint64_t>(q);
+  peers_[static_cast<std::size_t>(q)] = c;
+  reassembly_[static_cast<std::size_t>(q)].clear();
+  reconnect_at_[static_cast<std::size_t>(q)] = -1;
+  Writer hello;
+  hello.u8(static_cast<std::uint8_t>(PeerMsg::kHello));
+  hello.i32(config_.rank);
+  hello.i32(config_.incarnation);
+  c->send(ctx, hello.take());
+  if (awaiting_marker_[static_cast<std::size_t>(q)]) {
+    // (Re-)request the resend pass; the flag clears at q's ResendDone so a
+    // crash of q mid-pass triggers a fresh Restart1 to its next incarnation.
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(PeerMsg::kRestart1));
+    w.i64(hr_[static_cast<std::size_t>(q)]);
+    enqueue_control(q, w.take());
+  }
+}
+
+// --------------------------------------------------------------- main loop
+
+void Daemon::run(sim::Context& ctx) {
+  // The Daemon object outlives its fiber (the runtime keeps it for stats),
+  // so network resources must be torn down when the fiber exits — whether
+  // normally or unwinding through ProcessKilled. Destroying the endpoint
+  // closes every connection (the failure detector) and frees the port for
+  // the next incarnation.
+  struct Teardown {
+    Daemon& d;
+    ~Teardown() {
+      d.endpoint_.reset();
+      d.peers_.assign(d.peers_.size(), nullptr);
+      d.el_conn_ = d.cs_conn_ = d.sched_conn_ = d.disp_conn_ = nullptr;
+    }
+  } teardown{*this};
+
+  setup(ctx);
+  sim::Notifier notifier(net_.engine());
+  endpoint_->set_notifier(&notifier);
+  pipe_.daemon_end().set_notifier(&notifier);
+
+  while (!shutdown_) {
+    bool worked = false;
+    while (!setup_backlog_.empty()) {
+      net::NetEvent ev = std::move(setup_backlog_.front());
+      setup_backlog_.pop_front();
+      handle_net(ctx, std::move(ev));
+      worked = true;
+    }
+    if (auto ev = endpoint_->poll(ctx)) {
+      handle_net(ctx, std::move(*ev));
+      worked = true;
+    }
+    if (auto msg = pipe_.daemon_end().try_recv()) {
+      handle_pipe(ctx, std::move(*msg));
+      worked = true;
+    }
+    // Reconnect attempts that are due.
+    for (mpi::Rank q = config_.rank + 1; q < config_.size; ++q) {
+      SimTime due = reconnect_at_[static_cast<std::size_t>(q)];
+      if (due >= 0 && ctx.now() >= due &&
+          peers_[static_cast<std::size_t>(q)] == nullptr) {
+        connect_peer(ctx, q);
+        worked = true;
+      }
+    }
+    if (!worked) worked = advance_tx(ctx);
+    if (!worked) worked = advance_ckpt(ctx);
+    if (worked || shutdown_) continue;
+
+    // Nothing to do: park on (notifier | window space | reconnect timer).
+    sim::Process& proc = ctx.self();
+    std::uint64_t token = proc.wake_token();
+    notifier.arm(proc, token);
+    SimTime deadline = -1;
+    for (mpi::Rank q = 0; q < config_.size; ++q) {
+      auto qi = static_cast<std::size_t>(q);
+      if (!tx_[qi].empty() && peers_[qi] != nullptr) {
+        peers_[qi]->add_window_waiter(proc, token);
+      }
+      if (reconnect_at_[qi] >= 0 && peers_[qi] == nullptr) {
+        deadline = deadline < 0 ? reconnect_at_[qi]
+                                : std::min(deadline, reconnect_at_[qi]);
+      }
+    }
+    std::optional<sim::EventId> timer;
+    if (deadline >= 0) {
+      timer = net_.engine().schedule_at(
+          std::max(deadline, ctx.now()), [&proc, token] { proc.unpark(token); });
+    }
+    proc.park();
+    if (timer) net_.engine().cancel(*timer);
+  }
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank, " shut down");
+}
+
+// --------------------------------------------------------------- pipe side
+
+void Daemon::pipe_reply(sim::Context& ctx, Writer w) {
+  pipe_.daemon_end().send(ctx, w.take());
+}
+
+void Daemon::handle_pipe(sim::Context& ctx, Buffer msg) {
+  Reader r(msg);
+  PipeHeader h = read_pipe_header(r);
+  switch (h.type) {
+    case PipeMsg::kInit: {
+      Writer w = pipe_writer(PipeMsg::kInitOk, ckpt_requested_);
+      w.i32(config_.rank);
+      w.i32(config_.size);
+      pipe_reply(ctx, std::move(w));
+      return;
+    }
+    case PipeMsg::kFinish: {
+      pipe_reply(ctx, pipe_writer(PipeMsg::kFinishOk, false));
+      if (disp_conn_ != nullptr) {
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(CtlMsg::kDone));
+        w.i32(config_.rank);
+        disp_conn_->send(ctx, w.take());
+      } else {
+        shutdown_ = true;  // standalone mode: no dispatcher to wait for
+      }
+      return;
+    }
+    case PipeMsg::kBsend: {
+      // One-way from the app; no reply (see V2Device::bsend).
+      mpi::Rank dest = r.i32();
+      Buffer block = r.blob();
+      send_event(ctx, dest, std::move(block));
+      return;
+    }
+    case PipeMsg::kBrecv: {
+      app_waiting_brecv_ = true;
+      try_satisfy_app(ctx);
+      return;
+    }
+    case PipeMsg::kNprobe: {
+      app_waiting_probe_ = true;
+      try_satisfy_app(ctx);
+      return;
+    }
+    case PipeMsg::kCkptImage: {
+      Buffer image = r.blob();
+      begin_checkpoint(ctx, std::move(image));
+      pipe_reply(ctx, pipe_writer(PipeMsg::kCkptOk, false));
+      return;
+    }
+    case PipeMsg::kGetImage: {
+      Writer w = pipe_writer(PipeMsg::kImageR, ckpt_requested_);
+      w.boolean(have_restart_image_);
+      w.blob(app_restart_image_);
+      pipe_reply(ctx, std::move(w));
+      return;
+    }
+    default:
+      throw ProtocolError("daemon: unexpected pipe message");
+  }
+}
+
+// --------------------------------------------------------------- protocol
+
+void Daemon::send_event(sim::Context& ctx, mpi::Rank dest, Buffer block) {
+  // Failed probes are nondeterministic events; make any unlogged ones
+  // durable before this send leaves (the appendix's UnDetAction LOG +
+  // WAITLOGGED, batched to at most one event per send).
+  if (replay_.empty() && probes_since_delivery_ > probes_logged_) {
+    ReceptionEvent batch;
+    batch.kind = ReceptionEvent::Kind::kProbeBatch;
+    batch.recv_clock = recv_clock_ + 1;
+    batch.nprobes = probes_since_delivery_;
+    el_outbox_.push_back(batch);
+    probes_logged_ = probes_since_delivery_;
+    flush_el(ctx);
+  }
+  ++send_clock_;
+  Clock clock = send_clock_;
+  MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " send@", clock, " -> ",
+             dest, " h=", fnv1a(block) & 0xffff,
+             (clock <= hs_[static_cast<std::size_t>(dest)] ? " SUPPRESSED" : ""));
+  stats_.sent_msgs += 1;
+  stats_.sent_bytes += block.size();
+  auto di = static_cast<std::size_t>(dest);
+  if (clock > hs_[di]) {
+    hs_[di] = clock;
+    MsgRecord rec{clock, block};
+    enqueue_msg(dest, rec);
+  }
+  // Replay suppression (clock <= HS): the receiver already has this
+  // message; record it in SAVED anyway so a *future* crash of the receiver
+  // can still be served (closes a hole in the paper's simplified protocol).
+  saved_.record(dest, clock, std::move(block));
+  (void)ctx;
+}
+
+void Daemon::enqueue_control(mpi::Rank q, Buffer frame) {
+  tx_[static_cast<std::size_t>(q)].push_back(OutFrame{false, std::move(frame), 0});
+}
+
+void Daemon::enqueue_msg(mpi::Rank q, const MsgRecord& rec) {
+  tx_[static_cast<std::size_t>(q)].push_back(
+      OutFrame{true, encode_msg_record(rec), 0, el_events_created()});
+}
+
+void Daemon::enqueue_saved_resend(mpi::Rank q, Clock after) {
+  for (const SenderLog::Entry* e : saved_.entries_after(q, after)) {
+    enqueue_msg(q, MsgRecord{e->clock, e->block});
+  }
+}
+
+bool Daemon::advance_tx(sim::Context& ctx) {
+  const std::uint32_t chunk = net_.params().daemon_chunk_bytes;
+  for (mpi::Rank i = 0; i < config_.size; ++i) {
+    mpi::Rank q = (rr_next_ + i) % config_.size;
+    auto qi = static_cast<std::size_t>(q);
+    if (tx_[qi].empty()) continue;
+    net::Conn* c = peers_[qi];
+    if (c == nullptr) {
+      // No connection (not yet established, or peer down): keep the frames
+      // queued. On a peer *death* the Closed handler clears this queue —
+      // payloads live in SAVED and are re-requested via RESTART1.
+      continue;
+    }
+    OutFrame& f = tx_[qi].front();
+    // WAITLOGGED: hold the frame until the events that preceded this send
+    // action are safely logged.
+    if (f.is_msg && config_.gate_sends && el_acked_ < f.required_events) {
+      continue;
+    }
+    if (!c->writable()) continue;
+    rr_next_ = (q + 1) % config_.size;
+    if (!f.is_msg) {
+      Buffer frame = std::move(f.bytes);
+      tx_[qi].pop_front();
+      c->send(ctx, std::move(frame));
+      return true;
+    }
+    // Chunked payload frame: [kMsgPart][last][slice].
+    std::size_t n = std::min<std::size_t>(chunk, f.bytes.size() - f.offset);
+    bool last = (f.offset + n == f.bytes.size());
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(PeerMsg::kMsgPart));
+    w.boolean(last);
+    w.raw(f.bytes.data() + f.offset, n);
+    f.offset += n;
+    if (last) tx_[qi].pop_front();
+    c->send(ctx, w.take());
+    return true;
+  }
+  return false;
+}
+
+void Daemon::flush_el(sim::Context& ctx) {
+  if (el_outbox_.empty() || el_conn_ == nullptr) return;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(ElMsg::kAppend));
+  w.u32(static_cast<std::uint32_t>(el_outbox_.size()));
+  for (const ReceptionEvent& e : el_outbox_) write_event(w, e);
+  el_appended_ += el_outbox_.size();
+  stats_.events_logged += el_outbox_.size();
+  el_outbox_.clear();
+  el_conn_->send(ctx, w.take());
+}
+
+void Daemon::try_satisfy_app(sim::Context& ctx) {
+  // Fully-consumed probe batches step aside (their count was reached).
+  while (!replay_.empty() &&
+         replay_.front().kind == ReceptionEvent::Kind::kProbeBatch &&
+         probes_since_delivery_ >= replay_.front().nprobes) {
+    replay_.pop_front();
+  }
+  if (app_waiting_probe_) {
+    if (replaying()) {
+      const ReceptionEvent& e = replay_.front();
+      if (probes_since_delivery_ < e.nprobes) {
+        ++probes_since_delivery_;
+        app_waiting_probe_ = false;
+        MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " probe->false(R) n=",
+                   probes_since_delivery_, "/", e.nprobes);
+        Writer w = pipe_writer(PipeMsg::kProbeR, ckpt_requested_);
+        w.boolean(false);
+        pipe_reply(ctx, std::move(w));
+      } else {
+        // The original probe at this point succeeded; answer true once the
+        // replayed payload is actually here (otherwise stay pending).
+        auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
+                               [&e](const Arrival& a) {
+                                 return a.from == e.sender &&
+                                        a.send_clock == e.send_clock;
+                               });
+        if (it != arrivals_.end()) {
+          app_waiting_probe_ = false;
+          MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " probe->true(R)");
+          Writer w = pipe_writer(PipeMsg::kProbeR, ckpt_requested_);
+          w.boolean(true);
+          pipe_reply(ctx, std::move(w));
+        }
+      }
+    } else {
+      bool pending = next_deliverable() != arrivals_.end();
+      if (!pending) ++probes_since_delivery_;
+      app_waiting_probe_ = false;
+      MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " probe->",
+                 pending ? "true" : "false", " n=", probes_since_delivery_);
+      Writer w = pipe_writer(PipeMsg::kProbeR, ckpt_requested_);
+      w.boolean(pending);
+      pipe_reply(ctx, std::move(w));
+    }
+  }
+  if (app_waiting_brecv_) {
+    if (replaying() &&
+        replay_.front().kind == ReceptionEvent::Kind::kDelivery) {
+      const ReceptionEvent& e = replay_.front();
+      auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
+                             [&e](const Arrival& a) {
+                               return a.from == e.sender &&
+                                      a.send_clock == e.send_clock;
+                             });
+      if (it != arrivals_.end()) {
+        Arrival a = std::move(*it);
+        arrivals_.erase(it);
+        app_waiting_brecv_ = false;
+        deliver_to_app(ctx, std::move(a), /*replayed=*/true);
+      }
+    } else if (!replaying()) {
+      // (While a probe batch heads the replay list, the app must consume
+      // its probes first; a blocking receive here would be a PWD breach.)
+      auto it = next_deliverable();
+      if (it != arrivals_.end()) {
+        Arrival a = std::move(*it);
+        arrivals_.erase(it);
+        app_waiting_brecv_ = false;
+        deliver_to_app(ctx, std::move(a), /*replayed=*/false);
+      }
+    }
+  }
+}
+
+std::deque<Daemon::Arrival>::iterator Daemon::next_deliverable() {
+  // A fresh message from q is deliverable only once q's resend pass (if
+  // any) completed: before the ResendDone marker, an older message of q
+  // might still be on its way, and delivering out of send order would
+  // break MPI's non-overtaking guarantee.
+  for (auto it = arrivals_.begin(); it != arrivals_.end(); ++it) {
+    if (!awaiting_marker_[static_cast<std::size_t>(it->from)]) return it;
+  }
+  return arrivals_.end();
+}
+
+void Daemon::deliver_to_app(sim::Context& ctx, Arrival arrival, bool replayed) {
+  ++recv_clock_;
+  MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " deliver@", recv_clock_,
+             " from ", arrival.from, "@", arrival.send_clock, " h=",
+             fnv1a(arrival.block) & 0xffff, replayed ? " REPLAY" : "");
+  if (replayed) {
+    const ReceptionEvent& e = replay_.front();
+    MPIV_CHECK(recv_clock_ == e.recv_clock,
+               "replay diverged: delivery clock does not match the log "
+               "(piecewise determinism violated?)");
+    replay_.pop_front();
+    stats_.replayed_deliveries += 1;
+  } else {
+    el_outbox_.push_back(ReceptionEvent{ReceptionEvent::Kind::kDelivery,
+                                        arrival.from, arrival.send_clock,
+                                        recv_clock_, probes_since_delivery_});
+  }
+  probes_since_delivery_ = 0;
+  probes_logged_ = 0;
+  Writer w = pipe_writer(PipeMsg::kDeliver, ckpt_requested_);
+  w.i32(arrival.from);
+  w.blob(arrival.block);
+  if (!replayed) flush_el(ctx);
+  pipe_reply(ctx, std::move(w));
+}
+
+// --------------------------------------------------------------- network side
+
+void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
+  switch (ev.type) {
+    case net::NetEvent::Type::kAccepted:
+      return;  // identity arrives with the Hello
+    case net::NetEvent::Type::kClosed: {
+      std::uint64_t tag = ev.conn->user_tag;
+      if (tag < static_cast<std::uint64_t>(config_.size)) {
+        auto q = static_cast<mpi::Rank>(tag);
+        auto qi = static_cast<std::size_t>(q);
+        if (peers_[qi] == ev.conn) {
+          peers_[qi] = nullptr;
+          reassembly_[qi].clear();
+          tx_[qi].clear();
+          if (q > config_.rank) {
+            reconnect_at_[qi] = ctx.now() + config_.peer_retry;
+          }
+        }
+      } else if (ev.conn == el_conn_) {
+        el_conn_ = nullptr;
+      } else if (ev.conn == cs_conn_) {
+        // Checkpoint server gone: abandon any upload in flight; the node
+        // keeps computing and would restart from scratch, at worst.
+        cs_conn_ = nullptr;
+        ckpt_.reset();
+        ckpt_requested_ = false;
+      } else if (ev.conn == sched_conn_) {
+        sched_conn_ = nullptr;
+      } else if (ev.conn == disp_conn_) {
+        disp_conn_ = nullptr;
+      }
+      return;
+    }
+    case net::NetEvent::Type::kData:
+      break;
+  }
+  std::uint64_t tag = ev.conn->user_tag;
+  if (tag == kTagEl) return handle_el(ctx, std::move(ev.data));
+  if (tag == kTagCs) return handle_cs(ctx, std::move(ev.data));
+  if (tag == kTagSched || tag == kTagDisp) {
+    return handle_ctl(ctx, std::move(ev.data));
+  }
+  if (tag == ~0ull) {
+    // First frame on an inbound connection must be a peer Hello.
+    Reader r(ev.data);
+    MPIV_CHECK(static_cast<PeerMsg>(r.u8()) == PeerMsg::kHello,
+               "daemon: expected Hello on new connection");
+    mpi::Rank q = r.i32();
+    int incarnation = r.i32();
+    (void)incarnation;
+    auto qi = static_cast<std::size_t>(q);
+    if (peers_[qi] != nullptr && peers_[qi] != ev.conn) peers_[qi]->close();
+    ev.conn->user_tag = static_cast<std::uint64_t>(q);
+    peers_[qi] = ev.conn;
+    reassembly_[qi].clear();
+    if (awaiting_marker_[qi]) {
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(PeerMsg::kRestart1));
+      w.i64(hr_[qi]);
+      enqueue_control(q, w.take());
+    }
+    if (has_stable_ckpt_) {
+      // Re-advertise our stable checkpoint so the (possibly restarted) peer
+      // can garbage collect its sender log.
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(PeerMsg::kCkptNotify));
+      w.i64(last_stable_hr_[qi]);
+      enqueue_control(q, w.take());
+    }
+    return;
+  }
+  // Frames from a replaced connection must not interleave with the live
+  // stream: chunk reassembly assumes a single FIFO per peer.
+  if (peers_[tag] != ev.conn) return;
+  handle_peer_frame(ctx, static_cast<mpi::Rank>(tag), std::move(ev.data));
+}
+
+void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
+  auto qi = static_cast<std::size_t>(q);
+  Reader r(frame);
+  auto type = static_cast<PeerMsg>(r.u8());
+  switch (type) {
+    case PeerMsg::kHello:
+      return;  // duplicate hello on an already-identified conn
+    case PeerMsg::kMsgPart: {
+      bool last = r.boolean();
+      ConstBytes bytes = r.rest();
+      Buffer& acc = reassembly_[qi];
+      acc.insert(acc.end(), bytes.begin(), bytes.end());
+      if (last) {
+        MsgRecord rec = decode_msg_record(acc);
+        acc.clear();
+        handle_msg_record(ctx, q, std::move(rec));
+      }
+      return;
+    }
+    case PeerMsg::kRestart1: {
+      Clock hr = r.i64();
+      MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " RESTART1 from ", q,
+                 " hr=", hr);
+      hs_[qi] = hr;
+      // Drop queued payload frames: the resend pass below re-covers them
+      // from SAVED. Control frames (e.g. our own pending Restart1 to q)
+      // must survive, and a partially-chunked payload must finish so the
+      // peer's reassembly stream stays framed (the duplicate is dropped by
+      // its clock-window dedup).
+      auto& q_tx = tx_[qi];
+      for (auto it = q_tx.begin(); it != q_tx.end();) {
+        if (it->is_msg && it->offset == 0) {
+          it = q_tx.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      Writer w2;
+      w2.u8(static_cast<std::uint8_t>(PeerMsg::kRestart2));
+      w2.i64(hr_[qi]);
+      enqueue_control(q, w2.take());
+      if (has_stable_ckpt_) {
+        Writer w3;
+        w3.u8(static_cast<std::uint8_t>(PeerMsg::kCkptNotify));
+        w3.i64(last_stable_hr_[qi]);
+        enqueue_control(q, w3.take());
+      }
+      enqueue_saved_resend(q, hr);
+      // Close the pass: everything we ever sent (clock <= h_) has now been
+      // transmitted or re-transmitted on this connection.
+      Writer w4;
+      w4.u8(static_cast<std::uint8_t>(PeerMsg::kResendDone));
+      w4.i64(send_clock_);
+      enqueue_control(q, w4.take());
+      return;
+    }
+    case PeerMsg::kRestart2: {
+      hs_[qi] = r.i64();
+      MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " RESTART2 from ", q,
+                 " hs=", hs_[qi]);
+      return;
+    }
+    case PeerMsg::kCkptNotify: {
+      Clock hr = r.i64();
+      std::size_t before = saved_.count_for(q);
+      saved_.prune(q, hr);
+      stats_.gc_pruned_entries += before - saved_.count_for(q);
+      return;
+    }
+    case PeerMsg::kResendDone: {
+      Clock marker = r.i64();
+      MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " ResendDone from ",
+                 q, " marker=", marker);
+      hr_[qi] = std::max(hr_[qi], marker);
+      // The out-of-order window is closed; everything accepted in it is now
+      // below the watermark.
+      accepted_[qi].clear();
+      awaiting_marker_[qi] = false;
+      try_satisfy_app(ctx);
+      return;
+    }
+  }
+  throw ProtocolError("daemon: unexpected peer frame");
+}
+
+void Daemon::handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec) {
+  auto qi = static_cast<std::size_t>(q);
+  if (rec.send_clock <= hr_[qi]) {
+    MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " msg from ", q, "@",
+               rec.send_clock, " DUP(below)");
+    stats_.duplicates_dropped += 1;
+    return;
+  }
+  if (awaiting_marker_[qi]) {
+    // Restart exchange in flight: arrivals may be out of clock order, so
+    // deduplicate in the window without advancing the watermark.
+    if (!accepted_[qi].insert(rec.send_clock).second) {
+      MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " msg from ", q, "@",
+                 rec.send_clock, " DUP(window)");
+      stats_.duplicates_dropped += 1;
+      return;
+    }
+  } else {
+    hr_[qi] = rec.send_clock;
+  }
+  MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " msg from ", q, "@",
+             rec.send_clock);
+  stats_.recv_msgs += 1;
+  stats_.recv_bytes += rec.block.size();
+  // Per-sender FIFO: during a restart exchange a resent (lower-clock)
+  // message can arrive after a fresh straggler; insert in send-clock order
+  // within the sender so app-level non-overtaking holds.
+  auto pos = arrivals_.end();
+  for (auto it = arrivals_.begin(); it != arrivals_.end(); ++it) {
+    if (it->from == q && it->send_clock > rec.send_clock) {
+      pos = it;
+      break;
+    }
+  }
+  arrivals_.insert(pos, Arrival{q, rec.send_clock, std::move(rec.block)});
+  try_satisfy_app(ctx);
+}
+
+void Daemon::handle_el(sim::Context& ctx, Buffer msg) {
+  Reader r(msg);
+  MPIV_CHECK(static_cast<ElMsg>(r.u8()) == ElMsg::kAck,
+             "daemon: unexpected event-logger message");
+  el_acked_ += r.u64();
+  MPIV_CHECK(el_acked_ <= el_appended_, "daemon: over-acked events");
+  (void)ctx;
+}
+
+void Daemon::handle_cs(sim::Context& ctx, Buffer msg) {
+  Reader r(msg);
+  MPIV_CHECK(static_cast<CsMsg>(r.u8()) == CsMsg::kStoreOk,
+             "daemon: unexpected checkpoint-server message");
+  on_ckpt_stable(ctx, r.u64());
+}
+
+void Daemon::handle_ctl(sim::Context& ctx, Buffer msg) {
+  Reader r(msg);
+  auto type = static_cast<CtlMsg>(r.u8());
+  switch (type) {
+    case CtlMsg::kShutdown:
+      shutdown_ = true;
+      return;
+    case CtlMsg::kStatusReq: {
+      DaemonStatus s;
+      s.rank = config_.rank;
+      s.saved_bytes = saved_.total_bytes();
+      s.sent_bytes = stats_.sent_bytes;
+      s.recv_bytes = stats_.recv_bytes;
+      s.sent_msgs = stats_.sent_msgs;
+      s.recv_msgs = stats_.recv_msgs;
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(CtlMsg::kStatus));
+      write_status(w, s);
+      if (sched_conn_ != nullptr) sched_conn_->send(ctx, w.take());
+      return;
+    }
+    case CtlMsg::kCkptOrder: {
+      if (cs_conn_ == nullptr && config_.ckpt_server.node != net::kNoNode) {
+        // The checkpoint server may have rebooted since we lost it.
+        net::Conn* c = net_.connect(ctx, *endpoint_, config_.ckpt_server);
+        if (c != nullptr) {
+          c->user_tag = kTagCs;
+          cs_conn_ = c;
+        }
+      }
+      // Ignore while an upload is still in flight; the scheduler reorders.
+      if (!ckpt_.has_value() && cs_conn_ != nullptr) ckpt_requested_ = true;
+      return;
+    }
+    case CtlMsg::kAddr: {
+      mpi::Rank q = r.i32();
+      net::Address addr{r.i32(), r.i32()};
+      auto qi = static_cast<std::size_t>(q);
+      if (config_.peer_addrs[qi] != addr) {
+        config_.peer_addrs[qi] = addr;
+        // Retry immediately with the fresh address.
+        if (q > config_.rank && peers_[qi] == nullptr) {
+          reconnect_at_[qi] = ctx.now();
+        }
+      }
+      return;
+    }
+    default:
+      throw ProtocolError("daemon: unexpected control message");
+  }
+}
+
+// --------------------------------------------------------------- checkpoint
+
+void Daemon::begin_checkpoint(sim::Context& ctx, Buffer app_image) {
+  MPIV_CHECK(!ckpt_.has_value(), "daemon: overlapping checkpoints");
+  ckpt_requested_ = false;
+  ++ckpt_seq_;
+  PendingCkpt pc;
+  pc.seq = ckpt_seq_;
+  pc.image = serialize_daemon_state(app_image);
+  pc.h_at_ckpt = recv_clock_;
+  pc.hr_at_ckpt = hr_;
+  ckpt_ = std::move(pc);
+  (void)ctx;
+}
+
+bool Daemon::advance_ckpt(sim::Context& ctx) {
+  if (!ckpt_.has_value() || cs_conn_ == nullptr) return false;
+  PendingCkpt& pc = *ckpt_;
+  const std::uint32_t chunk = net_.params().daemon_chunk_bytes;
+  if (!pc.begun) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(CsMsg::kStoreBegin));
+    w.i32(config_.rank);
+    w.u64(pc.seq);
+    w.u64(pc.image.size());
+    pc.begun = true;
+    cs_conn_->send(ctx, w.take());
+    return true;
+  }
+  if (pc.offset < pc.image.size()) {
+    if (!cs_conn_->writable()) return false;
+    std::size_t n = std::min<std::size_t>(chunk, pc.image.size() - pc.offset);
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(CsMsg::kStoreChunk));
+    w.raw(pc.image.data() + pc.offset, n);
+    pc.offset += n;
+    cs_conn_->send(ctx, w.take());
+    return true;
+  }
+  if (!pc.done_sent) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(CsMsg::kStoreEnd));
+    pc.done_sent = true;
+    cs_conn_->send(ctx, w.take());
+    return true;
+  }
+  return false;  // waiting for StoreOk
+}
+
+void Daemon::on_ckpt_stable(sim::Context& ctx, std::uint64_t seq) {
+  MPIV_CHECK(ckpt_.has_value() && ckpt_->seq == seq,
+             "daemon: StoreOk for unknown checkpoint");
+  has_stable_ckpt_ = true;
+  last_stable_hr_ = ckpt_->hr_at_ckpt;
+  Clock hck = ckpt_->h_at_ckpt;
+  ckpt_.reset();
+  stats_.checkpoints_taken += 1;
+  // The event log below the checkpoint clock is dead.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(ElMsg::kPrune));
+  w.i64(hck);
+  if (el_conn_ != nullptr) el_conn_->send(ctx, w.take());
+  // Peers can garbage collect every payload we received before the image.
+  for (mpi::Rank q = 0; q < config_.size; ++q) {
+    if (q == config_.rank) continue;
+    Writer wn;
+    wn.u8(static_cast<std::uint8_t>(PeerMsg::kCkptNotify));
+    wn.i64(last_stable_hr_[static_cast<std::size_t>(q)]);
+    enqueue_control(q, wn.take());
+  }
+  if (sched_conn_ != nullptr) {
+    Writer wd;
+    wd.u8(static_cast<std::uint8_t>(CtlMsg::kCkptDone));
+    wd.i32(config_.rank);
+    wd.u64(seq);
+    sched_conn_->send(ctx, wd.take());
+  }
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
+            " checkpoint stable at clock ", hck);
+}
+
+Buffer Daemon::serialize_daemon_state(ConstBytes app_image) const {
+  Writer w;
+  w.i64(send_clock_);
+  w.i64(recv_clock_);
+  w.u32(static_cast<std::uint32_t>(hs_.size()));
+  for (Clock c : hs_) w.i64(c);
+  for (Clock c : hr_) w.i64(c);
+  w.u64(ckpt_seq_);
+  w.u32(probes_since_delivery_);
+  w.u32(probes_logged_);
+  saved_.serialize(w);
+  w.u32(static_cast<std::uint32_t>(arrivals_.size()));
+  for (const Arrival& a : arrivals_) {
+    w.i32(a.from);
+    w.i64(a.send_clock);
+    w.blob(a.block);
+  }
+  w.blob(app_image);
+  return w.take();
+}
+
+Buffer Daemon::restore_daemon_state(ConstBytes image) {
+  Reader r(image);
+  send_clock_ = r.i64();
+  recv_clock_ = r.i64();
+  std::uint32_t n = r.u32();
+  MPIV_CHECK(n == hs_.size(), "daemon: image rank-count mismatch");
+  for (auto& c : hs_) c = r.i64();
+  for (auto& c : hr_) c = r.i64();
+  ckpt_seq_ = r.u64();
+  probes_since_delivery_ = r.u32();
+  probes_logged_ = r.u32();
+  saved_.restore(r);
+  arrivals_.clear();
+  std::uint32_t na = r.u32();
+  for (std::uint32_t i = 0; i < na; ++i) {
+    Arrival a;
+    a.from = r.i32();
+    a.send_clock = r.i64();
+    a.block = r.blob();
+    arrivals_.push_back(std::move(a));
+  }
+  return r.blob();
+}
+
+}  // namespace mpiv::v2

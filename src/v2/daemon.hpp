@@ -1,0 +1,221 @@
+// The MPICH-V2 communication daemon (§4.4–4.6).
+//
+// One daemon runs beside each MPI process (same node, connected by a local
+// pipe) and owns all of the fault-tolerance protocol:
+//   * logical clock H, advanced on every send and delivery event;
+//   * the sender log (SAVED): a copy of every emitted block, with clock;
+//   * reception-event logging to the Event Logger, with the WAITLOGGED
+//     gate: no block leaves this node while a reception event is unacked;
+//   * replay after restart: download events, RESTART1/RESTART2 handshake,
+//     re-deliveries forced into logged order, duplicate suppression via the
+//     HS/HR clock vectors, forced probe-count replay;
+//   * checkpointing: quiesced app+ADI image plus the daemon's own state
+//     (clocks, SAVED, undelivered arrivals) streamed in chunks to the
+//     checkpoint server; completion notifications drive garbage collection
+//     of peers' sender logs and of the event log.
+//
+// The main loop is a select loop (pipe + network + timers) that transmits
+// payloads in chunks so receive traffic interleaves with sends — the
+// full-duplex behaviour the paper credits for V2's advantage on
+// non-blocking workloads.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/pipe.hpp"
+#include "v2/sender_log.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::v2 {
+
+struct DaemonConfig {
+  mpi::Rank rank = 0;
+  mpi::Rank size = 1;
+  int incarnation = 0;
+  net::NodeId node = net::kNoNode;
+  /// Current daemon address of each rank (kDaemonPortBase + rank on its node).
+  std::vector<net::Address> peer_addrs;
+  net::Address event_logger;                      // required
+  net::Address ckpt_server{net::kNoNode, 0};      // optional
+  net::Address scheduler{net::kNoNode, 0};        // optional
+  net::Address dispatcher{net::kNoNode, 0};       // optional
+  SimDuration peer_retry = milliseconds(20);
+  SimDuration connect_timeout = seconds(30);
+  /// ABLATION ONLY: disable the WAITLOGGED gate (transmit before the event
+  /// logger acknowledged pending reception events). Breaks the pessimistic
+  /// property — a crash may then lose un-logged-but-observed receptions —
+  /// but isolates the gate's latency cost in benchmarks.
+  bool gate_sends = true;
+};
+
+/// Counters exposed to tests and benches.
+struct DaemonStats {
+  std::uint64_t sent_msgs = 0;
+  std::uint64_t recv_msgs = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t recv_bytes = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t replayed_deliveries = 0;
+  std::uint64_t events_logged = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t gc_pruned_entries = 0;
+};
+
+class Daemon {
+ public:
+  Daemon(net::Network& net, net::Pipe& pipe, DaemonConfig config);
+
+  /// Fiber body. Returns after a dispatcher Shutdown (or unwinds on kill).
+  void run(sim::Context& ctx);
+
+  [[nodiscard]] const DaemonStats& stats() const { return stats_; }
+  [[nodiscard]] Clock send_clock() const { return send_clock_; }
+  [[nodiscard]] Clock recv_clock() const { return recv_clock_; }
+  [[nodiscard]] const SenderLog& sender_log() const { return saved_; }
+  [[nodiscard]] bool finished() const { return shutdown_; }
+
+ private:
+  // An arrived-but-undelivered message (normal mode keeps them in arrival
+  // order; replay mode keeps them as a stash searched by (sender, clock)).
+  struct Arrival {
+    mpi::Rank from = -1;
+    Clock send_clock = 0;
+    Buffer block;
+  };
+
+  // One frame queued toward a peer. Payload messages are chunked on the
+  // wire; control frames go out whole. Frames to one peer stay FIFO.
+  struct OutFrame {
+    bool is_msg = false;   // chunked MsgRecord vs. single control frame
+    Buffer bytes;          // control frame, or encoded MsgRecord
+    std::size_t offset = 0;  // chunking progress (is_msg only)
+    // WAITLOGGED: number of reception events that existed when this send
+    // was issued; the frame may not leave the node until the event logger
+    // acknowledged that many. Events created *after* the send action do
+    // not gate it (they are not causal predecessors).
+    std::uint64_t required_events = 0;
+  };
+
+  struct PendingCkpt {
+    std::uint64_t seq = 0;
+    Buffer image;
+    std::size_t offset = 0;
+    bool begun = false;
+    bool done_sent = false;
+    Clock h_at_ckpt = 0;
+    std::vector<Clock> hr_at_ckpt;
+  };
+
+  // ---- setup / teardown ----
+  void setup(sim::Context& ctx);
+  void connect_services(sim::Context& ctx);
+  void fetch_checkpoint(sim::Context& ctx);
+  void download_events(sim::Context& ctx);
+  void connect_peer(sim::Context& ctx, mpi::Rank q);
+
+  // ---- event handling ----
+  void handle_pipe(sim::Context& ctx, Buffer msg);
+  void handle_net(sim::Context& ctx, net::NetEvent ev);
+  void handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame);
+  void handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec);
+  void handle_ctl(sim::Context& ctx, Buffer msg);
+  void handle_el(sim::Context& ctx, Buffer msg);
+  void handle_cs(sim::Context& ctx, Buffer msg);
+
+  // ---- protocol actions ----
+  void send_event(sim::Context& ctx, mpi::Rank dest, Buffer block);
+  void try_satisfy_app(sim::Context& ctx);
+  /// First arrival eligible for app delivery (per-sender order guaranteed).
+  std::deque<Arrival>::iterator next_deliverable();
+  void deliver_to_app(sim::Context& ctx, Arrival arrival, bool replayed);
+  void flush_el(sim::Context& ctx);
+  /// Total reception events created so far (appended or still in outbox).
+  [[nodiscard]] std::uint64_t el_events_created() const {
+    return el_appended_ + el_outbox_.size();
+  }
+  void enqueue_control(mpi::Rank q, Buffer frame);
+  void enqueue_msg(mpi::Rank q, const MsgRecord& rec);
+  void enqueue_saved_resend(mpi::Rank q, Clock after);
+  bool advance_tx(sim::Context& ctx);   // returns true if it did work
+  bool advance_ckpt(sim::Context& ctx);
+  void begin_checkpoint(sim::Context& ctx, Buffer app_image);
+  void on_ckpt_stable(sim::Context& ctx, std::uint64_t seq);
+  void pipe_reply(sim::Context& ctx, Writer w);
+
+  Buffer serialize_daemon_state(ConstBytes app_image) const;
+  Buffer restore_daemon_state(ConstBytes image);  // returns app image
+
+  [[nodiscard]] bool replaying() const { return !replay_.empty(); }
+
+  net::Network& net_;
+  net::Pipe& pipe_;
+  DaemonConfig config_;
+
+  // ---- protocol state (checkpointed) ----
+  // The paper uses one logical clock for sends and deliveries. We split it:
+  // message identifiers come from a *sends-only* counter, so a re-executed
+  // send always reproduces its original identifier even when the progress
+  // engine consumes arrivals in a different interleaving than the original
+  // run (delivery timing is nondeterministic; the send sequence, by
+  // piecewise determinism, is not). Reception events are ordered by a
+  // *deliveries-only* counter. All HS/HR machinery operates on send clocks;
+  // the event log and checkpoints are keyed by delivery clocks.
+  Clock send_clock_ = 0;
+  Clock recv_clock_ = 0;
+  std::vector<Clock> hs_;         // last clock sent to q / suppression bound
+  // Completeness watermark: every send of q to us with clock <= hr_[q] has
+  // been accepted (or was a duplicate). This — not a max-received mark — is
+  // what RESTART1 requests, RESTART2 reports, and CkptNotify lets peers GC
+  // by: it must never cover a gap. It advances per message in steady state
+  // (per-pair FIFO makes gaps impossible) and only via ResendDone markers
+  // while a restart exchange is in flight.
+  std::vector<Clock> hr_;
+  SenderLog saved_;
+  std::deque<Arrival> arrivals_;  // received, not yet delivered to the app
+  std::uint64_t ckpt_seq_ = 0;
+  Buffer app_restart_image_;      // app+ADI blob from the restored image
+  bool have_restart_image_ = false;
+
+  // ---- volatile state ----
+  std::optional<net::Endpoint> endpoint_;
+  std::vector<net::Conn*> peers_;
+  std::vector<Buffer> reassembly_;          // per-peer partial MsgRecord
+  std::vector<std::deque<OutFrame>> tx_;
+  // True from our restart until q's ResendDone: out-of-order arrivals are
+  // possible (stragglers sent before q saw our Restart1), so acceptance
+  // uses accepted_[q] instead of advancing the watermark.
+  std::vector<bool> awaiting_marker_;
+  std::vector<std::set<Clock>> accepted_;  // clocks accepted above hr_[q]
+  std::vector<SimTime> reconnect_at_;       // next retry for dead lower conns
+  net::Conn* el_conn_ = nullptr;
+  net::Conn* cs_conn_ = nullptr;
+  net::Conn* sched_conn_ = nullptr;
+  net::Conn* disp_conn_ = nullptr;
+
+  std::deque<ReceptionEvent> replay_;       // events still to re-deliver
+  std::uint32_t probes_since_delivery_ = 0;
+  std::uint32_t probes_logged_ = 0;  // prefix of the above already durable
+
+  std::vector<ReceptionEvent> el_outbox_;
+  std::uint64_t el_appended_ = 0;
+  std::uint64_t el_acked_ = 0;
+
+  bool app_waiting_brecv_ = false;
+  bool app_waiting_probe_ = false;
+  bool ckpt_requested_ = false;             // piggybacked flag to the app
+  std::optional<PendingCkpt> ckpt_;
+  std::vector<Clock> last_stable_hr_;       // HR vector of last stable ckpt
+  bool has_stable_ckpt_ = false;
+  bool shutdown_ = false;
+  mpi::Rank rr_next_ = 0;                   // round-robin TX pointer
+  std::deque<net::NetEvent> setup_backlog_;  // events deferred during setup
+
+  DaemonStats stats_;
+};
+
+}  // namespace mpiv::v2

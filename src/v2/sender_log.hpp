@@ -1,0 +1,97 @@
+// The sender-based payload log: the paper's SAVED set.
+//
+// Every channel block a daemon emits is recorded here with the logical
+// clock of its send event, so it can be re-sent if the receiver rolls back.
+// Entries are garbage-collected when the receiver reports (via CkptNotify)
+// that a checkpoint made every message up to some clock permanently stable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "mpi/types.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::v2 {
+
+class SenderLog {
+ public:
+  struct Entry {
+    Clock clock = 0;
+    Buffer block;
+  };
+
+  SenderLog() = default;
+  explicit SenderLog(mpi::Rank nranks)
+      : per_dest_(static_cast<std::size_t>(nranks)) {}
+
+  void record(mpi::Rank dest, Clock clock, Buffer block) {
+    bytes_ += block.size();
+    per_dest_[static_cast<std::size_t>(dest)].push_back(
+        Entry{clock, std::move(block)});
+  }
+
+  /// Entries destined to `dest` with clock > after, in clock order.
+  [[nodiscard]] std::vector<const Entry*> entries_after(mpi::Rank dest,
+                                                        Clock after) const {
+    std::vector<const Entry*> out;
+    for (const Entry& e : per_dest_[static_cast<std::size_t>(dest)]) {
+      if (e.clock > after) out.push_back(&e);
+    }
+    return out;
+  }
+
+  /// Garbage collection: drops entries to `dest` with clock <= upto.
+  void prune(mpi::Rank dest, Clock upto) {
+    auto& q = per_dest_[static_cast<std::size_t>(dest)];
+    while (!q.empty() && q.front().clock <= upto) {
+      bytes_ -= q.front().block.size();
+      q.pop_front();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t entry_count() const {
+    std::size_t n = 0;
+    for (const auto& q : per_dest_) n += q.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t count_for(mpi::Rank dest) const {
+    return per_dest_[static_cast<std::size_t>(dest)].size();
+  }
+
+  void serialize(Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(per_dest_.size()));
+    for (const auto& q : per_dest_) {
+      w.u32(static_cast<std::uint32_t>(q.size()));
+      for (const Entry& e : q) {
+        w.i64(e.clock);
+        w.blob(e.block);
+      }
+    }
+  }
+
+  void restore(Reader& r) {
+    std::uint32_t nd = r.u32();
+    per_dest_.assign(nd, {});
+    bytes_ = 0;
+    for (std::uint32_t d = 0; d < nd; ++d) {
+      std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Clock c = r.i64();
+        Buffer b = r.blob();
+        bytes_ += b.size();
+        per_dest_[d].push_back(Entry{c, std::move(b)});
+      }
+    }
+  }
+
+ private:
+  std::vector<std::deque<Entry>> per_dest_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mpiv::v2

@@ -1,0 +1,73 @@
+#include "v2/v2_device.hpp"
+
+#include "common/error.hpp"
+
+namespace mpiv::v2 {
+
+Buffer V2Device::roundtrip(sim::Context& ctx, Writer w, PipeMsg expect) {
+  pipe_.app_end().send(ctx, w.take());
+  Buffer reply = pipe_.app_end().recv(ctx);
+  Reader r(reply);
+  PipeHeader h = read_pipe_header(r);
+  MPIV_CHECK(h.type == expect, "v2 device: unexpected pipe reply type");
+  ckpt_requested_ = h.ckpt_requested;
+  // Return the remainder (after the header) as a fresh buffer.
+  ConstBytes rest = r.rest();
+  return Buffer(rest.begin(), rest.end());
+}
+
+void V2Device::init(sim::Context& ctx) {
+  Buffer body = roundtrip(ctx, pipe_writer(PipeMsg::kInit), PipeMsg::kInitOk);
+  Reader r(body);
+  mpi::Rank rank = r.i32();
+  mpi::Rank size = r.i32();
+  MPIV_CHECK(rank == rank_ && size == size_, "v2 device: daemon disagrees");
+}
+
+void V2Device::finish(sim::Context& ctx) {
+  roundtrip(ctx, pipe_writer(PipeMsg::kFinish), PipeMsg::kFinishOk);
+}
+
+void V2Device::bsend(sim::Context& ctx, mpi::Rank dest, Buffer block) {
+  // One-way hand-off: the app pays the local socket transfer (charged by
+  // the pipe) and continues; the daemon transmits in the background. This
+  // is what makes V2's MPI_Isend cheap (Table 1) and lets communication
+  // overlap computation.
+  Writer w = pipe_writer(PipeMsg::kBsend);
+  w.i32(dest);
+  w.blob(block);
+  pipe_.app_end().send(ctx, w.take());
+}
+
+mpi::Packet V2Device::brecv(sim::Context& ctx) {
+  Buffer body = roundtrip(ctx, pipe_writer(PipeMsg::kBrecv), PipeMsg::kDeliver);
+  Reader r(body);
+  mpi::Packet pkt;
+  pkt.from = r.i32();
+  pkt.data = r.blob();
+  return pkt;
+}
+
+bool V2Device::nprobe(sim::Context& ctx) {
+  Buffer body = roundtrip(ctx, pipe_writer(PipeMsg::kNprobe), PipeMsg::kProbeR);
+  Reader r(body);
+  return r.boolean();
+}
+
+void V2Device::send_checkpoint(sim::Context& ctx, Buffer image) {
+  Writer w = pipe_writer(PipeMsg::kCkptImage);
+  w.blob(image);
+  roundtrip(ctx, std::move(w), PipeMsg::kCkptOk);
+}
+
+std::optional<Buffer> V2Device::take_restart_image(sim::Context& ctx) {
+  Buffer body =
+      roundtrip(ctx, pipe_writer(PipeMsg::kGetImage), PipeMsg::kImageR);
+  Reader r(body);
+  bool found = r.boolean();
+  Buffer blob = r.blob();
+  if (!found) return std::nullopt;
+  return blob;
+}
+
+}  // namespace mpiv::v2

@@ -1,0 +1,50 @@
+// The MPICH-V2 channel device (app-process side).
+//
+// Each channel primitive is one synchronous request/reply exchange on the
+// local pipe to the communication daemon, exactly as in the paper ("the
+// communication across the UNIX socket to the MPI process is synchronous
+// and its granularity is the whole protocol message"). Every daemon reply
+// piggybacks the checkpoint-request flag so polling it is free.
+#pragma once
+
+#include "mpi/device.hpp"
+#include "net/pipe.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv::v2 {
+
+class V2Device final : public mpi::Device {
+ public:
+  V2Device(net::Pipe& pipe, mpi::Rank rank, mpi::Rank size)
+      : pipe_(pipe), rank_(rank), size_(size) {}
+
+  void init(sim::Context& ctx) override;
+  void finish(sim::Context& ctx) override;
+  void bsend(sim::Context& ctx, mpi::Rank dest, Buffer block) override;
+  mpi::Packet brecv(sim::Context& ctx) override;
+  bool nprobe(sim::Context& ctx) override;
+
+  [[nodiscard]] mpi::Rank rank() const override { return rank_; }
+  [[nodiscard]] mpi::Rank size() const override { return size_; }
+  /// V2's eager/rendezvous switch sits at 64 KB (fig. 10's protocol kink).
+  [[nodiscard]] std::uint32_t eager_threshold() const override {
+    return 64 * 1024;
+  }
+
+  [[nodiscard]] bool checkpoint_requested() const override {
+    return ckpt_requested_;
+  }
+  void send_checkpoint(sim::Context& ctx, Buffer image) override;
+  std::optional<Buffer> take_restart_image(sim::Context& ctx) override;
+
+ private:
+  /// One synchronous exchange: send `w`, wait for a reply of type `expect`.
+  Buffer roundtrip(sim::Context& ctx, Writer w, PipeMsg expect);
+
+  net::Pipe& pipe_;
+  mpi::Rank rank_;
+  mpi::Rank size_;
+  bool ckpt_requested_ = false;
+};
+
+}  // namespace mpiv::v2

@@ -1,0 +1,207 @@
+// Wire and pipe message formats of the MPICH-V2 runtime.
+//
+// Five conversations, all length-framed Buffers with a leading type byte:
+//   app <-> daemon (local pipe), daemon <-> daemon, daemon <-> event logger,
+//   daemon <-> checkpoint server, daemon <-> dispatcher / checkpoint
+//   scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serialize.hpp"
+#include "mpi/types.hpp"
+
+namespace mpiv::v2 {
+
+using Clock = std::int64_t;  // a process' logical clock value
+
+/// Event logged on the Event Logger. Deliveries carry the paper's
+/// dependency information (sender id; sender clock at emission; receiver
+/// clock at delivery; number of probes since last delivery). Probe-batch
+/// events make failed probes durable *before a subsequent send*: §4.5's
+/// bundling of probe counts into the next reception is only sound when no
+/// send intervenes — the appendix protocol logs every nondeterministic
+/// action, and so do we, lazily (at most one batch per send).
+struct ReceptionEvent {
+  enum class Kind : std::uint8_t { kDelivery = 0, kProbeBatch = 1 };
+  Kind kind = Kind::kDelivery;
+  mpi::Rank sender = -1;
+  Clock send_clock = 0;
+  /// Delivery clock; probe batches are stamped with the *upcoming*
+  /// delivery clock so checkpoint-based pruning/filtering keeps them.
+  Clock recv_clock = 0;
+  /// Deliveries: failed probes since the previous delivery. Probe batches:
+  /// the cumulative failed-probe count being made durable.
+  std::uint32_t nprobes = 0;
+};
+
+inline void write_event(Writer& w, const ReceptionEvent& e) {
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.i32(e.sender);
+  w.i64(e.send_clock);
+  w.i64(e.recv_clock);
+  w.u32(e.nprobes);
+}
+
+inline ReceptionEvent read_event(Reader& r) {
+  ReceptionEvent e;
+  e.kind = static_cast<ReceptionEvent::Kind>(r.u8());
+  e.sender = r.i32();
+  e.send_clock = r.i64();
+  e.recv_clock = r.i64();
+  e.nprobes = r.u32();
+  return e;
+}
+
+// ---------------------------------------------------------------- pipe
+
+enum class PipeMsg : std::uint8_t {
+  // app -> daemon
+  kInit = 1,
+  kFinish,
+  kBsend,       // {dest, block}
+  kBrecv,       // {}
+  kNprobe,      // {}
+  kCkptImage,   // {blob}  (reply to a checkpoint request)
+  kGetImage,    // {}      (restart: fetch app image from checkpoint)
+  // daemon -> app  (all carry the piggybacked ckpt_requested flag)
+  kInitOk,      // {rank, size}
+  kFinishOk,
+  kBsendOk,
+  kDeliver,     // {from, block}
+  kProbeR,      // {pending}
+  kCkptOk,
+  kImageR,      // {found, blob}
+};
+
+struct PipeHeader {
+  PipeMsg type;
+  bool ckpt_requested = false;  // daemon -> app piggyback
+};
+
+inline Writer pipe_writer(PipeMsg type, bool ckpt_requested = false) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.boolean(ckpt_requested);
+  return w;
+}
+
+inline PipeHeader read_pipe_header(Reader& r) {
+  PipeHeader h;
+  h.type = static_cast<PipeMsg>(r.u8());
+  h.ckpt_requested = r.boolean();
+  return h;
+}
+
+// ---------------------------------------------------------------- daemon <-> daemon
+
+enum class PeerMsg : std::uint8_t {
+  kHello = 1,    // {rank, incarnation}
+  kMsgPart,      // {last, bytes...} — chunk of a serialized MsgRecord
+  kRestart1,     // {hr}  "resend everything you sent me after clock hr"
+  kRestart2,     // {hr}  "I have your sends up to clock hr"
+  kCkptNotify,   // {hr}  "I checkpointed; your sends up to hr are stable"
+  kResendDone,   // {clock} closes a Restart1-triggered resend pass: every
+                 // send at or below {clock} has now been (re)transmitted,
+                 // so the receiver's completeness watermark may advance
+};
+
+/// Payload-carrying message between daemons (assembled from kMsgPart
+/// chunks): the sender's clock at emission plus the opaque channel block.
+struct MsgRecord {
+  Clock send_clock = 0;
+  Buffer block;
+};
+
+inline Buffer encode_msg_record(const MsgRecord& m) {
+  Writer w;
+  w.i64(m.send_clock);
+  w.blob(m.block);
+  return w.take();
+}
+
+inline MsgRecord decode_msg_record(ConstBytes bytes) {
+  Reader r(bytes);
+  MsgRecord m;
+  m.send_clock = r.i64();
+  m.block = r.blob();
+  return m;
+}
+
+// ---------------------------------------------------------------- daemon <-> event logger
+
+enum class ElMsg : std::uint8_t {
+  kHello = 1,   // {rank}
+  kAppend,      // {events...}
+  kAck,         // {appended_count_acked}
+  kDownload,    // {after_clock}
+  kEvents,      // {events...}
+  kPrune,       // {upto_recv_clock}
+};
+
+// ---------------------------------------------------------------- daemon <-> checkpoint server
+
+enum class CsMsg : std::uint8_t {
+  kStoreBegin = 1,  // {rank, ckpt_seq, total_bytes}
+  kStoreChunk,      // {bytes}
+  kStoreEnd,        // {}
+  kStoreOk,         // {ckpt_seq}
+  kFetch,           // {rank}
+  kImage,           // {found, ckpt_seq, blob}
+};
+
+// ---------------------------------------------------------------- daemon <-> dispatcher & scheduler
+
+enum class CtlMsg : std::uint8_t {
+  kRegister = 1,   // daemon -> dispatcher {rank, incarnation}
+  kDone,           // daemon -> dispatcher {rank}  (app called finalize)
+  kShutdown,       // dispatcher -> daemon
+  kStatusReq,      // scheduler -> daemon
+  kStatus,         // daemon -> scheduler {rank, saved_bytes, sent_bytes, recv_bytes, sent_msgs, recv_msgs}
+  kCkptOrder,      // scheduler -> daemon
+  kCkptDone,       // daemon -> scheduler {rank, ckpt_seq}
+  kWhereIs,        // daemon -> dispatcher {rank}: current address of a peer
+  kAddr,           // dispatcher -> daemon {rank, node, port}
+};
+
+/// Daemon status snapshot reported to the checkpoint scheduler.
+struct DaemonStatus {
+  mpi::Rank rank = -1;
+  std::uint64_t saved_bytes = 0;   // sender-log occupancy
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t recv_bytes = 0;
+  std::uint64_t sent_msgs = 0;
+  std::uint64_t recv_msgs = 0;
+};
+
+inline void write_status(Writer& w, const DaemonStatus& s) {
+  w.i32(s.rank);
+  w.u64(s.saved_bytes);
+  w.u64(s.sent_bytes);
+  w.u64(s.recv_bytes);
+  w.u64(s.sent_msgs);
+  w.u64(s.recv_msgs);
+}
+
+inline DaemonStatus read_status(Reader& r) {
+  DaemonStatus s;
+  s.rank = r.i32();
+  s.saved_bytes = r.u64();
+  s.sent_bytes = r.u64();
+  s.recv_bytes = r.u64();
+  s.sent_msgs = r.u64();
+  s.recv_msgs = r.u64();
+  return s;
+}
+
+/// Well-known ports.
+constexpr std::int32_t kDaemonPortBase = 6000;  // + rank
+constexpr std::int32_t kEventLoggerPort = 7001;
+constexpr std::int32_t kCkptServerPort = 7002;
+constexpr std::int32_t kSchedulerPort = 7003;
+constexpr std::int32_t kDispatcherPort = 7004;
+constexpr std::int32_t kChannelMemoryPort = 7100;  // + cm index (MPICH-V1)
+
+}  // namespace mpiv::v2

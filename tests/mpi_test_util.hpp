@@ -1,0 +1,63 @@
+// Shared scaffolding for MPI-layer tests: runs an N-rank job over P4
+// devices on a fresh simulated cluster and returns per-rank wall time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "net/network.hpp"
+#include "p4/p4_device.hpp"
+#include "sim/engine.hpp"
+
+namespace mpiv::testutil {
+
+using RankFn = std::function<void(sim::Context&, mpi::Comm&)>;
+
+struct JobResult {
+  std::vector<SimDuration> rank_time;
+  SimTime makespan = 0;
+  bool all_finished = false;
+  std::uint64_t net_messages = 0;
+};
+
+/// Runs `fn` on `n` ranks (one simulated node each) over P4 devices.
+inline JobResult run_p4_job(int n, const RankFn& fn,
+                            net::NetParams params = net::NetParams{}) {
+  sim::Engine eng;
+  net::Network net(eng, params);
+  std::vector<net::Address> directory;
+  for (int i = 0; i < n; ++i) {
+    net::NodeId node = net.add_node("node" + std::to_string(i));
+    directory.push_back({node, p4::kPortBase + i});
+  }
+  JobResult result;
+  result.rank_time.resize(static_cast<std::size_t>(n), -1);
+  int finished = 0;
+  for (int r = 0; r < n; ++r) {
+    sim::Process* p = eng.spawn(
+        "rank" + std::to_string(r), [&, r](sim::Context& ctx) {
+          p4::P4Config cfg;
+          cfg.node = directory[static_cast<std::size_t>(r)].node;
+          cfg.rank = r;
+          cfg.size = n;
+          cfg.directory = directory;
+          p4::P4Device dev(net, cfg);
+          mpi::Comm comm(dev);
+          comm.init(ctx);
+          fn(ctx, comm);
+          comm.finalize(ctx);
+          result.rank_time[static_cast<std::size_t>(r)] = ctx.now();
+          ++finished;
+        });
+    net.register_process(directory[static_cast<std::size_t>(r)].node, p);
+  }
+  eng.run();
+  result.makespan = eng.now();
+  result.all_finished = (finished == n);
+  result.net_messages = net.counters().messages;
+  return result;
+}
+
+}  // namespace mpiv::testutil

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace mpiv {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(45.0);
+  EXPECT_NEAR(sum / n, 45.0, 2.0);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng r(5);
+  Rng child = r.fork();
+  EXPECT_NE(r.next(), child.next());
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(seconds(1), 1000000000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(77)), 77.0);
+}
+
+TEST(Units, TransferTime) {
+  // 1 MB at 1 MB/s = 1 s.
+  EXPECT_EQ(transfer_time(1000000, 1e6), kSecond);
+  EXPECT_EQ(transfer_time(0, 1e6), 0);
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(seconds(1.5)), "1.500 s");
+  EXPECT_EQ(format_duration(microseconds(77)), "77.00 us");
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SamplesPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+}
+
+TEST(Stats, TextTableRenders) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(Options, ParsesKeyValuesAndDefaults) {
+  const char* argv[] = {"prog", "n=8", "device=v2", "flag", "rate=2.5",
+                        "list=1,2,4"};
+  Options o(6, const_cast<char**>(argv));
+  EXPECT_EQ(o.get_int("n", 0), 8);
+  EXPECT_EQ(o.get("device", "p4"), "v2");
+  EXPECT_TRUE(o.get_bool("flag", false));
+  EXPECT_FALSE(o.get_bool("missing", false));
+  EXPECT_DOUBLE_EQ(o.get_double("rate", 0), 2.5);
+  auto list = o.get_int_list("list", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[2], 4);
+  EXPECT_EQ(o.get_int("absent", -1), -1);
+}
+
+}  // namespace
+}  // namespace mpiv

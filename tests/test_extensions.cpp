@@ -1,0 +1,187 @@
+// Tests for the deployment-shape extensions: spare-node restarts, multiple
+// event loggers, and tolerance of checkpoint-server failure (§4.3: only
+// the dispatcher/event-logger node must be reliable).
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "apps/token_ring.hpp"
+#include "runtime/job.hpp"
+
+namespace mpiv {
+namespace {
+
+using runtime::DeviceKind;
+using runtime::JobConfig;
+using runtime::JobResult;
+
+std::vector<Buffer> outputs(const JobResult& r) {
+  std::vector<Buffer> out;
+  for (const auto& rr : r.ranks) out.push_back(rr.output);
+  return out;
+}
+
+runtime::AppFactory ring(int rounds, std::size_t bytes, SimDuration compute) {
+  return [=](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::TokenRingApp>(rounds, bytes, compute);
+  };
+}
+
+TEST(SpareNodes, RankRestartsOnDifferentNode) {
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.spare_nodes = 2;
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 2, {1});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(SpareNodes, RepeatedMigrationsAcrossSpares) {
+  auto factory = ring(50, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.spare_nodes = 1;
+  faults::FaultPlan plan;
+  plan.events.push_back({clean.makespan / 4, 1});
+  plan.events.push_back({clean.makespan / 2, 2});
+  plan.events.push_back({clean.makespan * 3 / 4, 1});
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 2);  // a kill can land on an already-down node
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(SpareNodes, MigrationWithCheckpointRestore) {
+  auto factory = apps::kernel_factory("mg", apps::NasClass::kTest);
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(5);
+  cfg.ckpt_period = milliseconds(2);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.spare_nodes = 2;
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 2, {0, 2});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(MultipleEventLoggers, EventsPartitionAcrossLoggers) {
+  auto factory = ring(20, 256, microseconds(200));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.n_event_loggers = 2;
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  // All deliveries logged, across both loggers in aggregate.
+  EXPECT_EQ(res.el_events_stored, res.daemon_stats.events_logged);
+}
+
+TEST(MultipleEventLoggers, RecoveryWorksWithTwoLoggers) {
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 5;
+  cfg.device = DeviceKind::kV2;
+  cfg.n_event_loggers = 2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan =
+      faults::FaultPlan::simultaneous(clean.makespan / 2, {1, 3});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(UnreliableCkptServer, JobSurvivesCkptServerDeath) {
+  auto factory = ring(50, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(5);
+  cfg.ckpt_period = milliseconds(5);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // The checkpoint server dies a third of the way in; the job must still
+  // finish (checkpointing just stops).
+  cfg.ckpt_server_fails_at = clean.makespan / 3;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(UnreliableCkptServer, PermanentDeathBeforeFirstCheckpoint) {
+  // The CS dies for good before any checkpoint completed: no event-log
+  // pruning or sender-log GC has happened, so a later computing-node crash
+  // restarts from scratch and replays everything — "at worst".
+  auto factory = ring(50, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(30);
+  cfg.ckpt_period = milliseconds(5);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.ckpt_server_fails_at = milliseconds(10);  // before the first order
+  cfg.ckpt_server_recovers = false;
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 2, {2});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_EQ(res.checkpoints_stored, 0u);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(UnreliableCkptServer, RebootWithDurableImages) {
+  // The CS crashes mid-run and reboots with its stored images (stable
+  // storage); a rank killed afterwards restores from a pre-crash image.
+  auto factory = ring(120, 512, milliseconds(1));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(5);
+  cfg.ckpt_period = milliseconds(5);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+  ASSERT_GT(clean.checkpoints_stored, 0u);
+
+  cfg.ckpt_server_fails_at = clean.makespan / 3;
+  cfg.ckpt_server_recovers = true;
+  // Fault lands after the reboot (restart_delay) but well inside the run.
+  cfg.fault_plan = faults::FaultPlan::simultaneous(
+      clean.makespan * 2 / 3, {2});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+}  // namespace
+}  // namespace mpiv

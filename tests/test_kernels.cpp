@@ -1,0 +1,135 @@
+// NAS-like kernel correctness: fault-free sanity, cross-device result
+// equivalence (the kernels are deterministic, so P4 / V1 / V2 must produce
+// bit-identical outputs), and fault-transparency sweeps.
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "runtime/job.hpp"
+
+namespace mpiv {
+namespace {
+
+using apps::NasClass;
+using runtime::DeviceKind;
+using runtime::JobConfig;
+using runtime::JobResult;
+
+std::vector<Buffer> outputs(const JobResult& r) {
+  std::vector<Buffer> out;
+  for (const auto& rr : r.ranks) out.push_back(rr.output);
+  return out;
+}
+
+JobResult run_kernel(const std::string& name, int nprocs, DeviceKind dev,
+                     faults::FaultPlan plan = {}) {
+  JobConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.device = dev;
+  cfg.fault_plan = std::move(plan);
+  return run_job(cfg, apps::kernel_factory(name, NasClass::kTest));
+}
+
+// ---- per-kernel fault-free sanity at representative proc counts ----
+
+struct KernelCase {
+  std::string name;
+  int nprocs;
+};
+
+class KernelSanity : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelSanity, CompletesOnP4WithFiniteResult) {
+  auto [name, np] = GetParam();
+  JobResult r = run_kernel(name, np, DeviceKind::kP4);
+  ASSERT_TRUE(r.success);
+  for (const auto& rr : r.ranks) {
+    ASSERT_FALSE(rr.output.empty());
+    Reader rd(rr.output);
+    double v = rd.f64();
+    EXPECT_TRUE(std::isfinite(v)) << name << " produced " << v;
+  }
+}
+
+TEST_P(KernelSanity, V2MatchesP4Bitwise) {
+  auto [name, np] = GetParam();
+  JobResult p4 = run_kernel(name, np, DeviceKind::kP4);
+  JobResult v2 = run_kernel(name, np, DeviceKind::kV2);
+  ASSERT_TRUE(p4.success);
+  ASSERT_TRUE(v2.success);
+  EXPECT_EQ(outputs(p4), outputs(v2));
+}
+
+TEST_P(KernelSanity, V1MatchesP4Bitwise) {
+  auto [name, np] = GetParam();
+  JobResult p4 = run_kernel(name, np, DeviceKind::kP4);
+  JobResult v1 = run_kernel(name, np, DeviceKind::kV1);
+  ASSERT_TRUE(p4.success);
+  ASSERT_TRUE(v1.success);
+  EXPECT_EQ(outputs(p4), outputs(v1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelSanity,
+    ::testing::Values(KernelCase{"cg", 4}, KernelCase{"cg", 8},
+                      KernelCase{"mg", 4}, KernelCase{"mg", 8},
+                      KernelCase{"ft", 4}, KernelCase{"ft", 8},
+                      KernelCase{"lu", 4}, KernelCase{"lu", 8},
+                      KernelCase{"bt", 4}, KernelCase{"bt", 9},
+                      KernelCase{"sp", 4}, KernelCase{"sp", 9}),
+    [](const auto& info) {
+      return info.param.name + "_" + std::to_string(info.param.nprocs);
+    });
+
+// ---- fault transparency: one fault mid-run must not change results ----
+
+class KernelFaults : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelFaults, OneFaultPreservesResults) {
+  auto [name, np] = GetParam();
+  JobResult clean = run_kernel(name, np, DeviceKind::kV2);
+  ASSERT_TRUE(clean.success);
+  // Kill a middle rank a third of the way through the clean makespan.
+  faults::FaultPlan plan = faults::FaultPlan::simultaneous(
+      clean.makespan / 3, {static_cast<mpi::Rank>(np / 2)});
+  JobResult faulty = run_kernel(name, np, DeviceKind::kV2, plan);
+  ASSERT_TRUE(faulty.success);
+  EXPECT_GE(faulty.restarts, 1);
+  EXPECT_EQ(outputs(faulty), outputs(clean));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelFaults,
+    ::testing::Values(KernelCase{"cg", 4}, KernelCase{"mg", 4},
+                      KernelCase{"ft", 4}, KernelCase{"lu", 4},
+                      KernelCase{"bt", 4}, KernelCase{"sp", 4}),
+    [](const auto& info) {
+      return info.param.name + "_" + std::to_string(info.param.nprocs);
+    });
+
+TEST(KernelDeterminism, RepeatedRunsIdentical) {
+  JobResult a = run_kernel("cg", 4, DeviceKind::kV2);
+  JobResult b = run_kernel("cg", 4, DeviceKind::kV2);
+  ASSERT_TRUE(a.success);
+  EXPECT_EQ(outputs(a), outputs(b));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.daemon_stats.events_logged, b.daemon_stats.events_logged);
+}
+
+TEST(KernelDeterminism, FaultyRunsIdenticalForSameSeed) {
+  faults::FaultPlan plan =
+      faults::FaultPlan::periodic_random(2, milliseconds(5), milliseconds(30),
+                                         4, /*seed=*/99);
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.fault_plan = plan;
+  JobResult a = run_job(cfg, apps::kernel_factory("mg", NasClass::kTest));
+  JobResult b = run_job(cfg, apps::kernel_factory("mg", NasClass::kTest));
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_EQ(outputs(a), outputs(b));
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+}  // namespace
+}  // namespace mpiv

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "mpi_test_util.hpp"
+
+namespace mpiv {
+namespace {
+
+using testutil::run_p4_job;
+
+// Collectives are validated across a sweep of communicator sizes including
+// non-powers-of-two.
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  std::vector<SimTime> after(static_cast<std::size_t>(n));
+  auto res = run_p4_job(n, [&](sim::Context& ctx, mpi::Comm& comm) {
+    // Stagger arrival; everyone must leave after the last arriver.
+    ctx.sleep(milliseconds(comm.rank()));
+    comm.barrier(ctx);
+    after[static_cast<std::size_t>(comm.rank())] = ctx.now();
+  });
+  EXPECT_TRUE(res.all_finished);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GE(after[static_cast<std::size_t>(r)], milliseconds(n - 1));
+  }
+}
+
+TEST_P(Collectives, BcastFromEachRoot) {
+  const int n = GetParam();
+  for (int root = 0; root < n; root += (n > 4 ? 3 : 1)) {
+    auto res = run_p4_job(n, [root](sim::Context& ctx, mpi::Comm& comm) {
+      std::vector<int> data(33, comm.rank() == root ? 777 : 0);
+      comm.bcast(ctx, std::as_writable_bytes(std::span<int>(data)), root);
+      EXPECT_EQ(data[0], 777);
+      EXPECT_EQ(data[32], 777);
+    });
+    EXPECT_TRUE(res.all_finished);
+  }
+}
+
+TEST_P(Collectives, ReduceSumAtRoot) {
+  const int n = GetParam();
+  auto res = run_p4_job(n, [n](sim::Context& ctx, mpi::Comm& comm) {
+    std::vector<double> in(5, comm.rank() + 1.0);
+    std::vector<double> out(5, -1.0);
+    comm.reduce(ctx, in, out, mpi::ReduceOp::kSum, 0);
+    if (comm.rank() == 0) {
+      double expect = n * (n + 1) / 2.0;
+      for (double v : out) EXPECT_DOUBLE_EQ(v, expect);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST_P(Collectives, AllreduceOps) {
+  const int n = GetParam();
+  auto res = run_p4_job(n, [n](sim::Context& ctx, mpi::Comm& comm) {
+    double r = comm.rank();
+    EXPECT_DOUBLE_EQ(comm.allreduce(ctx, r, mpi::ReduceOp::kSum),
+                     n * (n - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(ctx, r, mpi::ReduceOp::kMin), 0.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(ctx, r, mpi::ReduceOp::kMax), n - 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(ctx, r + 1.0, mpi::ReduceOp::kProd),
+                     std::tgamma(n + 1.0));
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST_P(Collectives, AlltoallPermutes) {
+  const int n = GetParam();
+  auto res = run_p4_job(n, [n](sim::Context& ctx, mpi::Comm& comm) {
+    std::vector<std::int32_t> send(static_cast<std::size_t>(n) * 2);
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(n) * 2, -1);
+    for (int d = 0; d < n; ++d) {
+      send[static_cast<std::size_t>(d) * 2] = comm.rank() * 100 + d;
+      send[static_cast<std::size_t>(d) * 2 + 1] = comm.rank();
+    }
+    comm.alltoall(ctx, std::as_bytes(std::span<const std::int32_t>(send)),
+                  std::as_writable_bytes(std::span<std::int32_t>(recv)),
+                  2 * sizeof(std::int32_t));
+    for (int s = 0; s < n; ++s) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(s) * 2], s * 100 + comm.rank());
+      EXPECT_EQ(recv[static_cast<std::size_t>(s) * 2 + 1], s);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST_P(Collectives, AllgatherCollectsInRankOrder) {
+  const int n = GetParam();
+  auto res = run_p4_job(n, [n](sim::Context& ctx, mpi::Comm& comm) {
+    std::int64_t mine = comm.rank() * 7 + 1;
+    std::vector<std::int64_t> all(static_cast<std::size_t>(n), -1);
+    comm.allgather(ctx, as_bytes_of(mine),
+                   std::as_writable_bytes(std::span<std::int64_t>(all)));
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 7 + 1);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST_P(Collectives, GatherScatterRoundTrip) {
+  const int n = GetParam();
+  auto res = run_p4_job(n, [n](sim::Context& ctx, mpi::Comm& comm) {
+    const int root = n - 1;
+    double mine = comm.rank() + 0.5;
+    std::vector<double> gathered(static_cast<std::size_t>(n), 0);
+    comm.gather(ctx, as_bytes_of(mine),
+                std::as_writable_bytes(std::span<double>(gathered)), root);
+    if (comm.rank() == root) {
+      for (int r = 0; r < n; ++r) {
+        EXPECT_DOUBLE_EQ(gathered[static_cast<std::size_t>(r)], r + 0.5);
+        gathered[static_cast<std::size_t>(r)] *= 2.0;
+      }
+    }
+    double back = 0;
+    comm.scatter(ctx, std::as_bytes(std::span<const double>(gathered)),
+                 std::as_writable_bytes(std::span<double>(&back, 1)), root);
+    EXPECT_DOUBLE_EQ(back, (comm.rank() + 0.5) * 2.0);
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST_P(Collectives, BackToBackCollectivesDoNotCrossTalk) {
+  const int n = GetParam();
+  auto res = run_p4_job(n, [n](sim::Context& ctx, mpi::Comm& comm) {
+    for (int iter = 0; iter < 5; ++iter) {
+      double s = comm.allreduce(ctx, 1.0, mpi::ReduceOp::kSum);
+      EXPECT_DOUBLE_EQ(s, n);
+      std::vector<int> v(3, comm.rank() == 0 ? iter : -1);
+      comm.bcast(ctx, std::as_writable_bytes(std::span<int>(v)), 0);
+      EXPECT_EQ(v[2], iter);
+      comm.barrier(ctx);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+INSTANTIATE_TEST_SUITE_P(CommSizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 9, 16));
+
+TEST(CollectivesLarge, BcastLargePayload) {
+  auto res = run_p4_job(4, [](sim::Context& ctx, mpi::Comm& comm) {
+    Buffer data(300 * 1024);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::byte>(i % 251);
+      }
+    }
+    comm.bcast(ctx, data, 0);
+    EXPECT_EQ(data[250], std::byte{250});
+    EXPECT_EQ(data[300 * 1024 - 1], std::byte{(300 * 1024 - 1) % 251});
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+}  // namespace
+}  // namespace mpiv

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi_test_util.hpp"
+
+namespace mpiv {
+namespace {
+
+using mpi::kAnySource;
+using mpi::kAnyTag;
+using mpi::Status;
+using testutil::run_p4_job;
+
+TEST(MpiP2p, BlockingSendRecv) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> data{1, 2, 3, 4};
+      comm.send<int>(ctx, data, 1, 7);
+    } else {
+      std::vector<int> buf(4);
+      Status st;
+      comm.recv<int>(ctx, buf, 0, 7, &st);
+      EXPECT_EQ(buf, (std::vector<int>{1, 2, 3, 4}));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.count, 16u);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, TagMatching) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(ctx, 10, 1, /*tag=*/1);
+      comm.send_value<int>(ctx, 20, 1, /*tag=*/2);
+    } else {
+      // Receive tag 2 first even though tag 1 arrived earlier.
+      EXPECT_EQ(comm.recv_value<int>(ctx, 0, 2), 20);
+      EXPECT_EQ(comm.recv_value<int>(ctx, 0, 1), 10);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, AnySourceReceives) {
+  auto res = run_p4_job(3, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<int>(ctx, comm.rank() * 100, 0, 5);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        Status st;
+        int v = 0;
+        comm.recv(ctx, std::span<int>(&v, 1), kAnySource, 5, &st);
+        EXPECT_EQ(v, st.source * 100);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 300);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, AnyTagReceives) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(ctx, 42, 1, 9);
+    } else {
+      Status st;
+      int v = 0;
+      comm.recv(ctx, std::span<int>(&v, 1), 0, kAnyTag, &st);
+      EXPECT_EQ(v, 42);
+      EXPECT_EQ(st.tag, 9);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, NonOvertakingSameTag) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    const int kN = 50;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) comm.send_value<int>(ctx, i, 1, 3);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(ctx, 0, 3), i);
+      }
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, IsendIrecvWaitall) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    const int kN = 10;
+    std::vector<std::vector<int>> sbufs(kN), rbufs(kN);
+    std::vector<mpi::Request> reqs;
+    int peer = 1 - comm.rank();
+    for (int i = 0; i < kN; ++i) {
+      sbufs[i].assign(64, comm.rank() * 1000 + i);
+      rbufs[i].assign(64, -1);
+      reqs.push_back(comm.irecv<int>(ctx, rbufs[i], peer, i));
+    }
+    for (int i = 0; i < kN; ++i) {
+      reqs.push_back(comm.isend<int>(ctx, sbufs[i], peer, i));
+    }
+    comm.waitall(ctx, reqs);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(rbufs[i][0], peer * 1000 + i);
+      EXPECT_EQ(rbufs[i][63], peer * 1000 + i);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, TestCompletesEventually) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      ctx.sleep(milliseconds(5));
+      comm.send_value<int>(ctx, 1, 1, 0);
+    } else {
+      int v = 0;
+      mpi::Request r = comm.irecv(ctx, std::span<int>(&v, 1), 0, 0);
+      int polls = 0;
+      while (!comm.test(ctx, r)) {
+        ctx.sleep(microseconds(100));
+        ++polls;
+      }
+      EXPECT_GT(polls, 5);
+      EXPECT_EQ(v, 1);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, ProbeThenRecv) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> d(17, 3.5);
+      comm.send<double>(ctx, d, 1, 4);
+    } else {
+      Status st = comm.probe(ctx, kAnySource, kAnyTag);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 4);
+      EXPECT_EQ(st.count, 17 * sizeof(double));
+      std::vector<double> buf(17);
+      comm.recv<double>(ctx, buf, st.source, st.tag);
+      EXPECT_DOUBLE_EQ(buf[16], 3.5);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, IprobeNegativeThenPositive) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      ctx.sleep(milliseconds(2));
+      comm.send_value<int>(ctx, 5, 1, 0);
+    } else {
+      EXPECT_FALSE(comm.iprobe(ctx, 0, 0).has_value());
+      while (!comm.iprobe(ctx, 0, 0).has_value()) ctx.sleep(microseconds(50));
+      EXPECT_EQ(comm.recv_value<int>(ctx, 0, 0), 5);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, SendrecvExchanges) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    int peer = 1 - comm.rank();
+    std::vector<int> out(100, comm.rank() + 1), in(100, 0);
+    comm.sendrecv(ctx, std::as_bytes(std::span<const int>(out)), peer, 0,
+                  std::as_writable_bytes(std::span<int>(in)), peer, 0);
+    EXPECT_EQ(in[0], peer + 1);
+    EXPECT_EQ(in[99], peer + 1);
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+// Parameterized across payload sizes to cover the short / eager /
+// rendezvous protocol switch points (1 KB and 128 KB for P4).
+class MpiProtocols : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MpiProtocols, RoundTripPreservesPayload) {
+  const std::size_t bytes = GetParam();
+  auto res = run_p4_job(2, [bytes](sim::Context& ctx, mpi::Comm& comm) {
+    Buffer payload(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      payload[i] = static_cast<std::byte>(i * 31 + 7);
+    }
+    if (comm.rank() == 0) {
+      comm.send(ctx, payload, 1, 0);
+      Buffer back(bytes);
+      comm.recv(ctx, back, 1, 0);
+      EXPECT_EQ(fnv1a(back), fnv1a(payload));
+    } else {
+      Buffer got(bytes);
+      comm.recv(ctx, got, 0, 0);
+      EXPECT_EQ(fnv1a(got), fnv1a(payload));
+      comm.send(ctx, got, 0, 0);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MpiProtocols,
+                         ::testing::Values(0, 1, 100, 1024, 1025, 4096, 65536,
+                                           131072, 131073, 1 << 20));
+
+TEST(MpiP2p, SimultaneousLargeExchangeNoDeadlock) {
+  // Both ranks eagerly push 10 x 64KB at each other, then drain: exercises
+  // the window-blocked service fallback.
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    const int kN = 10;
+    const std::size_t kSize = 64 * 1024;
+    int peer = 1 - comm.rank();
+    std::vector<Buffer> sbuf(kN, Buffer(kSize, std::byte{9}));
+    std::vector<Buffer> rbuf(kN, Buffer(kSize));
+    std::vector<mpi::Request> reqs;
+    for (int i = 0; i < kN; ++i) reqs.push_back(comm.irecv(ctx, rbuf[i], peer, i));
+    for (int i = 0; i < kN; ++i) reqs.push_back(comm.isend(ctx, sbuf[i], peer, i));
+    comm.waitall(ctx, reqs);
+    for (int i = 0; i < kN; ++i) EXPECT_EQ(rbuf[i][100], std::byte{9});
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(MpiP2p, ProfilerAttributesTime) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      Buffer big(256 * 1024);
+      comm.send(ctx, big, 1, 0);
+      EXPECT_GT(comm.profiler().total(mpi::MpiFunc::kSend), 0);
+      EXPECT_EQ(comm.profiler().entry(mpi::MpiFunc::kSend).calls, 1u);
+    } else {
+      Buffer big(256 * 1024);
+      comm.recv(ctx, big, 0, 0);
+      EXPECT_GT(comm.profiler().total(mpi::MpiFunc::kRecv), 0);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+}  // namespace
+}  // namespace mpiv

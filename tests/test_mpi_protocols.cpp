@@ -1,0 +1,203 @@
+// Protocol-layer and ADI internals: envelope framing, the short / eager /
+// rendezvous switch points, rendezvous interleaving, request lifecycle,
+// unexpected-queue serialization, and profiler attribution rules.
+#include <gtest/gtest.h>
+
+#include "mpi/envelope.hpp"
+#include "mpi/profiler.hpp"
+#include "mpi_test_util.hpp"
+
+namespace mpiv {
+namespace {
+
+using testutil::run_p4_job;
+
+TEST(Envelope, RoundTripAllFields) {
+  mpi::Envelope e;
+  e.kind = mpi::PacketKind::kRndvRts;
+  e.src = 13;
+  e.tag = -1;
+  e.payload_size = 0xffffffff;
+  e.seq = 0x123456789abcull;
+  Writer w;
+  mpi::write_envelope(w, e);
+  Buffer b = w.take();
+  EXPECT_EQ(b.size(), mpi::kEnvelopeBytes);
+  Reader r(b);
+  mpi::Envelope out = mpi::read_envelope(r);
+  EXPECT_EQ(out.kind, mpi::PacketKind::kRndvRts);
+  EXPECT_EQ(out.src, 13);
+  EXPECT_EQ(out.tag, -1);
+  EXPECT_EQ(out.payload_size, 0xffffffffu);
+  EXPECT_EQ(out.seq, 0x123456789abcull);
+}
+
+TEST(Envelope, MakeBlockPrependsHeader) {
+  mpi::Envelope e;
+  e.payload_size = 3;
+  Buffer payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  Buffer block = mpi::make_block(e, payload);
+  EXPECT_EQ(block.size(), mpi::kEnvelopeBytes + 3);
+  EXPECT_EQ(block[mpi::kEnvelopeBytes], std::byte{1});
+}
+
+// The wire footprint changes at the protocol switch points: short and
+// eager ship one unsolicited block; rendezvous adds an RTS/CTS handshake.
+TEST(Protocols, RendezvousAddsHandshakeMessages) {
+  std::map<std::size_t, std::uint64_t> msgs;
+  for (std::size_t size : {std::size_t{1024}, std::size_t{200 * 1024}}) {
+    auto res = run_p4_job(2, [size](sim::Context& ctx, mpi::Comm& comm) {
+      Buffer buf(size);
+      if (comm.rank() == 0) {
+        comm.send(ctx, buf, 1, 0);
+      } else {
+        comm.recv(ctx, buf, 0, 0);
+      }
+    });
+    ASSERT_TRUE(res.all_finished);
+    msgs[size] = res.net_messages;
+  }
+  // 1 KB: hello x2 + 1 data block. 200 KB (above P4's 128 KB eager limit):
+  // hello x2 + RTS + CTS + data.
+  EXPECT_EQ(msgs[200 * 1024], msgs[1024] + 2);
+}
+
+TEST(Protocols, RendezvousCompletesOnlyInWait) {
+  // For payloads above the eager threshold, Isend returns after the RTS;
+  // the payload moves during Wait (where the CTS is serviced).
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    const std::size_t kSize = 512 * 1024;
+    if (comm.rank() == 0) {
+      Buffer buf(kSize);
+      SimTime t0 = ctx.now();
+      mpi::Request rq = comm.isend(ctx, buf, 1, 0);
+      SimDuration isend_time = ctx.now() - t0;
+      comm.wait(ctx, rq);
+      SimDuration total = ctx.now() - t0;
+      // The RTS is a few dozen bytes; the payload is half a megabyte.
+      EXPECT_LT(isend_time, total / 10);
+    } else {
+      ctx.sleep(milliseconds(1));
+      Buffer buf(kSize);
+      comm.recv(ctx, buf, 0, 0);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(Protocols, ManyConcurrentRendezvousInterleave) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    const int kN = 6;
+    const std::size_t kSize = 300 * 1024;
+    int peer = 1 - comm.rank();
+    std::vector<Buffer> sb(kN), rb(kN);
+    std::vector<mpi::Request> reqs;
+    for (int i = 0; i < kN; ++i) {
+      sb[static_cast<std::size_t>(i)] =
+          Buffer(kSize, std::byte{static_cast<unsigned char>(i + 1)});
+      rb[static_cast<std::size_t>(i)] = Buffer(kSize);
+      reqs.push_back(comm.irecv(ctx, rb[static_cast<std::size_t>(i)], peer, i));
+    }
+    for (int i = 0; i < kN; ++i) {
+      reqs.push_back(comm.isend(ctx, sb[static_cast<std::size_t>(i)], peer, i));
+    }
+    comm.waitall(ctx, reqs);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(rb[static_cast<std::size_t>(i)][kSize - 1],
+                std::byte{static_cast<unsigned char>(i + 1)});
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(Protocols, EagerAndRendezvousSameTagStayOrdered) {
+  // A small (eager) and a large (rendezvous) message with the same tag must
+  // match posted receives in send order.
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      Buffer small(64, std::byte{1});
+      Buffer large(300 * 1024, std::byte{2});
+      mpi::Request a = comm.isend(ctx, small, 1, 5);
+      mpi::Request b = comm.isend(ctx, large, 1, 5);
+      comm.wait(ctx, a);
+      comm.wait(ctx, b);
+    } else {
+      Buffer first(300 * 1024);
+      Buffer second(300 * 1024);
+      mpi::Status st1, st2;
+      comm.recv(ctx, first, 0, 5, &st1);
+      comm.recv(ctx, second, 0, 5, &st2);
+      EXPECT_EQ(st1.count, 64u);
+      EXPECT_EQ(first[0], std::byte{1});
+      EXPECT_EQ(st2.count, 300u * 1024);
+      EXPECT_EQ(second[0], std::byte{2});
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(Requests, WaitRecyclesAndInvalidatesHandle) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(ctx, 7, 1, 0);
+    } else {
+      int v = 0;
+      mpi::Request r = comm.irecv(ctx, std::span<int>(&v, 1), 0, 0);
+      EXPECT_TRUE(r.valid());
+      comm.wait(ctx, r);
+      EXPECT_FALSE(r.valid());
+      EXPECT_EQ(v, 7);
+    }
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(Requests, WaitallToleratesAlreadyCompletedEntries) {
+  auto res = run_p4_job(2, [](sim::Context& ctx, mpi::Comm& comm) {
+    int peer = 1 - comm.rank();
+    std::vector<int> in(4), out{1, 2, 3, 4};
+    std::vector<mpi::Request> reqs;
+    reqs.push_back(comm.irecv<int>(ctx, in, peer, 0));
+    reqs.push_back(comm.isend<int>(ctx, out, peer, 0));
+    // Complete one by hand, then waitall over the mixed set.
+    comm.wait(ctx, reqs[1]);
+    comm.waitall(ctx, reqs);
+    EXPECT_EQ(in[3], 4);
+  });
+  EXPECT_TRUE(res.all_finished);
+}
+
+TEST(Profiler, OutermostAttributionOnly) {
+  mpi::Profiler p;
+  {
+    mpi::Profiler::Scope outer(p, mpi::MpiFunc::kAllreduce, 0);
+    {
+      mpi::Profiler::Scope inner(p, mpi::MpiFunc::kIsend, 10);
+      inner.finish(20);
+    }
+    outer.finish(100);
+  }
+  EXPECT_EQ(p.total(mpi::MpiFunc::kAllreduce), 100);
+  EXPECT_EQ(p.total(mpi::MpiFunc::kIsend), 0);
+  EXPECT_EQ(p.entry(mpi::MpiFunc::kAllreduce).calls, 1u);
+  EXPECT_EQ(p.total_mpi_time(), 100);
+}
+
+TEST(Profiler, SequentialCallsAccumulate) {
+  mpi::Profiler p;
+  for (int i = 0; i < 3; ++i) {
+    mpi::Profiler::Scope s(p, mpi::MpiFunc::kSend, i * 100);
+    s.finish(i * 100 + 10);
+  }
+  EXPECT_EQ(p.total(mpi::MpiFunc::kSend), 30);
+  EXPECT_EQ(p.entry(mpi::MpiFunc::kSend).calls, 3u);
+}
+
+TEST(Profiler, NamesCoverAllFunctions) {
+  for (int f = 0; f < static_cast<int>(mpi::MpiFunc::kCount); ++f) {
+    EXPECT_NE(mpi::mpi_func_name(static_cast<mpi::MpiFunc>(f)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace mpiv

@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/pipe.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace mpiv::net {
+namespace {
+
+Buffer make_payload(std::size_t n, std::uint8_t fill = 0x5a) {
+  return Buffer(n, std::byte{fill});
+}
+
+struct Fixture {
+  sim::Engine eng;
+  NetParams params;
+  Network net;
+  Fixture() : net(eng, NetParams{}) {}
+};
+
+TEST(Network, ConnectAndSend) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  std::string got;
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(9000);
+    NetEvent acc = ep.wait(ctx);
+    ASSERT_EQ(acc.type, NetEvent::Type::kAccepted);
+    NetEvent data = ep.wait(ctx);
+    ASSERT_EQ(data.type, NetEvent::Type::kData);
+    got.assign(reinterpret_cast<const char*>(data.data.data()),
+               data.data.size());
+  });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    ctx.sleep(microseconds(10));  // let the server start listening
+    Conn* c = f.net.connect(ctx, ep, {b, 9000});
+    ASSERT_NE(c, nullptr);
+    Buffer msg;
+    const char* text = "hello";
+    msg.resize(5);
+    std::memcpy(msg.data(), text, 5);
+    EXPECT_TRUE(c->send(ctx, std::move(msg)));
+  });
+  f.eng.run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(Network, FifoOrderPreserved) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  std::vector<std::uint8_t> got;
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(1);
+    ep.wait(ctx);  // accepted
+    for (int i = 0; i < 10; ++i) {
+      NetEvent ev = ep.wait(ctx);
+      ASSERT_EQ(ev.type, NetEvent::Type::kData);
+      got.push_back(static_cast<std::uint8_t>(ev.data[0]));
+    }
+  });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    ctx.sleep(microseconds(10));
+    Conn* c = f.net.connect(ctx, ep, {b, 1});
+    ASSERT_NE(c, nullptr);
+    for (std::uint8_t i = 0; i < 10; ++i) {
+      c->send(ctx, Buffer{std::byte{i}});
+    }
+  });
+  f.eng.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Network, SmallMessageOneWayLatencyMatchesModel) {
+  // send_cpu (18us) + wire (40us) + recv_cpu (18us) = 76us for a tiny
+  // message — the paper's P4 0-byte latency is 77us.
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  SimTime sent_at = 0, got_at = 0;
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(1);
+    ep.wait(ctx);
+    ep.wait(ctx);
+    got_at = ctx.now();
+  });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    ctx.sleep(microseconds(10));
+    Conn* c = f.net.connect(ctx, ep, {b, 1});
+    sent_at = ctx.now();
+    c->send(ctx, Buffer{});
+  });
+  f.eng.run();
+  SimDuration one_way = got_at - sent_at;
+  EXPECT_NEAR(to_microseconds(one_way), 76.0, 1.0);
+}
+
+TEST(Network, LargeMessageBandwidthDominates) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  SimTime start = 0, end = 0;
+  const std::size_t kSize = 1 << 20;
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(1);
+    ep.wait(ctx);
+    NetEvent ev = ep.wait(ctx);
+    EXPECT_EQ(ev.data.size(), kSize);
+    end = ctx.now();
+  });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    ctx.sleep(microseconds(10));
+    Conn* c = f.net.connect(ctx, ep, {b, 1});
+    start = ctx.now();
+    c->send(ctx, make_payload(kSize));
+  });
+  f.eng.run();
+  double secs = to_seconds(end - start);
+  double bw = static_cast<double>(kSize) / secs;
+  EXPECT_NEAR(bw, f.net.params().bandwidth_bps, 0.02 * f.net.params().bandwidth_bps);
+}
+
+TEST(Network, NicSerializesConcurrentSenders) {
+  // Two processes on one node each send 1MB concurrently: total time is the
+  // sum of both transfers, not the max.
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  const std::size_t kSize = 1 << 20;
+  SimTime done = 0;
+  int received = 0;
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(1);
+    while (received < 2) {
+      NetEvent ev = ep.wait(ctx);
+      if (ev.type == NetEvent::Type::kData) {
+        ++received;
+        done = ctx.now();
+      }
+    }
+  });
+  for (int i = 0; i < 2; ++i) {
+    f.eng.spawn("client", [&](sim::Context& ctx) {
+      Endpoint ep(f.net, a);
+      ctx.sleep(microseconds(10));
+      Conn* c = f.net.connect(ctx, ep, {b, 1});
+      c->send(ctx, make_payload(kSize));
+    });
+  }
+  f.eng.run();
+  double secs = to_seconds(done);
+  double expected = 2.0 * static_cast<double>(kSize) / f.net.params().bandwidth_bps;
+  EXPECT_GT(secs, expected * 0.95);
+}
+
+TEST(Network, KillNodeNotifiesPeerWithClosed) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  bool saw_closed = false;
+  SimTime closed_at = 0;
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(1);
+    ep.wait(ctx);  // accepted
+    NetEvent ev = ep.wait(ctx);
+    saw_closed = (ev.type == NetEvent::Type::kClosed);
+    closed_at = ctx.now();
+  });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    ctx.sleep(microseconds(10));
+    Conn* c = f.net.connect(ctx, ep, {b, 1});
+    ASSERT_NE(c, nullptr);
+    ctx.sleep(seconds(100));  // killed before this elapses
+  });
+  f.eng.schedule_at(seconds(1), [&] { f.net.kill_node(a); });
+  f.eng.run();
+  EXPECT_TRUE(saw_closed);
+  EXPECT_GE(closed_at, seconds(1));
+  EXPECT_FALSE(f.net.node_alive(a));
+}
+
+TEST(Network, KillNodeTerminatesRegisteredProcesses) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  bool unwound = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  sim::Process* p = f.eng.spawn("app", [&](sim::Context& ctx) {
+    Sentinel s{&unwound};
+    ctx.sleep(seconds(100));
+  });
+  f.net.register_process(a, p);
+  f.eng.schedule_at(seconds(2), [&] { f.net.kill_node(a); });
+  f.eng.run();
+  EXPECT_TRUE(unwound);
+  EXPECT_TRUE(p->was_killed());
+}
+
+TEST(Network, InFlightMessageToKilledNodeDropped) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  bool server_got_data = false;
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(1);
+    ep.wait(ctx);
+    NetEvent ev = ep.wait(ctx);
+    server_got_data = (ev.type == NetEvent::Type::kData);
+  });
+  sim::Process* srv = nullptr;
+  for (auto& pr : f.eng.processes()) srv = pr.get();
+  f.net.register_process(b, srv);
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    ctx.sleep(microseconds(10));
+    Conn* c = f.net.connect(ctx, ep, {b, 1});
+    ASSERT_NE(c, nullptr);
+    // Kill b right when the message is mid-flight.
+    f.eng.schedule_in(microseconds(30), [&] { f.net.kill_node(b); });
+    c->send(ctx, make_payload(100));
+  });
+  f.eng.run();
+  EXPECT_FALSE(server_got_data);
+}
+
+TEST(Network, ConnectToMissingListenerFails) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  bool connected = true;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    connected = f.net.connect(ctx, ep, {b, 7777}) != nullptr;
+  });
+  f.eng.run();
+  EXPECT_FALSE(connected);
+}
+
+TEST(Network, ConnectRetrySucceedsWhenServerAppears) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  bool connected = false;
+
+  f.eng.spawn("late-server", [&](sim::Context& ctx) {
+    ctx.sleep(milliseconds(50));
+    Endpoint ep(f.net, b);
+    ep.listen(1);
+    ep.wait(ctx);          // accepted
+    ctx.sleep(seconds(1));  // keep the connection up past the handshake
+  });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    Conn* c = f.net.connect_retry(ctx, ep, {b, 1}, milliseconds(5),
+                                  ctx.now() + seconds(1));
+    connected = c != nullptr;
+  });
+  f.eng.run();
+  EXPECT_TRUE(connected);
+}
+
+TEST(Network, EndpointDestructionClosesConnections) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+  bool saw_closed = false;
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(1);
+    ep.wait(ctx);
+    NetEvent ev = ep.wait(ctx);
+    saw_closed = (ev.type == NetEvent::Type::kClosed);
+  });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    {
+      Endpoint ep(f.net, a);
+      ctx.sleep(microseconds(10));
+      Conn* c = f.net.connect(ctx, ep, {b, 1});
+      ASSERT_NE(c, nullptr);
+    }  // endpoint destroyed -> connection closed
+    ctx.sleep(seconds(1));
+  });
+  f.eng.run();
+  EXPECT_TRUE(saw_closed);
+}
+
+TEST(Network, WireCountersTrackMessagesAndPorts) {
+  Fixture f;
+  NodeId a = f.net.add_node("a");
+  NodeId b = f.net.add_node("b");
+
+  f.eng.spawn("server", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, b);
+    ep.listen(42);
+    ep.wait(ctx);
+    ep.wait(ctx);
+    ep.wait(ctx);
+  });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    Endpoint ep(f.net, a);
+    ctx.sleep(microseconds(10));
+    Conn* c = f.net.connect(ctx, ep, {b, 42});
+    c->send(ctx, make_payload(10));
+    c->send(ctx, make_payload(20));
+  });
+  f.eng.run();
+  EXPECT_EQ(f.net.counters().messages, 2u);
+  EXPECT_EQ(f.net.counters().bytes, 30u);
+  EXPECT_EQ(f.net.counters().messages_by_port.at(42), 2u);
+}
+
+TEST(Pipe, TransfersWithLocalCost) {
+  sim::Engine eng;
+  NetParams params;
+  Pipe pipe(eng, params);
+  SimTime sent_at = 0, got_at = 0;
+  std::size_t got_size = 0;
+
+  eng.spawn("app", [&](sim::Context& ctx) {
+    sent_at = ctx.now();
+    pipe.app_end().send(ctx, Buffer(1000, std::byte{1}));
+  });
+  eng.spawn("daemon", [&](sim::Context& ctx) {
+    Buffer b = pipe.daemon_end().recv(ctx);
+    got_at = ctx.now();
+    got_size = b.size();
+  });
+  eng.run();
+  EXPECT_EQ(got_size, 1000u);
+  SimDuration expected = params.pipe_per_msg +
+                         transfer_time(1000, params.pipe_bandwidth_bps) +
+                         params.pipe_latency;
+  EXPECT_EQ(got_at - sent_at, expected);
+}
+
+TEST(Pipe, NotifierIntegration) {
+  sim::Engine eng;
+  NetParams params;
+  Pipe pipe(eng, params);
+  bool got = false;
+
+  eng.spawn("daemon", [&](sim::Context& ctx) {
+    sim::Notifier n(eng);
+    pipe.daemon_end().set_notifier(&n);
+    while (!pipe.daemon_end().has_pending()) n.wait(ctx);
+    got = pipe.daemon_end().try_recv().has_value();
+  });
+  eng.spawn("app", [&](sim::Context& ctx) {
+    ctx.sleep(seconds(1));
+    pipe.app_end().send(ctx, Buffer{std::byte{1}});
+  });
+  eng.run();
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace mpiv::net

@@ -1,0 +1,249 @@
+// Probe-count replay: the fourth field of the reception event.
+//
+// An application whose control flow depends on Iprobe outcomes is
+// nondeterministic in exactly the way §4.5 describes ("the number of
+// probes made since the last reception influences the next reception").
+// The daemon counts failed probes per event and forces the same sequence
+// of probe answers during replay — so a crashed polling application
+// re-executes the same interleaving of work and receptions.
+#include <gtest/gtest.h>
+
+#include "runtime/job.hpp"
+
+namespace mpiv {
+namespace {
+
+using runtime::DeviceKind;
+using runtime::JobConfig;
+using runtime::JobResult;
+
+/// Rank 0 polls with Iprobe, doing a unit of local work per failed probe;
+/// its fingerprint interleaves work units and received values, so it
+/// depends on the exact probe-outcome sequence. Rank 1 sends values with
+/// data-dependent pacing.
+class PollingApp final : public runtime::App {
+ public:
+  explicit PollingApp(int messages) : messages_(messages) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override {
+    if (comm.rank() == 0) {
+      int received = 0;
+      while (received < messages_) {
+        if (comm.iprobe(ctx, 1, 0).has_value()) {
+          std::uint64_t v = comm.recv_value<std::uint64_t>(ctx, 1, 0);
+          fp_ = fp_ * 31 + v;
+          ++received;
+          // Acknowledge so the sender's pacing depends on us.
+          comm.send_value<std::uint64_t>(ctx, fp_, 1, 1);
+        } else {
+          fp_ = fp_ * 7 + 1;  // a unit of local work per failed probe
+          ctx.compute(microseconds(50));
+        }
+      }
+    } else if (comm.rank() == 1) {
+      std::uint64_t state = 12345;
+      for (int i = 0; i < messages_; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        ctx.compute(microseconds(100 + (state % 400)));
+        comm.send_value<std::uint64_t>(ctx, state, 0, 0);
+        std::uint64_t ack = comm.recv_value<std::uint64_t>(ctx, 0, 1);
+        fp_ = fp_ * 31 + ack;
+      }
+    }
+  }
+
+  [[nodiscard]] Buffer result() const override {
+    Writer w;
+    w.u64(fp_);
+    return w.take();
+  }
+
+ private:
+  int messages_;
+  std::uint64_t fp_ = 0;
+};
+
+runtime::AppFactory polling(int messages) {
+  return [messages](mpi::Rank, mpi::Rank) {
+    return std::make_unique<PollingApp>(messages);
+  };
+}
+
+// NOTE on the contract: probe outcomes *after* a rank's last logged
+// reception are nondeterministic events the crash erased before they could
+// be bundled into a reception event — the protocol's guarantee is
+// equivalence to *some* fault-free execution, so a poller's local
+// fingerprint may legitimately differ from one particular clean run.
+// What must hold: completion (no duplicate/lost message may wedge the
+// pacing loop), replay determinism, and consistency of everything the
+// pre-crash execution externalized (covered by the sends that follow
+// logged receptions — see the reporter variant below).
+
+TEST(ProbeReplay, PollerKilledMidRunCompletesDeterministically) {
+  JobConfig cfg;
+  cfg.nprocs = 2;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, polling(40));
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 2, {0});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, polling(40));
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  JobResult res2 = run_job(cfg, polling(40));
+  ASSERT_TRUE(res2.success);
+  EXPECT_EQ(res2.ranks[0].output, res.ranks[0].output);
+  EXPECT_EQ(res2.ranks[1].output, res.ranks[1].output);
+}
+
+TEST(ProbeReplay, SenderKilledMidRun) {
+  JobConfig cfg;
+  cfg.nprocs = 2;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, polling(40));
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 3, {1});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, polling(40));
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  // Ack *contents* incorporate the poller's free post-log probe counts, so
+  // neither side's fingerprint is pinned to the clean run; determinism
+  // across identical plans is the testable contract.
+  JobResult res2 = run_job(cfg, polling(40));
+  ASSERT_TRUE(res2.success);
+  EXPECT_EQ(res2.ranks[0].output, res.ranks[0].output);
+  EXPECT_EQ(res2.ranks[1].output, res.ranks[1].output);
+}
+
+/// Harder variant: every *failed* probe is externalized as a report
+/// message. The bundled probe count of the next reception event is then
+/// load-bearing for send-identifier alignment — if replay reconstructed a
+/// different number of failed probes before a logged reception, the
+/// re-executed report sends would shift clocks, duplicate-suppression
+/// would misfire and the consumer would hang or miscount.
+class ReportingPoller final : public runtime::App {
+ public:
+  explicit ReportingPoller(int messages) : messages_(messages) {}
+
+  void run(sim::Context& ctx, mpi::Comm& comm) override {
+    if (comm.rank() == 0) {
+      int received = 0;
+      while (received < messages_) {
+        if (comm.iprobe(ctx, 1, 0).has_value()) {
+          std::uint64_t v = comm.recv_value<std::uint64_t>(ctx, 1, 0);
+          fp_ = fp_ * 31 + v;
+          ++received;
+          comm.send_value<std::uint64_t>(ctx, fp_, 1, 1);  // ack
+        } else {
+          // Externalize the failed probe.
+          comm.send_value<std::uint64_t>(ctx, ++idles_, 1, 2);
+          ctx.compute(microseconds(80));
+        }
+      }
+      comm.send_value<std::uint64_t>(ctx, ~0ull, 1, 2);  // stop marker
+    } else if (comm.rank() == 1) {
+      std::uint64_t state = 999;
+      int sent = 0;
+      bool stop = false;
+      // Kick off the exchange with the first value.
+      comm.send_value<std::uint64_t>(ctx, state, 0, 0);
+      ++sent;
+      while (sent < messages_ || !stop) {
+        mpi::Status st;
+        std::uint64_t v = 0;
+        comm.recv(ctx, std::as_writable_bytes(std::span<std::uint64_t>(&v, 1)),
+                  0, mpi::kAnyTag, &st);
+        if (st.tag == 1) {
+          fp_ = fp_ * 31 + v;  // ack: fold and send the next value
+          if (sent < messages_) {
+            state = state * 2862933555777941757ull + 3037000493ull;
+            comm.send_value<std::uint64_t>(ctx, state, 0, 0);
+            ++sent;
+          }
+        } else if (v == ~0ull) {
+          stop = true;
+        } else {
+          reports_ += 1;  // idle report
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] Buffer result() const override {
+    Writer w;
+    w.u64(fp_);
+    w.u64(reports_);
+    return w.take();
+  }
+
+ private:
+  int messages_;
+  std::uint64_t fp_ = 0;
+  std::uint64_t idles_ = 0;
+  std::uint64_t reports_ = 0;
+};
+
+TEST(ProbeReplay, BothKilledConcurrently) {
+  JobConfig cfg;
+  cfg.nprocs = 2;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, polling(30));
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan =
+      faults::FaultPlan::simultaneous(clean.makespan / 2, {0, 1});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, polling(30));
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 2);
+  JobResult res2 = run_job(cfg, polling(30));
+  ASSERT_TRUE(res2.success);
+  EXPECT_EQ(res2.ranks[0].output, res.ranks[0].output);
+  EXPECT_EQ(res2.ranks[1].output, res.ranks[1].output);
+}
+
+runtime::AppFactory reporting(int messages) {
+  return [messages](mpi::Rank, mpi::Rank) {
+    return std::make_unique<ReportingPoller>(messages);
+  };
+}
+
+TEST(ProbeReplay, ExternalizedProbesSurvivePollerKill) {
+  JobConfig cfg;
+  cfg.nprocs = 2;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, reporting(25));
+  ASSERT_TRUE(clean.success);
+
+  for (int phase = 1; phase <= 3; ++phase) {
+    JobConfig f = cfg;
+    f.fault_plan = faults::FaultPlan::simultaneous(
+        clean.makespan * phase / 4, {0});
+    f.time_limit = seconds(600);
+    JobResult res = run_job(f, reporting(25));
+    // Completion is the load-bearing assertion: a probe-count replay bug
+    // shifts the report-send clocks and wedges or corrupts the exchange.
+    ASSERT_TRUE(res.success) << "phase " << phase;
+    EXPECT_GE(res.restarts, 1);
+  }
+}
+
+TEST(ProbeReplay, ExternalizedProbesSurviveResponderKill) {
+  JobConfig cfg;
+  cfg.nprocs = 2;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, reporting(25));
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 2, {1});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, reporting(25));
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+}
+
+}  // namespace
+}  // namespace mpiv

@@ -1,0 +1,110 @@
+// Program-file parsing (§4.7): format, validation, JobConfig mapping.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "services/program_file.hpp"
+
+namespace mpiv::services {
+namespace {
+
+constexpr const char* kGood = R"(
+# a typical deployment
+frontend   dispatcher,event_logger,ckpt_scheduler  policy=adaptive
+storage0   ckpt_server
+el1        event_logger
+node0      compute
+node1      compute
+node2      compute rank=2
+standby0   spare
+standby1   spare
+)";
+
+TEST(ProgramFile, ParsesRolesOptionsAndRanks) {
+  ProgramFile pf = ProgramFile::parse(kGood);
+  EXPECT_EQ(pf.count(Role::kCompute), 3);
+  EXPECT_EQ(pf.count(Role::kEventLogger), 2);
+  EXPECT_EQ(pf.count(Role::kSpare), 2);
+  EXPECT_EQ(pf.count(Role::kDispatcher), 1);
+  ASSERT_NE(pf.machine_of_rank(0), nullptr);
+  EXPECT_EQ(pf.machine_of_rank(0)->name, "node0");
+  EXPECT_EQ(pf.machine_of_rank(2)->name, "node2");
+  EXPECT_EQ(pf.machines()[0].options.at("policy"), "adaptive");
+}
+
+TEST(ProgramFile, ToJobConfig) {
+  runtime::JobConfig cfg = ProgramFile::parse(kGood).to_job_config();
+  EXPECT_EQ(cfg.nprocs, 3);
+  EXPECT_EQ(cfg.n_event_loggers, 2);
+  EXPECT_EQ(cfg.spare_nodes, 2);
+  EXPECT_TRUE(cfg.checkpointing);
+  EXPECT_EQ(cfg.ckpt_policy, PolicyKind::kAdaptive);
+  EXPECT_EQ(cfg.device, runtime::DeviceKind::kV2);
+}
+
+TEST(ProgramFile, ImplicitRankAssignmentIsFileOrder) {
+  ProgramFile pf = ProgramFile::parse(R"(
+frontend dispatcher,event_logger
+a compute
+b compute
+c compute
+)");
+  EXPECT_EQ(pf.machine_of_rank(0)->name, "a");
+  EXPECT_EQ(pf.machine_of_rank(1)->name, "b");
+  EXPECT_EQ(pf.machine_of_rank(2)->name, "c");
+}
+
+TEST(ProgramFile, CommentsAndBlankLinesIgnored)
+{
+  ProgramFile pf = ProgramFile::parse(
+      "# only comments\n\nfrontend dispatcher,event_logger\nn0 compute\n");
+  EXPECT_EQ(pf.count(Role::kCompute), 1);
+}
+
+TEST(ProgramFile, RejectsMissingDispatcher) {
+  EXPECT_THROW(ProgramFile::parse("n0 compute\nel event_logger\n"),
+               ConfigError);
+}
+
+TEST(ProgramFile, RejectsTwoDispatchers) {
+  EXPECT_THROW(ProgramFile::parse(
+                   "f1 dispatcher,event_logger\nf2 dispatcher\nn0 compute\n"),
+               ConfigError);
+}
+
+TEST(ProgramFile, RejectsMissingEventLogger) {
+  EXPECT_THROW(ProgramFile::parse("f dispatcher\nn0 compute\n"), ConfigError);
+}
+
+TEST(ProgramFile, RejectsNoComputeNodes) {
+  EXPECT_THROW(ProgramFile::parse("f dispatcher,event_logger\n"), ConfigError);
+}
+
+TEST(ProgramFile, RejectsDuplicateRanks) {
+  EXPECT_THROW(ProgramFile::parse(R"(
+f dispatcher,event_logger
+a compute rank=0
+b compute rank=0
+)"),
+               ConfigError);
+}
+
+TEST(ProgramFile, RejectsUnknownRole) {
+  EXPECT_THROW(ProgramFile::parse("f dispatcher,event_logger\nn0 computee\n"),
+               ConfigError);
+}
+
+TEST(ProgramFile, RejectsMachineWithoutRole) {
+  EXPECT_THROW(ProgramFile::parse("f dispatcher,event_logger\nlonely\n"),
+               ConfigError);
+}
+
+TEST(ProgramFile, DescribeRendersEveryMachine) {
+  std::string desc = ProgramFile::parse(kGood).describe();
+  for (const char* name :
+       {"frontend", "storage0", "el1", "node0", "standby1"}) {
+    EXPECT_NE(desc.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mpiv::services

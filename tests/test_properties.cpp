@@ -1,0 +1,374 @@
+// Property tests: the paper's central guarantee — an execution with any
+// number of faults is equivalent to a fault-free execution — under random
+// fault storms, adversarial fault timings (during checkpointing, during
+// re-execution), and calibration regression guards for the network model.
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "apps/pingpong.hpp"
+#include "apps/token_ring.hpp"
+#include "runtime/job.hpp"
+
+namespace mpiv {
+namespace {
+
+using runtime::DeviceKind;
+using runtime::JobConfig;
+using runtime::JobResult;
+
+std::vector<Buffer> outputs(const JobResult& r) {
+  std::vector<Buffer> out;
+  for (const auto& rr : r.ranks) out.push_back(rr.output);
+  return out;
+}
+
+runtime::AppFactory ring(int rounds, std::size_t bytes, SimDuration compute) {
+  return [=](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::TokenRingApp>(rounds, bytes, compute);
+  };
+}
+
+// ---- random fault storms across seeds, with and without checkpointing ----
+
+class FaultStorm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultStorm, RingSurvivesStormWithoutCheckpoints) {
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 5;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::random_arrivals(
+      to_seconds(clean.makespan) / 2.5, milliseconds(5),
+      clean.makespan * 2, 5, GetParam());
+  cfg.restart_delay = milliseconds(20);
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success) << "seed " << GetParam();
+  EXPECT_EQ(outputs(res), outputs(clean)) << "seed " << GetParam();
+}
+
+TEST_P(FaultStorm, KernelSurvivesStormWithCheckpoints) {
+  auto factory = apps::kernel_factory("mg", apps::NasClass::kTest);
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(5);
+  cfg.ckpt_period = milliseconds(2);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::random_arrivals(
+      to_seconds(clean.makespan) / 2.0, milliseconds(4),
+      clean.makespan * 3, 4, GetParam() + 1000);
+  cfg.restart_delay = milliseconds(20);
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success) << "seed " << GetParam();
+  EXPECT_EQ(outputs(res), outputs(clean)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultStorm,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 17, 23));
+
+// ---- adversarial fault timings ----
+
+TEST(AdversarialFaults, KillSameRankRepeatedly) {
+  auto factory = ring(50, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  faults::FaultPlan plan;
+  // Rank 2 dies every 40 ms, five times; restart delay 20 ms leaves it
+  // barely any time to make progress between deaths.
+  for (int i = 1; i <= 5; ++i) {
+    plan.events.push_back({i * milliseconds(40), 2});
+  }
+  cfg.fault_plan = plan;
+  cfg.restart_delay = milliseconds(20);
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 3);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(AdversarialFaults, KillDuringReplay) {
+  auto factory = ring(50, 1024, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // First kill mid-run; second kill lands ~15 ms after the restart, i.e.
+  // squarely inside the replay of the first incarnation's log.
+  SimTime first = clean.makespan / 2;
+  faults::FaultPlan plan;
+  plan.events.push_back({first, 1});
+  plan.events.push_back({first + milliseconds(100) + milliseconds(15), 1});
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 2);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(AdversarialFaults, KillNeighborOfReplayingRank) {
+  auto factory = ring(50, 1024, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  SimTime first = clean.makespan / 2;
+  faults::FaultPlan plan;
+  plan.events.push_back({first, 1});
+  // Its upstream neighbour (the rank whose sender log feeds the replay)
+  // dies while serving the resend pass.
+  plan.events.push_back({first + milliseconds(100) + milliseconds(10), 0});
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(AdversarialFaults, KillDuringCheckpointUpload) {
+  auto factory = apps::kernel_factory("ft", apps::NasClass::kTest);
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(3);
+  cfg.ckpt_period = 0;  // continuous: uploads are always in flight
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+  ASSERT_GT(clean.checkpoints_stored, 0u);
+
+  // Kill at several phases of the run; with continuous checkpointing the
+  // victim is frequently mid-upload.
+  for (int phase = 1; phase <= 3; ++phase) {
+    JobConfig f = cfg;
+    f.fault_plan = faults::FaultPlan::simultaneous(
+        clean.makespan * phase / 4, {static_cast<mpi::Rank>(phase % 4)});
+    f.time_limit = seconds(600);
+    JobResult res = run_job(f, factory);
+    ASSERT_TRUE(res.success) << "phase " << phase;
+    EXPECT_EQ(outputs(res), outputs(clean)) << "phase " << phase;
+  }
+}
+
+TEST(AdversarialFaults, KillJustBeforeFinalize) {
+  auto factory = ring(30, 512, microseconds(300));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::simultaneous(
+      static_cast<SimTime>(0.98 * clean.makespan), {3});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(AdversarialFaults, MassiveSimultaneousFailure) {
+  // Grid-partition scenario: all but one node vanish at once.
+  auto factory = ring(40, 512, microseconds(300));
+  JobConfig cfg;
+  cfg.nprocs = 5;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan =
+      faults::FaultPlan::simultaneous(clean.makespan / 2, {0, 1, 2, 3});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 4);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+// ---- ANY_SOURCE nondeterminism under faults ----
+
+class AnySourceFarm final : public runtime::App {
+ public:
+  explicit AnySourceFarm(int units) : units_(units) {}
+  void run(sim::Context& ctx, mpi::Comm& comm) override {
+    if (comm.rank() == 0) {
+      int out = 0, in = 0;
+      for (int w = 1; w < comm.size() && out < units_; ++w) {
+        comm.send_value<int>(ctx, out++, w, 1);
+      }
+      while (in < units_) {
+        mpi::Status st;
+        std::uint64_t v = 0;
+        comm.recv(ctx, std::as_writable_bytes(std::span<std::uint64_t>(&v, 1)),
+                  mpi::kAnySource, 2, &st);
+        ordered_ = ordered_ * 31 + v;  // sensitive to reception order
+        unordered_ += v;               // order-independent total
+        ++in;
+        comm.send_value<int>(ctx, out < units_ ? out++ : -1, st.source, 1);
+      }
+    } else {
+      for (;;) {
+        int unit = comm.recv_value<int>(ctx, 0, 1);
+        if (unit < 0) return;
+        std::uint64_t v = static_cast<std::uint64_t>(unit) * 2654435761u + 7;
+        ctx.compute(microseconds(300 + (unit % 7) * 100));
+        comm.send_value<std::uint64_t>(ctx, v, 0, 2);
+      }
+    }
+  }
+  [[nodiscard]] Buffer result() const override {
+    Writer w;
+    w.u64(ordered_);
+    w.u64(unordered_);
+    return w.take();
+  }
+
+ private:
+  int units_;
+  std::uint64_t ordered_ = 0;
+  std::uint64_t unordered_ = 0;
+};
+
+std::pair<std::uint64_t, std::uint64_t> farm_sums(const JobResult& r) {
+  Reader rd(r.ranks[0].output);
+  std::uint64_t ordered = rd.u64();
+  std::uint64_t unordered = rd.u64();
+  return {ordered, unordered};
+}
+
+// With ANY_SOURCE the protocol guarantees equivalence to *a* fault-free
+// execution: the order-independent total must match any clean run, every
+// unit is processed exactly once, and re-running the same fault plan must
+// replay the exact same (logged) reception order — but the order may
+// legitimately differ from a particular clean run, since faults change
+// arrival timing.
+TEST(AnySource, MasterKillIsTransparent) {
+  auto factory = [](mpi::Rank, mpi::Rank) {
+    return std::make_unique<AnySourceFarm>(30);
+  };
+  JobConfig cfg;
+  cfg.nprocs = 5;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 2, {0});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(farm_sums(res).second, farm_sums(clean).second);
+
+  // Reception-order determinism: the same fault plan replays the same
+  // logged ANY_SOURCE order, bit for bit.
+  JobResult res2 = run_job(cfg, factory);
+  ASSERT_TRUE(res2.success);
+  EXPECT_EQ(farm_sums(res2).first, farm_sums(res).first);
+}
+
+TEST(AnySource, WorkerChurnIsTransparent) {
+  auto factory = [](mpi::Rank, mpi::Rank) {
+    return std::make_unique<AnySourceFarm>(30);
+  };
+  JobConfig cfg;
+  cfg.nprocs = 5;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  faults::FaultPlan plan;
+  plan.events.push_back({clean.makespan / 4, 2});
+  plan.events.push_back({clean.makespan / 2, 3});
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(farm_sums(res).second, farm_sums(clean).second);
+  JobResult res2 = run_job(cfg, factory);
+  ASSERT_TRUE(res2.success);
+  EXPECT_EQ(farm_sums(res2).first, farm_sums(res).first);
+}
+
+// ---- calibration regression guards (the paper's measured constants) ----
+
+TEST(Calibration, P4ZeroByteLatencyNear77us) {
+  JobConfig cfg;
+  cfg.nprocs = 2;
+  cfg.device = DeviceKind::kP4;
+  JobResult res = run_job(cfg, [](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::PingPongApp>(0, 10);
+  });
+  ASSERT_TRUE(res.success);
+  double one_way_us = Reader(res.ranks[0].output).f64() / 2e3;
+  EXPECT_NEAR(one_way_us, 77.0, 5.0);
+}
+
+TEST(Calibration, V2ZeroByteLatencyNear237us) {
+  JobConfig cfg;
+  cfg.nprocs = 2;
+  cfg.device = DeviceKind::kV2;
+  JobResult res = run_job(cfg, [](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::PingPongApp>(0, 10);
+  });
+  ASSERT_TRUE(res.success);
+  double one_way_us = Reader(res.ranks[0].output).f64() / 2e3;
+  EXPECT_NEAR(one_way_us, 237.0, 15.0);
+}
+
+TEST(Calibration, LargeMessageBandwidthOrdering) {
+  // P4 ~11.3 MB/s > V2 ~10.7 MB/s > V1 ~ half of P4.
+  std::map<DeviceKind, double> bw;
+  for (auto dev : {DeviceKind::kP4, DeviceKind::kV1, DeviceKind::kV2}) {
+    JobConfig cfg;
+    cfg.nprocs = 2;
+    cfg.device = dev;
+    if (dev == DeviceKind::kV1) cfg.channel_memories = 2;
+    JobResult res = run_job(cfg, [](mpi::Rank, mpi::Rank) {
+      return std::make_unique<apps::PingPongApp>(1 << 20, 3);
+    });
+    ASSERT_TRUE(res.success);
+    double one_way_s = Reader(res.ranks[0].output).f64() / 2e9;
+    bw[dev] = static_cast<double>(1 << 20) / one_way_s / 1e6;
+  }
+  EXPECT_NEAR(bw[DeviceKind::kP4], 11.3, 0.7);
+  EXPECT_NEAR(bw[DeviceKind::kV2], 10.7, 0.7);
+  EXPECT_NEAR(bw[DeviceKind::kV1], bw[DeviceKind::kP4] / 2.0, 0.7);
+  EXPECT_GT(bw[DeviceKind::kP4], bw[DeviceKind::kV2]);
+  EXPECT_GT(bw[DeviceKind::kV2], bw[DeviceKind::kV1]);
+}
+
+TEST(Calibration, NonblockingPatternV2BeatsP4At64K) {
+  // Fig. 9's headline: V2 about twice P4 for 64 KB batched exchanges.
+  std::map<DeviceKind, double> round;
+  for (auto dev : {DeviceKind::kP4, DeviceKind::kV2}) {
+    JobConfig cfg;
+    cfg.nprocs = 2;
+    cfg.device = dev;
+    JobResult res = run_job(cfg, [](mpi::Rank, mpi::Rank) {
+      return std::make_unique<apps::NonblockingPatternApp>(65536, 10, 3);
+    });
+    ASSERT_TRUE(res.success);
+    round[dev] = Reader(res.ranks[0].output).f64();
+  }
+  double ratio = round[DeviceKind::kP4] / round[DeviceKind::kV2];
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.5);
+}
+
+}  // namespace
+}  // namespace mpiv

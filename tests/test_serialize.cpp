@@ -1,0 +1,129 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace mpiv {
+namespace {
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f64(3.14159265358979);
+  w.boolean(true);
+  w.boolean(false);
+  Buffer buf = w.take();
+
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, StringsAndBlobs) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  Buffer payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  w.blob(payload);
+  w.blob({});
+  Buffer buf = w.take();
+
+  Reader r(buf);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.blob(), payload);
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VectorHelper) {
+  Writer w;
+  std::vector<std::uint32_t> vals{1, 2, 3, 500000};
+  w.vec(vals, [](Writer& ww, std::uint32_t v) { ww.u32(v); });
+  Buffer buf = w.take();
+
+  Reader r(buf);
+  auto out = r.vec<std::uint32_t>([](Reader& rr) { return rr.u32(); });
+  EXPECT_EQ(out, vals);
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  Writer w;
+  w.u64(7);
+  Buffer buf = w.take();
+  buf.resize(4);
+  Reader r(buf);
+  EXPECT_THROW(r.u64(), SerializeError);
+}
+
+TEST(Serialize, MalformedBlobLengthThrows) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  Buffer buf = w.take();
+  Reader r(buf);
+  EXPECT_THROW(r.blob(), SerializeError);
+}
+
+TEST(Serialize, TakeAndRest) {
+  Writer w;
+  w.u32(5);
+  w.raw("abcde", 5);
+  Buffer buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.u32(), 5u);
+  EXPECT_EQ(r.remaining(), 5u);
+  ConstBytes v = r.take(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, RandomizedRoundTrip) {
+  Rng rng(123);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::uint64_t> vals;
+    Writer w;
+    int n = static_cast<int>(rng.below(50));
+    for (int i = 0; i < n; ++i) {
+      vals.push_back(rng.next());
+      w.u64(vals.back());
+    }
+    Buffer buf = w.take();
+    Reader r(buf);
+    for (std::uint64_t v : vals) EXPECT_EQ(r.u64(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Bytes, Fnv1aStableAndSensitive) {
+  Buffer a{std::byte{1}, std::byte{2}};
+  Buffer b{std::byte{2}, std::byte{1}};
+  EXPECT_EQ(fnv1a(a), fnv1a(a));
+  EXPECT_NE(fnv1a(a), fnv1a(b));
+  EXPECT_NE(fnv1a(a), fnv1a({}));
+}
+
+TEST(Bytes, ToBufferOfTrivialValue) {
+  std::uint32_t v = 0x01020304;
+  Buffer b = to_buffer(v);
+  ASSERT_EQ(b.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mpiv

@@ -1,0 +1,381 @@
+// Unit tests for the reliable services: event logger, checkpoint server,
+// scheduling policies and the §4.6.2 policy simulator.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "services/ckpt_policies.hpp"
+#include "services/ckpt_server.hpp"
+#include "services/event_logger.hpp"
+#include "services/sched_sim.hpp"
+#include "sim/engine.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv {
+namespace {
+
+using services::CkptServer;
+using services::EventLoggerServer;
+
+/// Fixture hosting one service plus a scripted client fiber.
+struct ServiceFixture {
+  sim::Engine eng;
+  net::Network net{eng, net::NetParams{}};
+  net::NodeId svc_node = net.add_node("svc");
+  net::NodeId client_node = net.add_node("client");
+
+  net::Conn* connect(sim::Context& ctx, net::Endpoint& ep, std::int32_t port) {
+    net::Conn* c = net.connect_retry(ctx, ep, {svc_node, port},
+                                     milliseconds(1), ctx.now() + seconds(5));
+    EXPECT_NE(c, nullptr);
+    return c;
+  }
+};
+
+Buffer el_hello(mpi::Rank rank) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(v2::ElMsg::kHello));
+  w.i32(rank);
+  return w.take();
+}
+
+v2::ReceptionEvent ev(mpi::Rank sender, v2::Clock sc, v2::Clock rc,
+                      std::uint32_t np) {
+  v2::ReceptionEvent e;
+  e.sender = sender;
+  e.send_clock = sc;
+  e.recv_clock = rc;
+  e.nprobes = np;
+  return e;
+}
+
+Buffer el_append(const std::vector<v2::ReceptionEvent>& events) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(v2::ElMsg::kAppend));
+  w.u32(static_cast<std::uint32_t>(events.size()));
+  for (const auto& e : events) v2::write_event(w, e);
+  return w.take();
+}
+
+TEST(EventLogger, AppendAckDownloadPrune) {
+  ServiceFixture f;
+  EventLoggerServer el(f.net, {f.svc_node});
+  f.eng.spawn("el", [&](sim::Context& ctx) { el.run(ctx); });
+
+  std::vector<v2::ReceptionEvent> downloaded;
+  std::uint64_t acked = 0;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    net::Conn* c = f.connect(ctx, ep, v2::kEventLoggerPort);
+    c->send(ctx, el_hello(3));
+    c->send(ctx, el_append({ev(1, 10, 1, 0), ev(2, 5, 2, 1), ev(1, 11, 3, 0)}));
+    // Ack carries the batch size.
+    net::NetEvent ack = ep.wait(ctx);
+    Reader r(ack.data);
+    EXPECT_EQ(static_cast<v2::ElMsg>(r.u8()), v2::ElMsg::kAck);
+    acked = r.u64();
+
+    // Download everything after clock 1.
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(v2::ElMsg::kDownload));
+    w.i64(1);
+    c->send(ctx, w.take());
+    net::NetEvent evs = ep.wait(ctx);
+    Reader r2(evs.data);
+    EXPECT_EQ(static_cast<v2::ElMsg>(r2.u8()), v2::ElMsg::kEvents);
+    std::uint32_t n = r2.u32();
+    for (std::uint32_t i = 0; i < n; ++i) downloaded.push_back(v2::read_event(r2));
+
+    // Prune up to clock 2; only clock-3 remains.
+    Writer wp;
+    wp.u8(static_cast<std::uint8_t>(v2::ElMsg::kPrune));
+    wp.i64(2);
+    c->send(ctx, wp.take());
+    ctx.sleep(milliseconds(1));
+  });
+  f.eng.run();
+  EXPECT_EQ(acked, 3u);
+  ASSERT_EQ(downloaded.size(), 2u);
+  EXPECT_EQ(downloaded[0].recv_clock, 2);
+  EXPECT_EQ(downloaded[1].recv_clock, 3);
+  ASSERT_EQ(el.events_for(3).size(), 1u);
+  EXPECT_EQ(el.events_for(3)[0].recv_clock, 3);
+  EXPECT_TRUE(el.events_for(99).empty());
+}
+
+TEST(EventLogger, PerRankIsolation) {
+  ServiceFixture f;
+  EventLoggerServer el(f.net, {f.svc_node});
+  f.eng.spawn("el", [&](sim::Context& ctx) { el.run(ctx); });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    net::Conn* a = f.connect(ctx, ep, v2::kEventLoggerPort);
+    a->send(ctx, el_hello(0));
+    a->send(ctx, el_append({ev(1, 1, 1, 0)}));
+    ep.wait(ctx);
+    net::Conn* b = f.connect(ctx, ep, v2::kEventLoggerPort);
+    b->send(ctx, el_hello(1));
+    b->send(ctx, el_append({ev(0, 1, 1, 0), ev(0, 2, 2, 0)}));
+    ep.wait(ctx);
+  });
+  f.eng.run();
+  EXPECT_EQ(el.events_for(0).size(), 1u);
+  EXPECT_EQ(el.events_for(1).size(), 2u);
+  EXPECT_EQ(el.total_events_stored(), 3u);
+}
+
+TEST(CkptServer, ChunkedStoreAndFetch) {
+  ServiceFixture f;
+  CkptServer cs(f.net, {f.svc_node});
+  f.eng.spawn("cs", [&](sim::Context& ctx) { cs.run(ctx); });
+
+  Buffer image(50000);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<std::byte>(i % 253);
+  }
+  Buffer fetched;
+  bool found = false;
+  std::uint64_t fetched_seq = 0;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    net::Conn* c = f.connect(ctx, ep, v2::kCkptServerPort);
+    Writer b;
+    b.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreBegin));
+    b.i32(7);
+    b.u64(42);
+    b.u64(image.size());
+    c->send(ctx, b.take());
+    for (std::size_t off = 0; off < image.size(); off += 16384) {
+      Writer ch;
+      ch.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreChunk));
+      std::size_t n = std::min<std::size_t>(16384, image.size() - off);
+      ch.raw(image.data() + off, n);
+      c->send(ctx, ch.take());
+    }
+    Writer e;
+    e.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreEnd));
+    c->send(ctx, e.take());
+    net::NetEvent ok = ep.wait(ctx);
+    Reader r(ok.data);
+    EXPECT_EQ(static_cast<v2::CsMsg>(r.u8()), v2::CsMsg::kStoreOk);
+    EXPECT_EQ(r.u64(), 42u);
+
+    Writer fw;
+    fw.u8(static_cast<std::uint8_t>(v2::CsMsg::kFetch));
+    fw.i32(7);
+    c->send(ctx, fw.take());
+    net::NetEvent img = ep.wait(ctx);
+    Reader r2(img.data);
+    EXPECT_EQ(static_cast<v2::CsMsg>(r2.u8()), v2::CsMsg::kImage);
+    found = r2.boolean();
+    fetched_seq = r2.u64();
+    fetched = r2.blob();
+  });
+  f.eng.run();
+  EXPECT_TRUE(found);
+  EXPECT_EQ(fetched_seq, 42u);
+  EXPECT_EQ(fnv1a(fetched), fnv1a(image));
+  EXPECT_TRUE(cs.has_image(7));
+  EXPECT_FALSE(cs.has_image(8));
+  EXPECT_EQ(cs.stored_bytes(), image.size());
+}
+
+TEST(CkptServer, FetchMissingReturnsNotFound) {
+  ServiceFixture f;
+  CkptServer cs(f.net, {f.svc_node});
+  f.eng.spawn("cs", [&](sim::Context& ctx) { cs.run(ctx); });
+  bool found = true;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    net::Conn* c = f.connect(ctx, ep, v2::kCkptServerPort);
+    Writer fw;
+    fw.u8(static_cast<std::uint8_t>(v2::CsMsg::kFetch));
+    fw.i32(5);
+    c->send(ctx, fw.take());
+    net::NetEvent img = ep.wait(ctx);
+    Reader r(img.data);
+    r.u8();
+    found = r.boolean();
+  });
+  f.eng.run();
+  EXPECT_FALSE(found);
+}
+
+TEST(CkptServer, AbandonedUploadDiscarded) {
+  ServiceFixture f;
+  CkptServer cs(f.net, {f.svc_node});
+  f.eng.spawn("cs", [&](sim::Context& ctx) { cs.run(ctx); });
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    net::Conn* c = f.connect(ctx, ep, v2::kCkptServerPort);
+    Writer b;
+    b.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreBegin));
+    b.i32(3);
+    b.u64(1);
+    b.u64(1000);
+    c->send(ctx, b.take());
+    // Crash before completing the upload.
+    ctx.sleep(milliseconds(1));
+  });
+  f.eng.run();
+  EXPECT_FALSE(cs.has_image(3));
+  EXPECT_EQ(cs.images_stored(), 0u);
+}
+
+TEST(CkptServer, NewerImageReplacesOlder) {
+  ServiceFixture f;
+  CkptServer cs(f.net, {f.svc_node});
+  f.eng.spawn("cs", [&](sim::Context& ctx) { cs.run(ctx); });
+  Buffer fetched;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    net::Conn* c = f.connect(ctx, ep, v2::kCkptServerPort);
+    for (std::uint64_t seq : {1, 2}) {
+      Writer b;
+      b.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreBegin));
+      b.i32(0);
+      b.u64(seq);
+      b.u64(1);
+      c->send(ctx, b.take());
+      Writer ch;
+      ch.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreChunk));
+      ch.u8(static_cast<std::uint8_t>(seq));
+      c->send(ctx, ch.take());
+      Writer e;
+      e.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreEnd));
+      c->send(ctx, e.take());
+      ep.wait(ctx);  // StoreOk
+    }
+    Writer fw;
+    fw.u8(static_cast<std::uint8_t>(v2::CsMsg::kFetch));
+    fw.i32(0);
+    c->send(ctx, fw.take());
+    net::NetEvent img = ep.wait(ctx);
+    Reader r(img.data);
+    r.u8();
+    r.boolean();
+    EXPECT_EQ(r.u64(), 2u);
+    fetched = r.blob();
+  });
+  f.eng.run();
+  ASSERT_EQ(fetched.size(), 1u);
+  EXPECT_EQ(fetched[0], std::byte{2});
+}
+
+// ---------------------------------------------------------------- policies
+
+std::vector<std::optional<v2::DaemonStatus>> statuses_from(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sent_recv) {
+  std::vector<std::optional<v2::DaemonStatus>> out;
+  mpi::Rank r = 0;
+  for (auto [sent, recv] : sent_recv) {
+    v2::DaemonStatus s;
+    s.rank = r++;
+    s.sent_bytes = sent;
+    s.recv_bytes = recv;
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(Policies, RoundRobinCoversAllRanksInOrder) {
+  services::RoundRobinPolicy p;
+  auto sweep = p.sweep({}, 5);
+  EXPECT_EQ(sweep, (std::vector<mpi::Rank>{0, 1, 2, 3, 4}));
+  EXPECT_FALSE(p.needs_status());
+}
+
+TEST(Policies, AdaptivePicksHeaviestReceiver) {
+  services::AdaptivePolicy p;
+  auto st = statuses_from({{100, 10}, {10, 100}, {50, 50}});
+  auto pick = p.sweep(st, 3);
+  ASSERT_EQ(pick.size(), 1u);
+  EXPECT_EQ(pick[0], 1);  // ratio 10 beats 1 and 0.1
+  EXPECT_TRUE(p.needs_status());
+}
+
+TEST(Policies, AdaptiveTieBreaksRoundRobin) {
+  services::AdaptivePolicy p;
+  auto st = statuses_from({{10, 10}, {10, 10}, {10, 10}});
+  std::vector<mpi::Rank> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(p.sweep(st, 3)[0]);
+  // Equal ratios: least-recently-checkpointed ordering cycles all ranks.
+  EXPECT_EQ(picks, (std::vector<mpi::Rank>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Policies, AdaptiveSilentDaemonGoesLast) {
+  services::AdaptivePolicy p;
+  auto st = statuses_from({{10, 10}, {10, 10}});
+  st[0] = std::nullopt;
+  EXPECT_EQ(p.sweep(st, 2)[0], 1);
+}
+
+TEST(Policies, RandomIsSeedDeterministic) {
+  services::RandomPolicy a(5), b(5), c(6);
+  std::vector<mpi::Rank> pa, pb, pc;
+  for (int i = 0; i < 20; ++i) {
+    pa.push_back(a.sweep({}, 8)[0]);
+    pb.push_back(b.sweep({}, 8)[0]);
+    pc.push_back(c.sweep({}, 8)[0]);
+  }
+  EXPECT_EQ(pa, pb);
+  EXPECT_NE(pa, pc);
+  for (mpi::Rank r : pa) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 8);
+  }
+}
+
+// ---------------------------------------------------------------- sched_sim
+
+TEST(SchedSim, AdaptiveNeverWorseThanRoundRobin) {
+  for (auto scheme : {services::scheme_point_to_point(8, 1e6),
+                      services::scheme_all_to_all(8, 1e6),
+                      services::scheme_broadcast(8, 1e6),
+                      services::scheme_reduce(8, 1e6)}) {
+    services::SchedSimConfig cfg;
+    cfg.nodes = 8;
+    cfg.rate = scheme;
+    cfg.horizon_s = 100;
+    cfg.policy = services::PolicyKind::kRoundRobin;
+    auto rr = run_sched_sim(cfg);
+    cfg.policy = services::PolicyKind::kAdaptive;
+    auto ad = run_sched_sim(cfg);
+    EXPECT_LE(ad.ckpt_traffic_bps, rr.ckpt_traffic_bps * 1.001);
+  }
+}
+
+TEST(SchedSim, BroadcastGainScalesWithNodes) {
+  // The paper: "up to n times better ... for asynchronous broadcast".
+  for (int n : {4, 8, 16}) {
+    services::SchedSimConfig cfg;
+    cfg.nodes = n;
+    // Log-dominated regime (high rates relative to the base image), as in
+    // a long-running communication-heavy application.
+    cfg.rate = services::scheme_broadcast(n, 4e6);
+    cfg.horizon_s = 200;
+    cfg.policy = services::PolicyKind::kRoundRobin;
+    auto rr = run_sched_sim(cfg);
+    cfg.policy = services::PolicyKind::kAdaptive;
+    auto ad = run_sched_sim(cfg);
+    double gain = rr.ckpt_traffic_bps / ad.ckpt_traffic_bps;
+    EXPECT_GT(gain, n * 0.75) << "n=" << n;
+  }
+}
+
+TEST(SchedSim, CheckpointsClearReceiverLogs) {
+  services::SchedSimConfig cfg;
+  cfg.nodes = 2;
+  cfg.rate = services::scheme_point_to_point(2, 1e6);
+  cfg.horizon_s = 10;
+  cfg.ckpt_duration_s = 1.0;
+  cfg.policy = services::PolicyKind::kRoundRobin;
+  auto res = run_sched_sim(cfg);
+  EXPECT_EQ(res.checkpoints, 10);
+  // Steady state: each node's log toward the other is cleared every 2 s,
+  // so occupancy stays bounded well below rate * horizon.
+  EXPECT_LT(res.peak_log_bytes, 5e6);
+  EXPECT_GT(res.avg_log_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace mpiv

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/process.hpp"
+
+namespace mpiv::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(Engine, TiesBreakInInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool ran = false;
+  EventId id = eng.schedule_at(10, [&] { ran = true; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Engine eng;
+  int count = 0;
+  eng.schedule_at(10, [&] { ++count; });
+  eng.schedule_at(100, [&] { ++count; });
+  eng.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(eng.now(), 50);
+  eng.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine eng;
+  std::vector<SimTime> times;
+  eng.schedule_at(10, [&] {
+    times.push_back(eng.now());
+    eng.schedule_in(5, [&] { times.push_back(eng.now()); });
+  });
+  eng.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Process, BodyRunsAndFinishes) {
+  Engine eng;
+  bool ran = false;
+  Process* p = eng.spawn("worker", [&](Context&) { ran = true; });
+  eng.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(p->finished());
+  EXPECT_FALSE(p->was_killed());
+}
+
+TEST(Process, SleepAdvancesVirtualTime) {
+  Engine eng;
+  SimTime woke = -1;
+  eng.spawn("sleeper", [&](Context& ctx) {
+    ctx.sleep(microseconds(100));
+    woke = ctx.now();
+  });
+  eng.run();
+  EXPECT_EQ(woke, microseconds(100));
+}
+
+TEST(Process, InterleavedSleepsDeterministic) {
+  Engine eng;
+  std::vector<std::string> order;
+  eng.spawn("a", [&](Context& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      ctx.sleep(10);
+      order.push_back("a");
+    }
+  });
+  eng.spawn("b", [&](Context& ctx) {
+    for (int i = 0; i < 2; ++i) {
+      ctx.sleep(15);
+      order.push_back("b");
+    }
+  });
+  eng.run();
+  // a@10, b@15, a@20, then at t=30 b precedes a because b armed its timer
+  // at t=15, before a armed its own at t=20 (insertion-order tie-break).
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a", "b", "a", "b", "a"}));
+}
+
+TEST(Process, KillUnwindsWithRaii) {
+  Engine eng;
+  bool destroyed = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  Process* p = eng.spawn("victim", [&](Context& ctx) {
+    Sentinel s{&destroyed};
+    ctx.sleep(seconds(100));
+  });
+  eng.schedule_at(seconds(1), [&] { eng.kill(p); });
+  eng.run();
+  EXPECT_TRUE(destroyed);
+  EXPECT_TRUE(p->finished());
+  EXPECT_TRUE(p->was_killed());
+  EXPECT_EQ(eng.now(), seconds(1));
+}
+
+TEST(Process, ComputeTimeAccounted) {
+  Engine eng;
+  SimDuration recorded = 0;
+  eng.spawn("worker", [&](Context& ctx) {
+    ctx.compute(seconds(1));
+    ctx.sleep(seconds(2));
+    ctx.compute(seconds(3));
+    recorded = ctx.compute_time();
+  });
+  eng.run();
+  EXPECT_EQ(recorded, seconds(4));
+}
+
+TEST(Mailbox, SendRecvAcrossProcesses) {
+  Engine eng;
+  Mailbox<int> box(eng);
+  std::vector<int> got;
+  eng.spawn("consumer", [&](Context& ctx) {
+    for (int i = 0; i < 3; ++i) got.push_back(box.recv(ctx));
+  });
+  eng.spawn("producer", [&](Context& ctx) {
+    for (int i = 1; i <= 3; ++i) {
+      ctx.sleep(10);
+      box.push(i * 100);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{100, 200, 300}));
+}
+
+TEST(Mailbox, RecvBlocksUntilPush) {
+  Engine eng;
+  SimTime recv_time = -1;
+  Mailbox<int> box(eng);
+  eng.spawn("consumer", [&](Context& ctx) {
+    box.recv(ctx);
+    recv_time = ctx.now();
+  });
+  eng.schedule_at(seconds(5), [&] { box.push(1); });
+  eng.run();
+  EXPECT_EQ(recv_time, seconds(5));
+}
+
+TEST(Mailbox, RecvUntilTimesOut) {
+  Engine eng;
+  bool got_value = true;
+  eng.spawn("consumer", [&](Context& ctx) {
+    Mailbox<int> box(eng);
+    got_value = box.recv_until(ctx, seconds(1)).has_value();
+  });
+  eng.run();
+  EXPECT_FALSE(got_value);
+  EXPECT_EQ(eng.now(), seconds(1));
+}
+
+TEST(Mailbox, RecvUntilGetsEarlyValue) {
+  Engine eng;
+  Mailbox<int> box(eng);
+  std::optional<int> got;
+  SimTime when = -1;
+  eng.spawn("consumer", [&](Context& ctx) {
+    got = box.recv_until(ctx, seconds(10));
+    when = ctx.now();
+  });
+  eng.schedule_at(seconds(2), [&] { box.push(7); });
+  eng.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+  EXPECT_EQ(when, seconds(2));
+}
+
+TEST(Mailbox, TryRecvNonBlocking) {
+  Engine eng;
+  Mailbox<int> box(eng);
+  eng.spawn("p", [&](Context&) {
+    EXPECT_FALSE(box.try_recv().has_value());
+    box.push(9);
+    auto v = box.try_recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+  });
+  eng.run();
+}
+
+TEST(Notifier, WakesWaiter) {
+  Engine eng;
+  SimTime woke = -1;
+  Notifier n(eng);
+  eng.spawn("waiter", [&](Context& ctx) {
+    n.wait(ctx);
+    woke = ctx.now();
+  });
+  eng.schedule_at(seconds(3), [&] { n.notify(); });
+  eng.run();
+  EXPECT_EQ(woke, seconds(3));
+}
+
+TEST(Notifier, WaitUntilTimesOut) {
+  Engine eng;
+  bool notified = true;
+  Notifier n(eng);
+  eng.spawn("waiter", [&](Context& ctx) {
+    notified = n.wait_until(ctx, seconds(1));
+  });
+  eng.run();
+  EXPECT_FALSE(notified);
+}
+
+TEST(Engine, ShutdownUnwindsParkedFibers) {
+  Engine eng;
+  bool destroyed = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  eng.spawn("stuck", [&](Context& ctx) {
+    Sentinel s{&destroyed};
+    ctx.sleep(seconds(1000));
+  });
+  eng.run_until(seconds(1));
+  EXPECT_FALSE(destroyed);
+  eng.shutdown();
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(Engine, DeterministicEventCounts) {
+  auto run_once = [] {
+    Engine eng;
+    Mailbox<int> box(eng);
+    for (int p = 0; p < 4; ++p) {
+      eng.spawn("prod", [&box, p](Context& ctx) {
+        for (int i = 0; i < 10; ++i) {
+          ctx.sleep(10 + p);
+          box.push(p);
+        }
+      });
+    }
+    std::vector<int> order;
+    eng.spawn("cons", [&](Context& ctx) {
+      for (int i = 0; i < 40; ++i) order.push_back(box.recv(ctx));
+    });
+    eng.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mpiv::sim

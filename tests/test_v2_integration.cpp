@@ -1,0 +1,128 @@
+// End-to-end tests of the MPICH-V2 stack through the job runner: fault-free
+// equivalence with P4, transparent recovery under scripted and random fault
+// plans, checkpoint/restart, and the paper's adversarial timings (faults
+// during checkpointing and during re-execution).
+#include <gtest/gtest.h>
+
+#include "apps/token_ring.hpp"
+#include "runtime/job.hpp"
+
+namespace mpiv {
+namespace {
+
+using runtime::DeviceKind;
+using runtime::JobConfig;
+using runtime::JobResult;
+
+runtime::AppFactory ring_factory(int rounds, std::size_t bytes,
+                                 SimDuration compute = 0) {
+  return [=](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::TokenRingApp>(rounds, bytes, compute);
+  };
+}
+
+std::vector<Buffer> outputs(const JobResult& r) {
+  std::vector<Buffer> out;
+  for (const auto& rr : r.ranks) out.push_back(rr.output);
+  return out;
+}
+
+TEST(V2Integration, FaultFreeRunCompletes) {
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  JobResult res = run_job(cfg, ring_factory(10, 512));
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.restarts, 0);
+  EXPECT_GT(res.daemon_stats.events_logged, 0u);
+}
+
+TEST(V2Integration, MatchesP4Results) {
+  JobConfig v2cfg;
+  v2cfg.nprocs = 5;
+  v2cfg.device = DeviceKind::kV2;
+  JobResult v2 = run_job(v2cfg, ring_factory(12, 256));
+  ASSERT_TRUE(v2.success);
+
+  JobConfig p4cfg;
+  p4cfg.nprocs = 5;
+  p4cfg.device = DeviceKind::kP4;
+  JobResult p4 = run_job(p4cfg, ring_factory(12, 256));
+  ASSERT_TRUE(p4.success);
+
+  EXPECT_EQ(outputs(v2), outputs(p4));
+}
+
+TEST(V2Integration, MatchesV1Results) {
+  JobConfig v1cfg;
+  v1cfg.nprocs = 4;
+  v1cfg.device = DeviceKind::kV1;
+  JobResult v1 = run_job(v1cfg, ring_factory(8, 128));
+  ASSERT_TRUE(v1.success);
+
+  JobConfig p4cfg;
+  p4cfg.nprocs = 4;
+  p4cfg.device = DeviceKind::kP4;
+  JobResult p4 = run_job(p4cfg, ring_factory(8, 128));
+  ASSERT_TRUE(p4.success);
+
+  EXPECT_EQ(outputs(v1), outputs(p4));
+}
+
+TEST(V2Integration, SingleFaultRestartFromScratch) {
+  // No checkpointing: the killed rank restarts from the beginning and
+  // replays its logged receptions from the sender logs.
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.fault_plan = faults::FaultPlan::simultaneous(milliseconds(30), {2});
+  JobResult res = run_job(cfg, ring_factory(40, 512, microseconds(500)));
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_GT(res.daemon_stats.replayed_deliveries, 0u);
+
+  JobConfig ref = cfg;
+  ref.fault_plan = faults::FaultPlan::none();
+  JobResult clean = run_job(ref, ring_factory(40, 512, microseconds(500)));
+  ASSERT_TRUE(clean.success);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(V2Integration, FaultWithCheckpointingRestartsFromImage) {
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(20);
+  cfg.ckpt_period = milliseconds(5);
+  cfg.fault_plan = faults::FaultPlan::simultaneous(milliseconds(120), {1});
+  JobResult res = run_job(cfg, ring_factory(40, 1024, milliseconds(1)));
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_GT(res.checkpoints_stored, 0u);
+
+  JobConfig ref = cfg;
+  ref.fault_plan = faults::FaultPlan::none();
+  JobResult clean = run_job(ref, ring_factory(40, 1024, milliseconds(1)));
+  ASSERT_TRUE(clean.success);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(V2Integration, TwoConcurrentFaults) {
+  JobConfig cfg;
+  cfg.nprocs = 6;
+  cfg.device = DeviceKind::kV2;
+  cfg.fault_plan =
+      faults::FaultPlan::simultaneous(milliseconds(50), {1, 4});
+  JobResult res = run_job(cfg, ring_factory(40, 256, microseconds(500)));
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 2);
+
+  JobConfig ref = cfg;
+  ref.fault_plan = faults::FaultPlan::none();
+  JobResult clean = run_job(ref, ring_factory(40, 256, microseconds(500)));
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+}  // namespace
+}  // namespace mpiv
