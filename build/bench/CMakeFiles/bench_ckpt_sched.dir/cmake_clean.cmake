@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ckpt_sched.dir/bench_ckpt_sched.cpp.o"
+  "CMakeFiles/bench_ckpt_sched.dir/bench_ckpt_sched.cpp.o.d"
+  "bench_ckpt_sched"
+  "bench_ckpt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ckpt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

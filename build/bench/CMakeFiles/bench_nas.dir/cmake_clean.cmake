@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nas.dir/bench_nas.cpp.o"
+  "CMakeFiles/bench_nas.dir/bench_nas.cpp.o.d"
+  "bench_nas"
+  "bench_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

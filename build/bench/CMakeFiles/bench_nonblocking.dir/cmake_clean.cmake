@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonblocking.dir/bench_nonblocking.cpp.o"
+  "CMakeFiles/bench_nonblocking.dir/bench_nonblocking.cpp.o.d"
+  "bench_nonblocking"
+  "bench_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

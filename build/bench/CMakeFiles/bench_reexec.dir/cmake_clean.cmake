@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reexec.dir/bench_reexec.cpp.o"
+  "CMakeFiles/bench_reexec.dir/bench_reexec.cpp.o.d"
+  "bench_reexec"
+  "bench_reexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

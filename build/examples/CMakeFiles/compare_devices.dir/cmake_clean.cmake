@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_devices.dir/compare_devices.cpp.o"
+  "CMakeFiles/compare_devices.dir/compare_devices.cpp.o.d"
+  "compare_devices"
+  "compare_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desktop_grid.dir/desktop_grid.cpp.o"
+  "CMakeFiles/desktop_grid.dir/desktop_grid.cpp.o.d"
+  "desktop_grid"
+  "desktop_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desktop_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

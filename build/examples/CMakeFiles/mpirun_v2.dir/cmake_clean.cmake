@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpirun_v2.dir/mpirun_v2.cpp.o"
+  "CMakeFiles/mpirun_v2.dir/mpirun_v2.cpp.o.d"
+  "mpirun_v2"
+  "mpirun_v2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpirun_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

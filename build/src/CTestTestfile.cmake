@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("mpi")
+subdirs("p4")
+subdirs("v1")
+subdirs("v2")
+subdirs("services")
+subdirs("faults")
+subdirs("runtime")
+subdirs("apps")

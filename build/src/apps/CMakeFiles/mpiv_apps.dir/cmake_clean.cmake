@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_apps.dir/adi.cpp.o"
+  "CMakeFiles/mpiv_apps.dir/adi.cpp.o.d"
+  "CMakeFiles/mpiv_apps.dir/cg.cpp.o"
+  "CMakeFiles/mpiv_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/mpiv_apps.dir/ft.cpp.o"
+  "CMakeFiles/mpiv_apps.dir/ft.cpp.o.d"
+  "CMakeFiles/mpiv_apps.dir/lu.cpp.o"
+  "CMakeFiles/mpiv_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/mpiv_apps.dir/mg.cpp.o"
+  "CMakeFiles/mpiv_apps.dir/mg.cpp.o.d"
+  "libmpiv_apps.a"
+  "libmpiv_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpiv_apps.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_common.dir/error.cpp.o"
+  "CMakeFiles/mpiv_common.dir/error.cpp.o.d"
+  "CMakeFiles/mpiv_common.dir/log.cpp.o"
+  "CMakeFiles/mpiv_common.dir/log.cpp.o.d"
+  "CMakeFiles/mpiv_common.dir/options.cpp.o"
+  "CMakeFiles/mpiv_common.dir/options.cpp.o.d"
+  "CMakeFiles/mpiv_common.dir/rng.cpp.o"
+  "CMakeFiles/mpiv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mpiv_common.dir/serialize.cpp.o"
+  "CMakeFiles/mpiv_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/mpiv_common.dir/stats.cpp.o"
+  "CMakeFiles/mpiv_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mpiv_common.dir/units.cpp.o"
+  "CMakeFiles/mpiv_common.dir/units.cpp.o.d"
+  "libmpiv_common.a"
+  "libmpiv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

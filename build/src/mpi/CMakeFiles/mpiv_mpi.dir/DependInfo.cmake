@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/adi.cpp" "src/mpi/CMakeFiles/mpiv_mpi.dir/adi.cpp.o" "gcc" "src/mpi/CMakeFiles/mpiv_mpi.dir/adi.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/mpiv_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/mpiv_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/mpiv_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/mpiv_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/profiler.cpp" "src/mpi/CMakeFiles/mpiv_mpi.dir/profiler.cpp.o" "gcc" "src/mpi/CMakeFiles/mpiv_mpi.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mpiv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpiv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpiv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

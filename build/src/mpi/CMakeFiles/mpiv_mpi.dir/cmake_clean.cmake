@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_mpi.dir/adi.cpp.o"
+  "CMakeFiles/mpiv_mpi.dir/adi.cpp.o.d"
+  "CMakeFiles/mpiv_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/mpiv_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/mpiv_mpi.dir/comm.cpp.o"
+  "CMakeFiles/mpiv_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/mpiv_mpi.dir/profiler.cpp.o"
+  "CMakeFiles/mpiv_mpi.dir/profiler.cpp.o.d"
+  "libmpiv_mpi.a"
+  "libmpiv_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

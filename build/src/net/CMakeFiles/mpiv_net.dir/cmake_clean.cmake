@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_net.dir/network.cpp.o"
+  "CMakeFiles/mpiv_net.dir/network.cpp.o.d"
+  "libmpiv_net.a"
+  "libmpiv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_p4.dir/p4_device.cpp.o"
+  "CMakeFiles/mpiv_p4.dir/p4_device.cpp.o.d"
+  "libmpiv_p4.a"
+  "libmpiv_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

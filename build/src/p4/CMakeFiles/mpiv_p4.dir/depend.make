@@ -1,0 +1,2 @@
+# Empty dependencies file for mpiv_p4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_runtime.dir/job.cpp.o"
+  "CMakeFiles/mpiv_runtime.dir/job.cpp.o.d"
+  "libmpiv_runtime.a"
+  "libmpiv_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

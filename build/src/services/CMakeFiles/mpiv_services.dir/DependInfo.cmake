@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/ckpt_policies.cpp" "src/services/CMakeFiles/mpiv_services.dir/ckpt_policies.cpp.o" "gcc" "src/services/CMakeFiles/mpiv_services.dir/ckpt_policies.cpp.o.d"
+  "/root/repo/src/services/ckpt_scheduler.cpp" "src/services/CMakeFiles/mpiv_services.dir/ckpt_scheduler.cpp.o" "gcc" "src/services/CMakeFiles/mpiv_services.dir/ckpt_scheduler.cpp.o.d"
+  "/root/repo/src/services/ckpt_server.cpp" "src/services/CMakeFiles/mpiv_services.dir/ckpt_server.cpp.o" "gcc" "src/services/CMakeFiles/mpiv_services.dir/ckpt_server.cpp.o.d"
+  "/root/repo/src/services/dispatcher.cpp" "src/services/CMakeFiles/mpiv_services.dir/dispatcher.cpp.o" "gcc" "src/services/CMakeFiles/mpiv_services.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/services/event_logger.cpp" "src/services/CMakeFiles/mpiv_services.dir/event_logger.cpp.o" "gcc" "src/services/CMakeFiles/mpiv_services.dir/event_logger.cpp.o.d"
+  "/root/repo/src/services/program_file.cpp" "src/services/CMakeFiles/mpiv_services.dir/program_file.cpp.o" "gcc" "src/services/CMakeFiles/mpiv_services.dir/program_file.cpp.o.d"
+  "/root/repo/src/services/sched_sim.cpp" "src/services/CMakeFiles/mpiv_services.dir/sched_sim.cpp.o" "gcc" "src/services/CMakeFiles/mpiv_services.dir/sched_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/v2/CMakeFiles/mpiv_v2.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpiv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mpiv_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpiv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpiv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_services.dir/ckpt_policies.cpp.o"
+  "CMakeFiles/mpiv_services.dir/ckpt_policies.cpp.o.d"
+  "CMakeFiles/mpiv_services.dir/ckpt_scheduler.cpp.o"
+  "CMakeFiles/mpiv_services.dir/ckpt_scheduler.cpp.o.d"
+  "CMakeFiles/mpiv_services.dir/ckpt_server.cpp.o"
+  "CMakeFiles/mpiv_services.dir/ckpt_server.cpp.o.d"
+  "CMakeFiles/mpiv_services.dir/dispatcher.cpp.o"
+  "CMakeFiles/mpiv_services.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/mpiv_services.dir/event_logger.cpp.o"
+  "CMakeFiles/mpiv_services.dir/event_logger.cpp.o.d"
+  "CMakeFiles/mpiv_services.dir/program_file.cpp.o"
+  "CMakeFiles/mpiv_services.dir/program_file.cpp.o.d"
+  "CMakeFiles/mpiv_services.dir/sched_sim.cpp.o"
+  "CMakeFiles/mpiv_services.dir/sched_sim.cpp.o.d"
+  "libmpiv_services.a"
+  "libmpiv_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_sim.dir/engine.cpp.o"
+  "CMakeFiles/mpiv_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mpiv_sim.dir/process.cpp.o"
+  "CMakeFiles/mpiv_sim.dir/process.cpp.o.d"
+  "libmpiv_sim.a"
+  "libmpiv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

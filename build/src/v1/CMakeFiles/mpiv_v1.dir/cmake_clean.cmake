@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_v1.dir/v1_device.cpp.o"
+  "CMakeFiles/mpiv_v1.dir/v1_device.cpp.o.d"
+  "libmpiv_v1.a"
+  "libmpiv_v1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_v1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

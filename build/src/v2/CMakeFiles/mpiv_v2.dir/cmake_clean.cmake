@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiv_v2.dir/daemon.cpp.o"
+  "CMakeFiles/mpiv_v2.dir/daemon.cpp.o.d"
+  "CMakeFiles/mpiv_v2.dir/v2_device.cpp.o"
+  "CMakeFiles/mpiv_v2.dir/v2_device.cpp.o.d"
+  "libmpiv_v2.a"
+  "libmpiv_v2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiv_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

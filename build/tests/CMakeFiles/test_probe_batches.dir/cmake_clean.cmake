@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe_batches.dir/test_probe_batches.cpp.o"
+  "CMakeFiles/test_probe_batches.dir/test_probe_batches.cpp.o.d"
+  "test_probe_batches"
+  "test_probe_batches.pdb"
+  "test_probe_batches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

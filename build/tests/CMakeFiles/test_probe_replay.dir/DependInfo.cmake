@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_probe_replay.cpp" "tests/CMakeFiles/test_probe_replay.dir/test_probe_replay.cpp.o" "gcc" "tests/CMakeFiles/test_probe_replay.dir/test_probe_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mpiv_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/v1/CMakeFiles/mpiv_v1.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/mpiv_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/mpiv_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/v2/CMakeFiles/mpiv_v2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mpiv_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpiv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpiv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpiv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

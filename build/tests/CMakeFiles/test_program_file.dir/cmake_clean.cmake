@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program_file.dir/test_program_file.cpp.o"
+  "CMakeFiles/test_program_file.dir/test_program_file.cpp.o.d"
+  "test_program_file"
+  "test_program_file.pdb"
+  "test_program_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

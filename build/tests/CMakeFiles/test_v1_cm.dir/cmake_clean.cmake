@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_v1_cm.dir/test_v1_cm.cpp.o"
+  "CMakeFiles/test_v1_cm.dir/test_v1_cm.cpp.o.d"
+  "test_v1_cm"
+  "test_v1_cm.pdb"
+  "test_v1_cm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_v1_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

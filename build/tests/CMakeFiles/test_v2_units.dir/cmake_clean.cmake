@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_v2_units.dir/test_v2_units.cpp.o"
+  "CMakeFiles/test_v2_units.dir/test_v2_units.cpp.o.d"
+  "test_v2_units"
+  "test_v2_units.pdb"
+  "test_v2_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_v2_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_p2p[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_v2_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_services[1]_include.cmake")
+include("/root/repo/build/tests/test_v2_units[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_program_file[1]_include.cmake")
+include("/root/repo/build/tests/test_v1_cm[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_probe_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_probe_batches[1]_include.cmake")
