@@ -27,9 +27,10 @@ void BM_SerializeEvent(benchmark::State& state) {
 BENCHMARK(BM_SerializeEvent);
 
 void BM_EncodeMsgRecord(benchmark::State& state) {
-  v2::MsgRecord rec{42, Buffer(static_cast<std::size_t>(state.range(0)))};
+  v2::MsgRecord rec{
+      42, SharedBuffer(Buffer(static_cast<std::size_t>(state.range(0))))};
   for (auto _ : state) {
-    Buffer b = v2::encode_msg_record(rec);
+    SharedBuffer b{v2::encode_msg_record(rec)};
     benchmark::DoNotOptimize(v2::decode_msg_record(b));
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));

@@ -6,6 +6,7 @@
 // half of P4 (every payload crosses two serialized streams); V2 0-byte
 // latency about 3x P4 (two local pipe hops plus the event-logger
 // round-trip gating each send).
+#include <algorithm>
 #include <memory>
 
 #include "apps/pingpong.hpp"
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
                       "V2 237us / 10.7 MB/s, V1 ~2x slower than P4)");
 
   TextTable table({"size", "device", "one-way latency", "bandwidth MB/s",
-                   "wire msgs/rt"});
+                   "wire msgs/rt", "copied B/msg"});
   for (std::int64_t size : sizes) {
     for (const std::string& dev : devices) {
       runtime::JobConfig cfg;
@@ -51,9 +52,23 @@ int main(int argc, char** argv) {
       // warmup+measured rounds gives a fair per-round figure).
       double msgs_per_rt =
           static_cast<double>(res.wire.messages) / (reps + 2);
+      // Datapath copy discipline: payload bytes memcpy'd anywhere in the
+      // stack (devices + V2 daemons) per channel block sent. P4 pushes
+      // blocks straight onto the wire (~0); V1 pays the remote-log blob
+      // copies; V2's zero-copy path leaves only the wire gather and the
+      // deliberate Packet materialization.
+      std::uint64_t copied = res.daemon_stats.bytes_copied;
+      std::uint64_t blocks = 0;
+      for (const runtime::RankResult& rr : res.ranks) {
+        copied += rr.copies.bytes_copied;
+        blocks += rr.copies.blocks_sent;
+      }
+      double copied_per_msg =
+          static_cast<double>(copied) / static_cast<double>(std::max<std::uint64_t>(1, blocks));
       table.add_row({std::to_string(size), dev,
                      format_duration(static_cast<SimDuration>(rtt_ns / 2)),
-                     format_double(bw, 2), format_double(msgs_per_rt, 1)});
+                     format_double(bw, 2), format_double(msgs_per_rt, 1),
+                     format_double(copied_per_msg, 0)});
     }
   }
   std::printf("%s", table.render().c_str());

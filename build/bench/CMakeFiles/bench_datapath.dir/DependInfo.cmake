@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_datapath.cpp" "bench/CMakeFiles/bench_datapath.dir/bench_datapath.cpp.o" "gcc" "bench/CMakeFiles/bench_datapath.dir/bench_datapath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mpiv_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mpiv_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/v1/CMakeFiles/mpiv_v1.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/mpiv_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/mpiv_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/v2/CMakeFiles/mpiv_v2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mpiv_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpiv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpiv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpiv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

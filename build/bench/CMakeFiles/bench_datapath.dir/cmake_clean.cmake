@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datapath.dir/bench_datapath.cpp.o"
+  "CMakeFiles/bench_datapath.dir/bench_datapath.cpp.o.d"
+  "bench_datapath"
+  "bench_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -272,5 +272,8 @@ examples/CMakeFiles/mpirun_v2.dir/mpirun_v2.cpp.o: \
  /root/repo/src/v2/daemon.hpp /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/pipe.hpp \
- /root/repo/src/v2/sender_log.hpp \
+ /root/repo/src/v2/sender_log.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/services/program_file.hpp

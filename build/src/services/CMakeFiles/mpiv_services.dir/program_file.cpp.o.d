@@ -139,17 +139,10 @@ src/services/CMakeFiles/mpiv_services.dir/program_file.cpp.o: \
  /root/repo/src/faults/plan.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/common/units.hpp /root/repo/src/mpi/types.hpp \
  /root/repo/src/mpi/profiler.hpp /usr/include/c++/12/array \
- /root/repo/src/net/network.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
+ /root/repo/src/mpi/device.hpp /root/repo/src/common/bytes.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -218,12 +211,7 @@ src/services/CMakeFiles/mpiv_services.dir/program_file.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/bytes.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/span /root/repo/src/net/params.hpp \
- /root/repo/src/sim/mailbox.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/error.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
  /root/repo/src/sim/process.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
@@ -234,12 +222,24 @@ src/services/CMakeFiles/mpiv_services.dir/program_file.cpp.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/runtime/app.hpp /root/repo/src/mpi/comm.hpp \
- /root/repo/src/mpi/adi.hpp /root/repo/src/common/serialize.hpp \
- /root/repo/src/mpi/device.hpp /root/repo/src/mpi/envelope.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/network.hpp \
+ /root/repo/src/net/params.hpp /root/repo/src/sim/mailbox.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/error.hpp /root/repo/src/runtime/app.hpp \
+ /root/repo/src/mpi/comm.hpp /root/repo/src/mpi/adi.hpp \
+ /root/repo/src/common/serialize.hpp /root/repo/src/mpi/envelope.hpp \
  /root/repo/src/mpi/request.hpp /root/repo/src/services/ckpt_policies.hpp \
  /root/repo/src/v2/wire.hpp /root/repo/src/v2/daemon.hpp \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \

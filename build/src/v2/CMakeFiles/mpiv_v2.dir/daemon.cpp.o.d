@@ -234,11 +234,11 @@ src/v2/CMakeFiles/mpiv_v2.dir/daemon.cpp.o: /root/repo/src/v2/daemon.cpp \
  /usr/include/c++/12/thread /root/repo/src/sim/engine.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/net/pipe.hpp /root/repo/src/v2/sender_log.hpp \
- /root/repo/src/common/serialize.hpp /root/repo/src/mpi/types.hpp \
- /root/repo/src/v2/wire.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/log.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/serialize.hpp /root/repo/src/mpi/types.hpp \
+ /root/repo/src/v2/wire.hpp /root/repo/src/common/log.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

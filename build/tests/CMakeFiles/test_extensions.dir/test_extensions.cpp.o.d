@@ -344,4 +344,7 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /root/repo/src/common/error.hpp \
  /root/repo/src/services/ckpt_policies.hpp /root/repo/src/v2/wire.hpp \
  /root/repo/src/v2/daemon.hpp /root/repo/src/net/pipe.hpp \
- /root/repo/src/v2/sender_log.hpp
+ /root/repo/src/v2/sender_log.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -297,9 +297,6 @@ tests/CMakeFiles/test_mpi_protocols.dir/test_mpi_protocols.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/common/serialize.hpp /root/repo/src/mpi/types.hpp \
  /root/repo/src/mpi/profiler.hpp /root/repo/src/common/units.hpp \
- /root/repo/tests/mpi_test_util.hpp /root/repo/src/mpi/comm.hpp \
- /root/repo/src/mpi/adi.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/mpi/device.hpp /root/repo/src/sim/process.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
@@ -310,7 +307,10 @@ tests/CMakeFiles/test_mpi_protocols.dir/test_mpi_protocols.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/tests/mpi_test_util.hpp \
+ /root/repo/src/mpi/comm.hpp /root/repo/src/mpi/adi.hpp \
  /root/repo/src/mpi/request.hpp /root/repo/src/net/network.hpp \
  /root/repo/src/net/params.hpp /root/repo/src/sim/mailbox.hpp \
  /root/repo/src/common/error.hpp /root/repo/src/p4/p4_device.hpp

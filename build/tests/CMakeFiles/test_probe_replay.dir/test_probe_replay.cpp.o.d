@@ -296,11 +296,8 @@ tests/CMakeFiles/test_probe_replay.dir/test_probe_replay.cpp.o: \
  /root/repo/src/runtime/job.hpp /root/repo/src/faults/plan.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/common/units.hpp \
  /root/repo/src/mpi/types.hpp /root/repo/src/mpi/profiler.hpp \
- /root/repo/src/net/network.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/common/bytes.hpp /usr/include/c++/12/cstring \
- /usr/include/c++/12/span /root/repo/src/net/params.hpp \
- /root/repo/src/sim/mailbox.hpp /root/repo/src/common/error.hpp \
+ /root/repo/src/mpi/device.hpp /root/repo/src/common/bytes.hpp \
+ /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/sim/process.hpp /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
@@ -311,10 +308,16 @@ tests/CMakeFiles/test_probe_replay.dir/test_probe_replay.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/runtime/app.hpp /root/repo/src/mpi/comm.hpp \
- /root/repo/src/mpi/adi.hpp /root/repo/src/common/serialize.hpp \
- /root/repo/src/mpi/device.hpp /root/repo/src/mpi/envelope.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/network.hpp \
+ /root/repo/src/net/params.hpp /root/repo/src/sim/mailbox.hpp \
+ /root/repo/src/common/error.hpp /root/repo/src/runtime/app.hpp \
+ /root/repo/src/mpi/comm.hpp /root/repo/src/mpi/adi.hpp \
+ /root/repo/src/common/serialize.hpp /root/repo/src/mpi/envelope.hpp \
  /root/repo/src/mpi/request.hpp /root/repo/src/services/ckpt_policies.hpp \
  /root/repo/src/v2/wire.hpp /root/repo/src/v2/daemon.hpp \
- /root/repo/src/net/pipe.hpp /root/repo/src/v2/sender_log.hpp
+ /root/repo/src/net/pipe.hpp /root/repo/src/v2/sender_log.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +20,77 @@ using ConstBytes = std::span<const std::byte>;
 
 /// Mutable view over raw bytes.
 using MutBytes = std::span<std::byte>;
+
+/// Ref-counted immutable payload: a shared, read-only Buffer plus an
+/// offset/length slice view. This is the zero-copy currency of the V2
+/// datapath — one underlying allocation can simultaneously back the sender
+/// log (SAVED), an in-flight TX frame and a checkpoint serialization, and
+/// each holder drops its reference independently (GC of one alias never
+/// invalidates another). Slicing is O(1) and never copies; the underlying
+/// bytes are freed when the last alias goes away.
+class SharedBuffer {
+ public:
+  SharedBuffer() = default;
+  /// Adopts `b` (no copy) and views all of it.
+  explicit SharedBuffer(Buffer b)
+      : buf_(std::make_shared<const Buffer>(std::move(b))),
+        off_(0),
+        len_(buf_->size()) {}
+
+  [[nodiscard]] const std::byte* data() const {
+    return buf_ == nullptr ? nullptr : buf_->data() + off_;
+  }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+  [[nodiscard]] ConstBytes view() const { return {data(), len_}; }
+
+  /// O(1) sub-slice relative to this slice; shares the same allocation.
+  [[nodiscard]] SharedBuffer slice(std::size_t off, std::size_t len) const {
+    SharedBuffer out;
+    if (off > len_ || len > len_ - off) return out;  // empty on bad range
+    out.buf_ = buf_;
+    out.off_ = off_ + off;
+    out.len_ = len;
+    return out;
+  }
+
+  /// Re-anchors a ConstBytes view (obtained e.g. from a Reader over this
+  /// buffer) as an owning slice. `sub` must point into this buffer's bytes.
+  [[nodiscard]] SharedBuffer slice_of(ConstBytes sub) const {
+    if (sub.empty()) return SharedBuffer{};
+    const std::byte* base = data();
+    if (sub.data() < base || sub.data() + sub.size() > base + len_) {
+      return SharedBuffer{};
+    }
+    return slice(static_cast<std::size_t>(sub.data() - base), sub.size());
+  }
+
+  /// Materializes an owned copy (the one deliberate copy when a consumer
+  /// needs mutable/exclusive bytes).
+  [[nodiscard]] Buffer copy() const {
+    return Buffer(view().begin(), view().end());
+  }
+
+  /// Number of aliases of the underlying allocation (tests/GC asserts).
+  [[nodiscard]] long use_count() const { return buf_.use_count(); }
+
+  friend bool operator==(const SharedBuffer& a, const SharedBuffer& b) {
+    ConstBytes va = a.view(), vb = b.view();
+    return va.size() == vb.size() &&
+           (va.empty() || std::memcmp(va.data(), vb.data(), va.size()) == 0);
+  }
+  /// Content comparison against an owned buffer (test convenience).
+  friend bool operator==(const SharedBuffer& a, const Buffer& b) {
+    ConstBytes va = a.view();
+    return va.size() == b.size() &&
+           (b.empty() || std::memcmp(va.data(), b.data(), b.size()) == 0);
+  }
+
+ private:
+  std::shared_ptr<const Buffer> buf_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
 
 /// Copies a trivially-copyable value into a fresh buffer.
 template <typename T>

@@ -71,6 +71,12 @@ class Reader {
   bool boolean() { return u8() != 0; }
 
   Buffer blob();
+  /// Length-prefixed blob as a non-owning view (zero-copy decode); the view
+  /// is valid for the lifetime of the bytes the Reader was built over.
+  ConstBytes blob_view() {
+    std::uint32_t n = u32();
+    return take(n);
+  }
   std::string str();
   void raw(void* out, std::size_t n);
   /// View into the remaining unparsed bytes (does not consume).

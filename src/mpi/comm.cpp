@@ -22,6 +22,7 @@ void Comm::init(sim::Context& ctx) {
 void Comm::finalize(sim::Context& ctx) {
   Timed t(profiler_, MpiFunc::kFinalize, ctx);
   adi_.finish(ctx);
+  profiler_.set_copies(adi_.device().copy_counters());
 }
 
 void Comm::send(sim::Context& ctx, ConstBytes data, Rank dest, Tag tag) {

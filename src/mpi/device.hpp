@@ -23,6 +23,16 @@ struct Packet {
   Buffer data;
 };
 
+/// Device-side payload copy accounting (the app-process half of the
+/// datapath; daemons keep their own DaemonStats). Benches divide
+/// bytes_copied by traffic to report copies-per-message.
+struct CopyCounters {
+  std::uint64_t blocks_sent = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t payload_copies = 0;  // whole-payload memcpy passes
+  std::uint64_t bytes_copied = 0;
+};
+
 class Device {
  public:
   virtual ~Device() = default;
@@ -61,6 +71,11 @@ class Device {
   virtual std::optional<Buffer> take_restart_image(sim::Context& /*ctx*/) {
     return std::nullopt;
   }
+
+  [[nodiscard]] const CopyCounters& copy_counters() const { return copies_; }
+
+ protected:
+  CopyCounters copies_;
 };
 
 }  // namespace mpiv::mpi

@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "common/units.hpp"
+#include "mpi/device.hpp"
 
 namespace mpiv::mpi {
 
@@ -54,6 +55,11 @@ class Profiler {
   /// Sum over all MPI functions — the "communication time" of Figure 8.
   [[nodiscard]] SimDuration total_mpi_time() const;
 
+  /// Device-side payload copy accounting, snapshotted at MPI_Finalize so
+  /// benches can report copies-per-message alongside the time breakdown.
+  [[nodiscard]] const CopyCounters& copies() const { return copies_; }
+  void set_copies(const CopyCounters& c) { copies_ = c; }
+
   void reset() { *this = Profiler{}; }
 
   /// RAII guard measuring one call; only the outermost nesting level records.
@@ -90,6 +96,7 @@ class Profiler {
 
  private:
   std::array<Entry, static_cast<std::size_t>(MpiFunc::kCount)> entries_{};
+  CopyCounters copies_{};
   int depth_ = 0;
 };
 

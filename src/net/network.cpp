@@ -146,6 +146,12 @@ bool Conn::send(sim::Context& ctx, Buffer msg,
   return link_->send_from(ctx, side_, std::move(msg), while_blocked);
 }
 
+bool Conn::send(sim::Context& ctx, Buffer head, ConstBytes tail,
+                const std::function<void(sim::Context&)>& while_blocked) {
+  head.insert(head.end(), tail.begin(), tail.end());
+  return link_->send_from(ctx, side_, std::move(head), while_blocked);
+}
+
 void Conn::close() { link_->close_from(side_, /*graceful=*/true); }
 
 bool Conn::writable() const {

@@ -57,6 +57,13 @@ class Conn {
   bool send(sim::Context& ctx, Buffer msg,
             const std::function<void(sim::Context&)>& while_blocked = {});
 
+  /// Scatter-gather send: transmits `head` followed by `tail` as one wire
+  /// message without requiring the caller to assemble them. The gather into
+  /// the kernel buffer happens here (the one unavoidable TX copy of the
+  /// zero-copy datapath); daemons account for it via their copy counters.
+  bool send(sim::Context& ctx, Buffer head, ConstBytes tail,
+            const std::function<void(sim::Context&)>& while_blocked = {});
+
   void close();  // non-blocking; remote gets a Closed event
   [[nodiscard]] bool is_open() const;
   /// True when a send would be admitted immediately (window has room).

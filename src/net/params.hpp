@@ -33,6 +33,12 @@ struct NetParams {
   /// Local copy bandwidth through the pipe, bytes per second.
   double pipe_bandwidth_bps = 300e6;
 
+  /// Main-memory copy bandwidth, bytes per second. Charged for every
+  /// payload memcpy the daemons still perform (wire scatter-gather
+  /// assembly, multi-chunk reassembly) so copy discipline is visible in
+  /// virtual time. Era hardware (PC2100 DDR) sustains ~800 MB/s.
+  double memcpy_bandwidth_bps = 800e6;
+
   /// Chunk size used by daemons that interleave TX with their select loop.
   std::uint32_t daemon_chunk_bytes = 16 * 1024;
 

@@ -4,6 +4,13 @@
 // sender pays the local copy cost (per-message overhead + bytes at local
 // pipe bandwidth) and the message appears on the other end pipe_latency
 // later. Pipes do not occupy the NIC and are not counted as wire messages.
+//
+// Messages are PipeFrames: a small owned head (framing + scalar fields)
+// plus an optional ref-counted payload slice. Handing a bulk payload across
+// the pipe is therefore zero-copy at user level — the daemon records the
+// *same* underlying bytes into its sender log and TX queue that the app
+// handed over (the modeled pipe transfer time still covers head+payload,
+// which is the kernel's socket copy).
 #pragma once
 
 #include <memory>
@@ -15,29 +22,48 @@
 
 namespace mpiv::net {
 
+/// One pipe message: owned framing bytes plus a shared bulk payload.
+struct PipeFrame {
+  Buffer head;
+  SharedBuffer payload;
+
+  PipeFrame() = default;
+  explicit PipeFrame(Buffer h) : head(std::move(h)) {}
+  PipeFrame(Buffer h, SharedBuffer p)
+      : head(std::move(h)), payload(std::move(p)) {}
+
+  [[nodiscard]] std::size_t size() const { return head.size() + payload.size(); }
+};
+
 class Pipe {
  public:
   class End {
    public:
     End(Pipe& pipe, int side) : pipe_(pipe), side_(side) {}
 
-    /// Blocking send; charges the calling fiber the local copy cost.
-    void send(sim::Context& ctx, Buffer msg) {
+    /// Blocking send; charges the calling fiber the local copy cost for the
+    /// whole frame (head + payload).
+    void send(sim::Context& ctx, PipeFrame frame) {
       const NetParams& p = pipe_.params_;
-      ctx.sleep(p.pipe_per_msg + transfer_time(msg.size(), p.pipe_bandwidth_bps));
+      ctx.sleep(p.pipe_per_msg + transfer_time(frame.size(), p.pipe_bandwidth_bps));
       Pipe& pipe = pipe_;
       int other = 1 - side_;
       pipe_.engine_.schedule_in(
-          p.pipe_latency, [&pipe, other, m = std::move(msg)]() mutable {
+          p.pipe_latency, [&pipe, other, m = std::move(frame)]() mutable {
             pipe.boxes_[other].push(std::move(m));
             if (pipe.notifiers_[other] != nullptr) pipe.notifiers_[other]->notify();
           });
     }
 
-    /// Blocking receive.
-    Buffer recv(sim::Context& ctx) { return pipe_.boxes_[side_].recv(ctx); }
+    /// Convenience for head-only messages.
+    void send(sim::Context& ctx, Buffer msg) {
+      send(ctx, PipeFrame(std::move(msg)));
+    }
 
-    std::optional<Buffer> try_recv() { return pipe_.boxes_[side_].try_recv(); }
+    /// Blocking receive.
+    PipeFrame recv(sim::Context& ctx) { return pipe_.boxes_[side_].recv(ctx); }
+
+    std::optional<PipeFrame> try_recv() { return pipe_.boxes_[side_].try_recv(); }
 
     [[nodiscard]] bool has_pending() const {
       return !pipe_.boxes_[side_].empty();
@@ -54,7 +80,7 @@ class Pipe {
   Pipe(sim::Engine& engine, const NetParams& params)
       : engine_(engine),
         params_(params),
-        boxes_{sim::Mailbox<Buffer>(engine), sim::Mailbox<Buffer>(engine)},
+        boxes_{sim::Mailbox<PipeFrame>(engine), sim::Mailbox<PipeFrame>(engine)},
         ends_{End(*this, 0), End(*this, 1)} {}
 
   /// The MPI-process side.
@@ -66,7 +92,7 @@ class Pipe {
   friend class End;
   sim::Engine& engine_;
   NetParams params_;
-  sim::Mailbox<Buffer> boxes_[2];
+  sim::Mailbox<PipeFrame> boxes_[2];
   sim::Notifier* notifiers_[2] = {nullptr, nullptr};
   End ends_[2];
 };

@@ -89,6 +89,9 @@ void P4Device::bsend(sim::Context& ctx, mpi::Rank dest, Buffer block) {
       last_service = ctx.now();
     }
   }
+  // The block is pushed onto the wire as-is: no device-level copies.
+  copies_.blocks_sent += 1;
+  copies_.payload_bytes_sent += block.size();
   bool ok = c->send(ctx, std::move(block));
   MPIV_CHECK(ok, "p4: connection lost (P4 has no fault tolerance)");
 }

@@ -117,6 +117,11 @@ class Cluster {
       out.daemon_stats.events_logged += s.events_logged;
       out.daemon_stats.checkpoints_taken += s.checkpoints_taken;
       out.daemon_stats.gc_pruned_entries += s.gc_pruned_entries;
+      out.daemon_stats.suppressed_sends += s.suppressed_sends;
+      out.daemon_stats.bytes_copied += s.bytes_copied;
+      out.daemon_stats.payload_copies_tx += s.payload_copies_tx;
+      out.daemon_stats.payload_copies_rx += s.payload_copies_rx;
+      out.daemon_stats.el_appends += s.el_appends;
     }
     if (cs_ != nullptr) out.checkpoints_stored = cs_->images_stored();
     for (const auto& el : els_) out.el_events_stored += el->total_events_stored();
@@ -277,6 +282,7 @@ class Cluster {
     if (cfg_.checkpointing) dcfg.scheduler = {svc_node_, v2::kSchedulerPort};
     dcfg.dispatcher = {svc_node_, v2::kDispatcherPort};
     dcfg.gate_sends = cfg_.v2_gate_sends;
+    dcfg.legacy_datapath = cfg_.v2_legacy_datapath;
     daemons_.push_back(std::make_unique<v2::Daemon>(net_, *pipe, dcfg));
     v2::Daemon* daemon = daemons_.back().get();
     latest_daemon_[ri] = daemon;
@@ -307,6 +313,7 @@ class Cluster {
     comm.finalize(ctx);
     rr.finish_time = ctx.now();
     rr.profiler = comm.profiler();
+    rr.copies = dev.copy_counters();
     results_[static_cast<std::size_t>(rank)] = std::move(rr);
   }
 

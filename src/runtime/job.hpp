@@ -59,6 +59,9 @@ struct JobConfig {
   /// ABLATION ONLY: run V2 without the WAITLOGGED send gate (see
   /// v2::DaemonConfig::gate_sends).
   bool v2_gate_sends = true;
+  /// ABLATION ONLY: emulate the pre-zero-copy V2 datapath (see
+  /// v2::DaemonConfig::legacy_datapath) for A/B benchmarking.
+  bool v2_legacy_datapath = false;
 
   SimTime time_limit = seconds(100000);
   std::uint64_t seed = 1;
@@ -68,7 +71,8 @@ struct RankResult {
   bool finished = false;
   SimTime finish_time = 0;
   mpi::Profiler profiler;
-  Buffer output;  // App::result()
+  mpi::CopyCounters copies;  // device-side payload copy accounting
+  Buffer output;             // App::result()
 };
 
 struct JobResult {

@@ -146,6 +146,11 @@ void V1Device::service(sim::Context& ctx) {
 }
 
 void V1Device::bsend(sim::Context& ctx, mpi::Rank dest, Buffer block) {
+  copies_.blocks_sent += 1;
+  copies_.payload_bytes_sent += block.size();
+  // Remote logging copies the block into the CM request wholesale.
+  copies_.payload_copies += 1;
+  copies_.bytes_copied += block.size();
   Writer w;
   w.u8(static_cast<std::uint8_t>(CmMsg::kSend));
   w.i32(dest);
@@ -182,7 +187,9 @@ mpi::Packet V1Device::brecv(sim::Context& ctx) {
   r.u8();  // type
   mpi::Packet pkt;
   pkt.from = r.i32();
-  pkt.data = r.blob();
+  pkt.data = r.blob();  // copy out of the CM reply blob
+  copies_.payload_copies += 1;
+  copies_.bytes_copied += pkt.data.size();
   return pkt;
 }
 

@@ -132,7 +132,7 @@ void Daemon::fetch_checkpoint(sim::Context& ctx) {
   Buffer image = r.blob();
   if (!found) return;
   ckpt_seq_ = seq;
-  app_restart_image_ = restore_daemon_state(image);
+  app_restart_image_ = SharedBuffer(restore_daemon_state(image));
   have_restart_image_ = true;
   MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
             " restored checkpoint seq ", seq, " at delivery clock ",
@@ -272,8 +272,18 @@ void Daemon::pipe_reply(sim::Context& ctx, Writer w) {
   pipe_.daemon_end().send(ctx, w.take());
 }
 
-void Daemon::handle_pipe(sim::Context& ctx, Buffer msg) {
-  Reader r(msg);
+void Daemon::pipe_reply(sim::Context& ctx, Writer w, SharedBuffer payload) {
+  pipe_.daemon_end().send(ctx, net::PipeFrame(w.take(), std::move(payload)));
+}
+
+void Daemon::charge_copy(sim::Context& ctx, std::size_t n) {
+  if (n == 0) return;
+  stats_.bytes_copied += n;
+  ctx.sleep(transfer_time(n, net_.params().memcpy_bandwidth_bps));
+}
+
+void Daemon::handle_pipe(sim::Context& ctx, net::PipeFrame frame) {
+  Reader r(frame.head);
   PipeHeader h = read_pipe_header(r);
   switch (h.type) {
     case PipeMsg::kInit: {
@@ -284,6 +294,9 @@ void Daemon::handle_pipe(sim::Context& ctx, Buffer msg) {
       return;
     }
     case PipeMsg::kFinish: {
+      // Nothing sends after finalize; push any coalesced events out now so
+      // the log is complete at shutdown.
+      flush_el(ctx);
       pipe_reply(ctx, pipe_writer(PipeMsg::kFinishOk, false));
       if (disp_conn_ != nullptr) {
         Writer w;
@@ -296,10 +309,15 @@ void Daemon::handle_pipe(sim::Context& ctx, Buffer msg) {
       return;
     }
     case PipeMsg::kBsend: {
-      // One-way from the app; no reply (see V2Device::bsend).
+      // One-way from the app; no reply (see V2Device::bsend). The payload
+      // rides the frame as a shared slice — no decode copy.
       mpi::Rank dest = r.i32();
-      Buffer block = r.blob();
-      send_event(ctx, dest, std::move(block));
+      if (config_.legacy_datapath) {
+        // Old path copied the block out of the pipe blob.
+        charge_copy(ctx, frame.payload.size());
+        stats_.payload_copies_tx += 1;
+      }
+      send_event(ctx, dest, std::move(frame.payload));
       return;
     }
     case PipeMsg::kBrecv: {
@@ -313,16 +331,14 @@ void Daemon::handle_pipe(sim::Context& ctx, Buffer msg) {
       return;
     }
     case PipeMsg::kCkptImage: {
-      Buffer image = r.blob();
-      begin_checkpoint(ctx, std::move(image));
+      begin_checkpoint(ctx, std::move(frame.payload));
       pipe_reply(ctx, pipe_writer(PipeMsg::kCkptOk, false));
       return;
     }
     case PipeMsg::kGetImage: {
       Writer w = pipe_writer(PipeMsg::kImageR, ckpt_requested_);
       w.boolean(have_restart_image_);
-      w.blob(app_restart_image_);
-      pipe_reply(ctx, std::move(w));
+      pipe_reply(ctx, std::move(w), app_restart_image_);
       return;
     }
     default:
@@ -332,7 +348,7 @@ void Daemon::handle_pipe(sim::Context& ctx, Buffer msg) {
 
 // --------------------------------------------------------------- protocol
 
-void Daemon::send_event(sim::Context& ctx, mpi::Rank dest, Buffer block) {
+void Daemon::send_event(sim::Context& ctx, mpi::Rank dest, SharedBuffer block) {
   // Failed probes are nondeterministic events; make any unlogged ones
   // durable before this send leaves (the appendix's UnDetAction LOG +
   // WAITLOGGED, batched to at most one event per send).
@@ -348,35 +364,49 @@ void Daemon::send_event(sim::Context& ctx, mpi::Rank dest, Buffer block) {
   ++send_clock_;
   Clock clock = send_clock_;
   MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " send@", clock, " -> ",
-             dest, " h=", fnv1a(block) & 0xffff,
+             dest, " h=", fnv1a(block.view()) & 0xffff,
              (clock <= hs_[static_cast<std::size_t>(dest)] ? " SUPPRESSED" : ""));
   stats_.sent_msgs += 1;
   stats_.sent_bytes += block.size();
   auto di = static_cast<std::size_t>(dest);
   if (clock > hs_[di]) {
     hs_[di] = clock;
-    MsgRecord rec{clock, block};
-    enqueue_msg(dest, rec);
+    enqueue_msg(ctx, dest, clock, block);
+  } else {
+    // Replay suppression (clock <= HS): the receiver already has this
+    // message, so nothing is queued.
+    stats_.suppressed_sends += 1;
   }
-  // Replay suppression (clock <= HS): the receiver already has this
-  // message; record it in SAVED anyway so a *future* crash of the receiver
-  // can still be served (closes a hole in the paper's simplified protocol).
+  // Record in SAVED either way, so a *future* crash of the receiver can
+  // still be served (closes a hole in the paper's simplified protocol).
+  // The entry shares the allocation with the queued frame — no copy.
   saved_.record(dest, clock, std::move(block));
-  (void)ctx;
 }
 
 void Daemon::enqueue_control(mpi::Rank q, Buffer frame) {
-  tx_[static_cast<std::size_t>(q)].push_back(OutFrame{false, std::move(frame), 0});
-}
-
-void Daemon::enqueue_msg(mpi::Rank q, const MsgRecord& rec) {
   tx_[static_cast<std::size_t>(q)].push_back(
-      OutFrame{true, encode_msg_record(rec), 0, el_events_created()});
+      OutFrame{false, std::move(frame), {}, 0});
 }
 
-void Daemon::enqueue_saved_resend(mpi::Rank q, Clock after) {
+void Daemon::enqueue_msg(sim::Context& ctx, mpi::Rank q, Clock clock,
+                         SharedBuffer block) {
+  // Coalesced reception events must be on their way before a frame can be
+  // gated on them, or WAITLOGGED would wait forever.
+  flush_el(ctx);
+  if (config_.legacy_datapath) {
+    // Old path materialized the encoded MsgRecord per queued frame.
+    charge_copy(ctx, kMsgRecordHeaderBytes + block.size());
+    stats_.payload_copies_tx += 1;
+  }
+  tx_[static_cast<std::size_t>(q)].push_back(
+      OutFrame{true, encode_msg_record_header(clock, block.size()),
+               std::move(block), 0, el_events_created()});
+}
+
+void Daemon::enqueue_saved_resend(sim::Context& ctx, mpi::Rank q, Clock after) {
   for (const SenderLog::Entry* e : saved_.entries_after(q, after)) {
-    enqueue_msg(q, MsgRecord{e->clock, e->block});
+    // Shares the logged allocation; a resend pass costs no payload copies.
+    enqueue_msg(ctx, q, e->clock, e->block);
   }
 }
 
@@ -402,21 +432,40 @@ bool Daemon::advance_tx(sim::Context& ctx) {
     if (!c->writable()) continue;
     rr_next_ = (q + 1) % config_.size;
     if (!f.is_msg) {
-      Buffer frame = std::move(f.bytes);
+      Buffer frame = std::move(f.head);
       tx_[qi].pop_front();
       c->send(ctx, std::move(frame));
       return true;
     }
-    // Chunked payload frame: [kMsgPart][last][slice].
-    std::size_t n = std::min<std::size_t>(chunk, f.bytes.size() - f.offset);
-    bool last = (f.offset + n == f.bytes.size());
+    // Chunked payload frame: [kMsgPart][last][slice of header+payload].
+    // The slice is gathered straight from the record header and the shared
+    // payload into the wire message — the datapath's one TX copy.
+    const std::size_t total = f.total_size();
+    std::size_t n = std::min<std::size_t>(chunk, total - f.offset);
+    bool last = (f.offset + n == total);
     Writer w;
     w.u8(static_cast<std::uint8_t>(PeerMsg::kMsgPart));
     w.boolean(last);
-    w.raw(f.bytes.data() + f.offset, n);
+    std::size_t head_n = 0;
+    if (f.offset < f.head.size()) {
+      head_n = std::min(n, f.head.size() - f.offset);
+      w.raw(f.head.data() + f.offset, head_n);
+    }
+    ConstBytes tail;
+    // Keep the payload alive across send(): a Closed event arriving while
+    // the sending fiber sleeps clears this tx_ queue.
+    SharedBuffer payload = f.payload;
+    if (n > head_n) {
+      std::size_t poff = f.offset + head_n - f.head.size();
+      tail = payload.view().subspan(poff, n - head_n);
+    }
     f.offset += n;
-    if (last) tx_[qi].pop_front();
-    c->send(ctx, w.take());
+    if (last) {
+      stats_.payload_copies_tx += 1;
+      tx_[qi].pop_front();
+    }
+    charge_copy(ctx, n);
+    c->send(ctx, w.take(), tail);
     return true;
   }
   return false;
@@ -430,6 +479,7 @@ void Daemon::flush_el(sim::Context& ctx) {
   for (const ReceptionEvent& e : el_outbox_) write_event(w, e);
   el_appended_ += el_outbox_.size();
   stats_.events_logged += el_outbox_.size();
+  stats_.el_appends += 1;
   el_outbox_.clear();
   el_conn_->send(ctx, w.take());
 }
@@ -523,7 +573,7 @@ void Daemon::deliver_to_app(sim::Context& ctx, Arrival arrival, bool replayed) {
   ++recv_clock_;
   MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " deliver@", recv_clock_,
              " from ", arrival.from, "@", arrival.send_clock, " h=",
-             fnv1a(arrival.block) & 0xffff, replayed ? " REPLAY" : "");
+             fnv1a(arrival.block.view()) & 0xffff, replayed ? " REPLAY" : "");
   if (replayed) {
     const ReceptionEvent& e = replay_.front();
     MPIV_CHECK(recv_clock_ == e.recv_clock,
@@ -532,6 +582,10 @@ void Daemon::deliver_to_app(sim::Context& ctx, Arrival arrival, bool replayed) {
     replay_.pop_front();
     stats_.replayed_deliveries += 1;
   } else {
+    // Coalescing: the event stays in the outbox until the next send (or
+    // checkpoint / finalize) flushes it. Losing an unflushed event in a
+    // crash is safe precisely because no send depended on it — the
+    // delivery is simply re-executed, which pessimistic logging permits.
     el_outbox_.push_back(ReceptionEvent{ReceptionEvent::Kind::kDelivery,
                                         arrival.from, arrival.send_clock,
                                         recv_clock_, probes_since_delivery_});
@@ -540,9 +594,13 @@ void Daemon::deliver_to_app(sim::Context& ctx, Arrival arrival, bool replayed) {
   probes_logged_ = 0;
   Writer w = pipe_writer(PipeMsg::kDeliver, ckpt_requested_);
   w.i32(arrival.from);
-  w.blob(arrival.block);
-  if (!replayed) flush_el(ctx);
-  pipe_reply(ctx, std::move(w));
+  if (config_.legacy_datapath) {
+    // Old path wrote the block into the pipe message as a blob.
+    charge_copy(ctx, arrival.block.size());
+    stats_.payload_copies_rx += 1;
+    if (!replayed) flush_el(ctx);  // one append per delivery
+  }
+  pipe_reply(ctx, std::move(w), std::move(arrival.block));
 }
 
 // --------------------------------------------------------------- network side
@@ -634,11 +692,26 @@ void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
       bool last = r.boolean();
       ConstBytes bytes = r.rest();
       Buffer& acc = reassembly_[qi];
+      if (last && acc.empty() && !config_.legacy_datapath) {
+        // Single-chunk fast path: the wire frame *is* the record. Adopt it
+        // and decode in place — zero RX copies; the arrival (and later the
+        // app delivery) alias the network buffer.
+        SharedBuffer whole{std::move(frame)};
+        handle_msg_record(ctx, q, decode_msg_record(whole.slice_of(bytes)));
+        return;
+      }
+      charge_copy(ctx, bytes.size());  // reassembly pass
       acc.insert(acc.end(), bytes.begin(), bytes.end());
       if (last) {
-        MsgRecord rec = decode_msg_record(acc);
-        acc.clear();
-        handle_msg_record(ctx, q, std::move(rec));
+        stats_.payload_copies_rx += 1;
+        if (config_.legacy_datapath) {
+          // Old path copied the payload back out of the record blob.
+          charge_copy(ctx, acc.size());
+          stats_.payload_copies_rx += 1;
+        }
+        SharedBuffer rec{std::move(acc)};
+        acc = Buffer{};
+        handle_msg_record(ctx, q, decode_msg_record(rec));
       }
       return;
     }
@@ -670,7 +743,7 @@ void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
         w3.i64(last_stable_hr_[qi]);
         enqueue_control(q, w3.take());
       }
-      enqueue_saved_resend(q, hr);
+      enqueue_saved_resend(ctx, q, hr);
       // Close the pass: everything we ever sent (clock <= h_) has now been
       // transmitted or re-transmitted on this connection.
       Writer w4;
@@ -697,15 +770,25 @@ void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
       MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " ResendDone from ",
                  q, " marker=", marker);
       hr_[qi] = std::max(hr_[qi], marker);
-      // The out-of-order window is closed; everything accepted in it is now
-      // below the watermark.
-      accepted_[qi].clear();
+      // Close the out-of-order window, but only forget clocks the watermark
+      // now covers. Entries above the marker can be real: if q died mid-pass,
+      // its *next* incarnation answers our re-issued Restart1 with an empty
+      // log and marker 0 while a fresh high-clock message from the previous
+      // incarnation still sits in arrivals_ — clearing its record here would
+      // let the re-executed copy through as a duplicate delivery.
+      prune_accept_window(q);
       awaiting_marker_[qi] = false;
       try_satisfy_app(ctx);
       return;
     }
   }
   throw ProtocolError("daemon: unexpected peer frame");
+}
+
+void Daemon::prune_accept_window(mpi::Rank q) {
+  auto qi = static_cast<std::size_t>(q);
+  auto& win = accepted_[qi];
+  win.erase(win.begin(), win.upper_bound(hr_[qi]));
 }
 
 void Daemon::handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec) {
@@ -726,7 +809,16 @@ void Daemon::handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec) {
       return;
     }
   } else {
+    // Residual window entries (accepted above a ResendDone marker) still
+    // identify messages we hold; the re-executed copy must not pass.
+    if (accepted_[qi].count(rec.send_clock) != 0) {
+      MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " msg from ", q, "@",
+                 rec.send_clock, " DUP(window)");
+      stats_.duplicates_dropped += 1;
+      return;
+    }
     hr_[qi] = rec.send_clock;
+    prune_accept_window(q);
   }
   MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " msg from ", q, "@",
              rec.send_clock);
@@ -816,17 +908,19 @@ void Daemon::handle_ctl(sim::Context& ctx, Buffer msg) {
 
 // --------------------------------------------------------------- checkpoint
 
-void Daemon::begin_checkpoint(sim::Context& ctx, Buffer app_image) {
+void Daemon::begin_checkpoint(sim::Context& ctx, SharedBuffer app_image) {
   MPIV_CHECK(!ckpt_.has_value(), "daemon: overlapping checkpoints");
+  // Flush coalesced events first: every delivery folded into this image
+  // must be durable before the image can prune the log below its clock.
+  flush_el(ctx);
   ckpt_requested_ = false;
   ++ckpt_seq_;
   PendingCkpt pc;
   pc.seq = ckpt_seq_;
-  pc.image = serialize_daemon_state(app_image);
+  pc.image = serialize_daemon_state(app_image.view());
   pc.h_at_ckpt = recv_clock_;
   pc.hr_at_ckpt = hr_;
   ckpt_ = std::move(pc);
-  (void)ctx;
 }
 
 bool Daemon::advance_ckpt(sim::Context& ctx) {
@@ -910,7 +1004,7 @@ Buffer Daemon::serialize_daemon_state(ConstBytes app_image) const {
   for (const Arrival& a : arrivals_) {
     w.i32(a.from);
     w.i64(a.send_clock);
-    w.blob(a.block);
+    w.blob(a.block.view());
   }
   w.blob(app_image);
   return w.take();
@@ -934,7 +1028,12 @@ Buffer Daemon::restore_daemon_state(ConstBytes image) {
     Arrival a;
     a.from = r.i32();
     a.send_clock = r.i64();
-    a.block = r.blob();
+    a.block = SharedBuffer{r.blob()};
+    // Arrivals above the sender's watermark were accepted in an out-of-order
+    // window; re-seed the window so the restart resend pass cannot inject a
+    // second copy of a payload this image already holds.
+    auto fi = static_cast<std::size_t>(a.from);
+    if (a.send_clock > hr_[fi]) accepted_[fi].insert(a.send_clock);
     arrivals_.push_back(std::move(a));
   }
   return r.blob();

@@ -51,6 +51,12 @@ struct DaemonConfig {
   /// property — a crash may then lose un-logged-but-observed receptions —
   /// but isolates the gate's latency cost in benchmarks.
   bool gate_sends = true;
+  /// ABLATION ONLY: emulate the pre-zero-copy datapath for A/B comparison.
+  /// Charges (and counts) the copies the old path performed — pipe blob
+  /// decode on bsend, MsgRecord encode on enqueue, unconditional RX
+  /// reassembly, deliver-time pipe blob — and flushes one event-logger
+  /// append per delivery instead of coalescing.
+  bool legacy_datapath = false;
 };
 
 /// Counters exposed to tests and benches.
@@ -64,6 +70,21 @@ struct DaemonStats {
   std::uint64_t events_logged = 0;
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t gc_pruned_entries = 0;
+  /// Re-sends suppressed by the HS clock bound (receiver already has them).
+  std::uint64_t suppressed_sends = 0;
+  /// Payload bytes memcpy'd by this daemon (TX gather, RX reassembly,
+  /// legacy-emulation passes). Each byte is also charged virtual time at
+  /// NetParams::memcpy_bandwidth_bps.
+  std::uint64_t bytes_copied = 0;
+  /// Whole-payload copy passes on the send path (steady-state zero-copy
+  /// target: 1 per message — the wire scatter-gather assembly).
+  std::uint64_t payload_copies_tx = 0;
+  /// Whole-payload copy passes on the receive path (0 for single-chunk
+  /// messages, 1 for multi-chunk reassembly).
+  std::uint64_t payload_copies_rx = 0;
+  /// kAppend messages sent to the event logger (coalescing makes this
+  /// less than events_logged under batching workloads).
+  std::uint64_t el_appends = 0;
 };
 
 class Daemon {
@@ -82,23 +103,33 @@ class Daemon {
  private:
   // An arrived-but-undelivered message (normal mode keeps them in arrival
   // order; replay mode keeps them as a stash searched by (sender, clock)).
+  // The block aliases the RX buffer / sender's record — never a copy.
   struct Arrival {
     mpi::Rank from = -1;
     Clock send_clock = 0;
-    Buffer block;
+    SharedBuffer block;
   };
 
   // One frame queued toward a peer. Payload messages are chunked on the
   // wire; control frames go out whole. Frames to one peer stay FIFO.
+  // Payload frames never materialize the encoded MsgRecord: `head` is the
+  // 12-byte record header and `payload` aliases the same allocation held
+  // by SAVED (and originally handed over by the app), so queueing a send
+  // costs zero payload copies.
   struct OutFrame {
     bool is_msg = false;   // chunked MsgRecord vs. single control frame
-    Buffer bytes;          // control frame, or encoded MsgRecord
-    std::size_t offset = 0;  // chunking progress (is_msg only)
+    Buffer head;           // control frame, or encoded MsgRecord header
+    SharedBuffer payload;  // record payload slice (is_msg only)
+    std::size_t offset = 0;  // chunking progress over head+payload (is_msg)
     // WAITLOGGED: number of reception events that existed when this send
     // was issued; the frame may not leave the node until the event logger
     // acknowledged that many. Events created *after* the send action do
     // not gate it (they are not causal predecessors).
     std::uint64_t required_events = 0;
+
+    [[nodiscard]] std::size_t total_size() const {
+      return head.size() + payload.size();
+    }
   };
 
   struct PendingCkpt {
@@ -119,16 +150,18 @@ class Daemon {
   void connect_peer(sim::Context& ctx, mpi::Rank q);
 
   // ---- event handling ----
-  void handle_pipe(sim::Context& ctx, Buffer msg);
+  void handle_pipe(sim::Context& ctx, net::PipeFrame frame);
   void handle_net(sim::Context& ctx, net::NetEvent ev);
   void handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame);
   void handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec);
+  /// Drops accept-window entries the hr_[q] watermark now covers.
+  void prune_accept_window(mpi::Rank q);
   void handle_ctl(sim::Context& ctx, Buffer msg);
   void handle_el(sim::Context& ctx, Buffer msg);
   void handle_cs(sim::Context& ctx, Buffer msg);
 
   // ---- protocol actions ----
-  void send_event(sim::Context& ctx, mpi::Rank dest, Buffer block);
+  void send_event(sim::Context& ctx, mpi::Rank dest, SharedBuffer block);
   void try_satisfy_app(sim::Context& ctx);
   /// First arrival eligible for app delivery (per-sender order guaranteed).
   std::deque<Arrival>::iterator next_deliverable();
@@ -138,14 +171,20 @@ class Daemon {
   [[nodiscard]] std::uint64_t el_events_created() const {
     return el_appended_ + el_outbox_.size();
   }
+  /// Charges virtual time for an n-byte memcpy and counts it.
+  void charge_copy(sim::Context& ctx, std::size_t n);
   void enqueue_control(mpi::Rank q, Buffer frame);
-  void enqueue_msg(mpi::Rank q, const MsgRecord& rec);
-  void enqueue_saved_resend(mpi::Rank q, Clock after);
+  /// Flushes the EL outbox first (no frame may be gated on an event that
+  /// never left the outbox), then queues the record zero-copy.
+  void enqueue_msg(sim::Context& ctx, mpi::Rank q, Clock clock,
+                   SharedBuffer block);
+  void enqueue_saved_resend(sim::Context& ctx, mpi::Rank q, Clock after);
   bool advance_tx(sim::Context& ctx);   // returns true if it did work
   bool advance_ckpt(sim::Context& ctx);
-  void begin_checkpoint(sim::Context& ctx, Buffer app_image);
+  void begin_checkpoint(sim::Context& ctx, SharedBuffer app_image);
   void on_ckpt_stable(sim::Context& ctx, std::uint64_t seq);
   void pipe_reply(sim::Context& ctx, Writer w);
+  void pipe_reply(sim::Context& ctx, Writer w, SharedBuffer payload);
 
   Buffer serialize_daemon_state(ConstBytes app_image) const;
   Buffer restore_daemon_state(ConstBytes image);  // returns app image
@@ -178,7 +217,7 @@ class Daemon {
   SenderLog saved_;
   std::deque<Arrival> arrivals_;  // received, not yet delivered to the app
   std::uint64_t ckpt_seq_ = 0;
-  Buffer app_restart_image_;      // app+ADI blob from the restored image
+  SharedBuffer app_restart_image_;  // app+ADI blob from the restored image
   bool have_restart_image_ = false;
 
   // ---- volatile state ----

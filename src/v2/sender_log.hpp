@@ -4,8 +4,15 @@
 // clock of its send event, so it can be re-sent if the receiver rolls back.
 // Entries are garbage-collected when the receiver reports (via CkptNotify)
 // that a checkpoint made every message up to some clock permanently stable.
+//
+// Entries hold ref-counted payload slices: recording a block shares the
+// allocation the TX queue (and originally the app pipe) already holds, so
+// SAVED costs no extra copy. Clocks are strictly increasing per destination
+// (each send bumps the logical clock), which lets entries_after and prune
+// binary-search their start point instead of scanning the whole deque.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -21,36 +28,46 @@ class SenderLog {
  public:
   struct Entry {
     Clock clock = 0;
-    Buffer block;
+    SharedBuffer block;
   };
 
   SenderLog() = default;
   explicit SenderLog(mpi::Rank nranks)
       : per_dest_(static_cast<std::size_t>(nranks)) {}
 
-  void record(mpi::Rank dest, Clock clock, Buffer block) {
+  void record(mpi::Rank dest, Clock clock, SharedBuffer block) {
     bytes_ += block.size();
     per_dest_[static_cast<std::size_t>(dest)].push_back(
         Entry{clock, std::move(block)});
   }
 
+  /// Convenience for callers holding an exclusive Buffer (tests).
+  void record(mpi::Rank dest, Clock clock, Buffer block) {
+    record(dest, clock, SharedBuffer(std::move(block)));
+  }
+
   /// Entries destined to `dest` with clock > after, in clock order.
+  /// O(log n + matches) thanks to per-destination clock monotonicity.
   [[nodiscard]] std::vector<const Entry*> entries_after(mpi::Rank dest,
                                                         Clock after) const {
+    const auto& q = per_dest_[static_cast<std::size_t>(dest)];
+    auto it = std::lower_bound(
+        q.begin(), q.end(), after,
+        [](const Entry& e, Clock c) { return e.clock <= c; });
     std::vector<const Entry*> out;
-    for (const Entry& e : per_dest_[static_cast<std::size_t>(dest)]) {
-      if (e.clock > after) out.push_back(&e);
-    }
+    out.reserve(static_cast<std::size_t>(q.end() - it));
+    for (; it != q.end(); ++it) out.push_back(&*it);
     return out;
   }
 
   /// Garbage collection: drops entries to `dest` with clock <= upto.
   void prune(mpi::Rank dest, Clock upto) {
     auto& q = per_dest_[static_cast<std::size_t>(dest)];
-    while (!q.empty() && q.front().clock <= upto) {
-      bytes_ -= q.front().block.size();
-      q.pop_front();
-    }
+    auto cut = std::lower_bound(
+        q.begin(), q.end(), upto,
+        [](const Entry& e, Clock c) { return e.clock <= c; });
+    for (auto it = q.begin(); it != cut; ++it) bytes_ -= it->block.size();
+    q.erase(q.begin(), cut);
   }
 
   [[nodiscard]] std::uint64_t total_bytes() const { return bytes_; }
@@ -69,7 +86,7 @@ class SenderLog {
       w.u32(static_cast<std::uint32_t>(q.size()));
       for (const Entry& e : q) {
         w.i64(e.clock);
-        w.blob(e.block);
+        w.blob(e.block.view());
       }
     }
   }
@@ -82,7 +99,7 @@ class SenderLog {
       std::uint32_t n = r.u32();
       for (std::uint32_t i = 0; i < n; ++i) {
         Clock c = r.i64();
-        Buffer b = r.blob();
+        SharedBuffer b{r.blob()};
         bytes_ += b.size();
         per_dest_[d].push_back(Entry{c, std::move(b)});
       }

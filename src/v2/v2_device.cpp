@@ -4,70 +4,87 @@
 
 namespace mpiv::v2 {
 
-Buffer V2Device::roundtrip(sim::Context& ctx, Writer w, PipeMsg expect) {
-  pipe_.app_end().send(ctx, w.take());
-  Buffer reply = pipe_.app_end().recv(ctx);
-  Reader r(reply);
+net::PipeFrame V2Device::roundtrip(sim::Context& ctx, net::PipeFrame req,
+                                   PipeMsg expect) {
+  pipe_.app_end().send(ctx, std::move(req));
+  net::PipeFrame reply = pipe_.app_end().recv(ctx);
+  Reader r(reply.head);
   PipeHeader h = read_pipe_header(r);
   MPIV_CHECK(h.type == expect, "v2 device: unexpected pipe reply type");
   ckpt_requested_ = h.ckpt_requested;
-  // Return the remainder (after the header) as a fresh buffer.
+  // Strip the pipe header so callers parse only the body.
   ConstBytes rest = r.rest();
-  return Buffer(rest.begin(), rest.end());
+  reply.head = Buffer(rest.begin(), rest.end());
+  return reply;
 }
 
 void V2Device::init(sim::Context& ctx) {
-  Buffer body = roundtrip(ctx, pipe_writer(PipeMsg::kInit), PipeMsg::kInitOk);
-  Reader r(body);
+  net::PipeFrame reply =
+      roundtrip(ctx, net::PipeFrame(pipe_writer(PipeMsg::kInit).take()),
+                PipeMsg::kInitOk);
+  Reader r(reply.head);
   mpi::Rank rank = r.i32();
   mpi::Rank size = r.i32();
   MPIV_CHECK(rank == rank_ && size == size_, "v2 device: daemon disagrees");
 }
 
 void V2Device::finish(sim::Context& ctx) {
-  roundtrip(ctx, pipe_writer(PipeMsg::kFinish), PipeMsg::kFinishOk);
+  roundtrip(ctx, net::PipeFrame(pipe_writer(PipeMsg::kFinish).take()),
+            PipeMsg::kFinishOk);
 }
 
 void V2Device::bsend(sim::Context& ctx, mpi::Rank dest, Buffer block) {
   // One-way hand-off: the app pays the local socket transfer (charged by
   // the pipe) and continues; the daemon transmits in the background. This
   // is what makes V2's MPI_Isend cheap (Table 1) and lets communication
-  // overlap computation.
+  // overlap computation. The block crosses the pipe as a ref-counted
+  // slice, so the daemon logs and transmits the very bytes handed over
+  // here — zero user-level copies on the send side.
+  copies_.blocks_sent += 1;
+  copies_.payload_bytes_sent += block.size();
   Writer w = pipe_writer(PipeMsg::kBsend);
   w.i32(dest);
-  w.blob(block);
-  pipe_.app_end().send(ctx, w.take());
+  pipe_.app_end().send(ctx,
+                       net::PipeFrame(w.take(), SharedBuffer(std::move(block))));
 }
 
 mpi::Packet V2Device::brecv(sim::Context& ctx) {
-  Buffer body = roundtrip(ctx, pipe_writer(PipeMsg::kBrecv), PipeMsg::kDeliver);
-  Reader r(body);
+  net::PipeFrame reply =
+      roundtrip(ctx, net::PipeFrame(pipe_writer(PipeMsg::kBrecv).take()),
+                PipeMsg::kDeliver);
+  Reader r(reply.head);
   mpi::Packet pkt;
   pkt.from = r.i32();
-  pkt.data = r.blob();
+  // The one deliberate RX copy: the MPI layer owns its Packet bytes.
+  copies_.payload_copies += 1;
+  copies_.bytes_copied += reply.payload.size();
+  pkt.data = reply.payload.copy();
   return pkt;
 }
 
 bool V2Device::nprobe(sim::Context& ctx) {
-  Buffer body = roundtrip(ctx, pipe_writer(PipeMsg::kNprobe), PipeMsg::kProbeR);
-  Reader r(body);
+  net::PipeFrame reply =
+      roundtrip(ctx, net::PipeFrame(pipe_writer(PipeMsg::kNprobe).take()),
+                PipeMsg::kProbeR);
+  Reader r(reply.head);
   return r.boolean();
 }
 
 void V2Device::send_checkpoint(sim::Context& ctx, Buffer image) {
-  Writer w = pipe_writer(PipeMsg::kCkptImage);
-  w.blob(image);
-  roundtrip(ctx, std::move(w), PipeMsg::kCkptOk);
+  roundtrip(ctx,
+            net::PipeFrame(pipe_writer(PipeMsg::kCkptImage).take(),
+                           SharedBuffer(std::move(image))),
+            PipeMsg::kCkptOk);
 }
 
 std::optional<Buffer> V2Device::take_restart_image(sim::Context& ctx) {
-  Buffer body =
-      roundtrip(ctx, pipe_writer(PipeMsg::kGetImage), PipeMsg::kImageR);
-  Reader r(body);
+  net::PipeFrame reply =
+      roundtrip(ctx, net::PipeFrame(pipe_writer(PipeMsg::kGetImage).take()),
+                PipeMsg::kImageR);
+  Reader r(reply.head);
   bool found = r.boolean();
-  Buffer blob = r.blob();
   if (!found) return std::nullopt;
-  return blob;
+  return reply.payload.copy();
 }
 
 }  // namespace mpiv::v2

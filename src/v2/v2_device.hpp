@@ -39,7 +39,10 @@ class V2Device final : public mpi::Device {
 
  private:
   /// One synchronous exchange: send `w`, wait for a reply of type `expect`.
-  Buffer roundtrip(sim::Context& ctx, Writer w, PipeMsg expect);
+  /// The reply's head is returned with the pipe header consumed; any bulk
+  /// payload rides the frame as a shared slice.
+  net::PipeFrame roundtrip(sim::Context& ctx, net::PipeFrame req,
+                           PipeMsg expect);
 
   net::Pipe& pipe_;
   mpi::Rank rank_;

@@ -110,23 +110,39 @@ enum class PeerMsg : std::uint8_t {
 
 /// Payload-carrying message between daemons (assembled from kMsgPart
 /// chunks): the sender's clock at emission plus the opaque channel block.
+/// The block is a ref-counted slice, so a record can alias the sender log,
+/// an in-flight TX frame and a reassembled RX buffer without copying.
 struct MsgRecord {
   Clock send_clock = 0;
-  Buffer block;
+  SharedBuffer block;
 };
 
-inline Buffer encode_msg_record(const MsgRecord& m) {
+/// Encoded record layout: [i64 send_clock][u32 len][payload]. The TX path
+/// never materializes this — it sends the 12-byte header and the payload
+/// slice with a scatter-gather Conn::send.
+constexpr std::size_t kMsgRecordHeaderBytes = 12;
+
+inline Buffer encode_msg_record_header(Clock send_clock, std::size_t len) {
   Writer w;
-  w.i64(m.send_clock);
-  w.blob(m.block);
+  w.i64(send_clock);
+  w.u32(static_cast<std::uint32_t>(len));
   return w.take();
 }
 
-inline MsgRecord decode_msg_record(ConstBytes bytes) {
-  Reader r(bytes);
+/// Full materialization (tests and benches only; the daemon datapath sends
+/// header + payload slice without assembling them).
+inline Buffer encode_msg_record(const MsgRecord& m) {
+  Writer w(encode_msg_record_header(m.send_clock, m.block.size()));
+  w.raw(m.block.data(), m.block.size());
+  return w.take();
+}
+
+/// Zero-copy decode: the returned record's block is a slice of `bytes`.
+inline MsgRecord decode_msg_record(const SharedBuffer& bytes) {
+  Reader r(bytes.view());
   MsgRecord m;
   m.send_clock = r.i64();
-  m.block = r.blob();
+  m.block = bytes.slice_of(r.blob_view());
   return m;
 }
 

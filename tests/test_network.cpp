@@ -346,12 +346,15 @@ TEST(Pipe, TransfersWithLocalCost) {
 
   eng.spawn("app", [&](sim::Context& ctx) {
     sent_at = ctx.now();
-    pipe.app_end().send(ctx, Buffer(1000, std::byte{1}));
+    // Head + shared payload: the modeled cost covers the whole frame.
+    pipe.app_end().send(
+        ctx, PipeFrame(Buffer(200, std::byte{1}),
+                       SharedBuffer(Buffer(800, std::byte{2}))));
   });
   eng.spawn("daemon", [&](sim::Context& ctx) {
-    Buffer b = pipe.daemon_end().recv(ctx);
+    PipeFrame f = pipe.daemon_end().recv(ctx);
     got_at = ctx.now();
-    got_size = b.size();
+    got_size = f.size();
   });
   eng.run();
   EXPECT_EQ(got_size, 1000u);

@@ -35,6 +35,8 @@ TEST(V2Integration, FaultFreeRunCompletes) {
   ASSERT_TRUE(res.success);
   EXPECT_EQ(res.restarts, 0);
   EXPECT_GT(res.daemon_stats.events_logged, 0u);
+  // No restart exchange ever ran, so no send can be HS-suppressed.
+  EXPECT_EQ(res.daemon_stats.suppressed_sends, 0u);
 }
 
 TEST(V2Integration, MatchesP4Results) {
@@ -80,6 +82,9 @@ TEST(V2Integration, SingleFaultRestartFromScratch) {
   ASSERT_TRUE(res.success);
   EXPECT_GE(res.restarts, 1);
   EXPECT_GT(res.daemon_stats.replayed_deliveries, 0u);
+  // The restarted rank re-executes sends the survivors already hold; the
+  // HS bound must suppress their retransmission.
+  EXPECT_GT(res.daemon_stats.suppressed_sends, 0u);
 
   JobConfig ref = cfg;
   ref.fault_plan = faults::FaultPlan::none();
@@ -117,6 +122,7 @@ TEST(V2Integration, TwoConcurrentFaults) {
   JobResult res = run_job(cfg, ring_factory(40, 256, microseconds(500)));
   ASSERT_TRUE(res.success);
   EXPECT_GE(res.restarts, 2);
+  EXPECT_GT(res.daemon_stats.suppressed_sends, 0u);
 
   JobConfig ref = cfg;
   ref.fault_plan = faults::FaultPlan::none();

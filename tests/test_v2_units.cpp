@@ -68,12 +68,70 @@ TEST(SenderLog, SerializeRestoreRoundTrip) {
   EXPECT_EQ(e[1]->block, payload(33, 3));
 }
 
+TEST(SharedBufferAliasing, LogFrameAndCheckpointShareOneAllocation) {
+  // The zero-copy invariant: one payload allocation simultaneously backs
+  // the sender log (SAVED), an in-flight TX frame and a checkpoint
+  // serialization; pruning one alias never invalidates the others. Run
+  // under -DMPIV_SANITIZE=address this doubles as a lifetime check.
+  SharedBuffer block{payload(4096, 0xab)};
+  const std::byte* base = block.data();
+  const std::uint64_t sum = fnv1a(block.view());
+
+  v2::SenderLog log(2);
+  log.record(1, 7, block);                       // SAVED alias
+  v2::MsgRecord in_flight{7, block.slice(0, block.size())};  // TX alias
+  Writer w;
+  log.serialize(w);                              // checkpoint copy (deliberate)
+  Buffer ckpt = w.take();
+
+  EXPECT_EQ(block.use_count(), 3);               // local + SAVED + frame
+  auto logged = log.entries_after(1, 0);
+  ASSERT_EQ(logged.size(), 1u);
+  EXPECT_EQ(logged[0]->block.data(), base);      // same allocation, no copy
+  EXPECT_EQ(in_flight.block.data(), base);
+
+  // GC prunes the SAVED alias; the in-flight frame and the checkpoint
+  // bytes must stay bit-identical.
+  log.prune(1, 7);
+  EXPECT_EQ(log.entry_count(), 0u);
+  EXPECT_EQ(block.use_count(), 2);
+  EXPECT_EQ(fnv1a(in_flight.block.view()), sum);
+
+  v2::SenderLog restored(2);
+  Reader r(ckpt);
+  restored.restore(r);
+  auto e = restored.entries_after(1, 0);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(fnv1a(e[0]->block.view()), sum);
+
+  // Dropping every other alias leaves the frame sole owner of live bytes.
+  block = SharedBuffer{};
+  EXPECT_EQ(in_flight.block.use_count(), 1);
+  EXPECT_EQ(fnv1a(in_flight.block.view()), sum);
+}
+
+TEST(SharedBufferAliasing, SlicesAreZeroCopyAndRangeChecked) {
+  SharedBuffer whole{payload(100, 0x11)};
+  SharedBuffer mid = whole.slice(10, 50);
+  EXPECT_EQ(mid.size(), 50u);
+  EXPECT_EQ(mid.data(), whole.data() + 10);
+  SharedBuffer sub = mid.slice(5, 10);
+  EXPECT_EQ(sub.data(), whole.data() + 15);
+  EXPECT_TRUE(mid.slice(40, 20).empty());   // out of range -> empty
+  EXPECT_TRUE(whole.slice_of(ConstBytes{}).empty());
+  SharedBuffer re = whole.slice_of(whole.view().subspan(30, 4));
+  EXPECT_EQ(re.data(), whole.data() + 30);
+  EXPECT_EQ(re.use_count(), whole.use_count());
+}
+
 TEST(Wire, MsgRecordRoundTrip) {
-  v2::MsgRecord rec{12345, payload(777, 0x5c)};
-  Buffer b = v2::encode_msg_record(rec);
+  v2::MsgRecord rec{12345, SharedBuffer(payload(777, 0x5c))};
+  SharedBuffer b{v2::encode_msg_record(rec)};
   v2::MsgRecord out = v2::decode_msg_record(b);
   EXPECT_EQ(out.send_clock, 12345);
   EXPECT_EQ(out.block, rec.block);
+  // The decoded block aliases the encoded bytes — no copy was made.
+  EXPECT_EQ(out.block.data(), b.data() + v2::kMsgRecordHeaderBytes);
 }
 
 TEST(Wire, ReceptionEventRoundTrip) {
