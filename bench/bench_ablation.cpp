@@ -41,9 +41,12 @@ double nonblocking_bw(runtime::JobConfig cfg, std::size_t bytes) {
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
-  (void)opts;
-  bench::print_header("Design-choice ablations",
-                      "attribution of V2's costs and advantages");
+  bench::JsonSink json(opts);
+  if (!json.active()) {
+    bench::print_header("Design-choice ablations",
+                        "attribution of V2's costs and advantages");
+  }
+  std::string json_gate, json_chunk, json_window, json_pipe;
 
   // ---- 1. WAITLOGGED gate ----
   {
@@ -52,23 +55,39 @@ int main(int argc, char** argv) {
     v2.device = runtime::DeviceKind::kV2;
     runtime::JobConfig nogate = v2;
     nogate.v2_gate_sends = false;
+    runtime::JobConfig p4 = v2;
+    p4.device = runtime::DeviceKind::kP4;
 
     TextTable t({"config", "0-byte RTT us", "CG-A-8 time"});
-    auto cg_time = [](runtime::JobConfig cfg) {
+    auto cg_secs = [](runtime::JobConfig cfg) {
       cfg.nprocs = 8;
       runtime::JobResult r =
           run_job(cfg, apps::kernel_factory("cg", apps::NasClass::kA));
-      return r.success ? format_duration(r.makespan) : std::string("FAILED");
+      return r.success ? to_seconds(r.makespan) : -1.0;
     };
-    t.add_row({"V2 (gated, fault-safe)",
-               format_double(pingpong_rtt_us(v2, 0), 1), cg_time(v2)});
-    t.add_row({"V2 without WAITLOGGED (unsafe)",
-               format_double(pingpong_rtt_us(nogate, 0), 1), cg_time(nogate)});
-    runtime::JobConfig p4 = v2;
-    p4.device = runtime::DeviceKind::kP4;
-    t.add_row({"P4 (reference)", format_double(pingpong_rtt_us(p4, 0), 1),
-               cg_time(p4)});
-    std::printf("\n[1] event-logger acknowledgement gate\n%s", t.render().c_str());
+    struct GateRow {
+      const char* name;
+      runtime::JobConfig cfg;
+    };
+    const GateRow grows[] = {{"V2 (gated, fault-safe)", v2},
+                             {"V2 without WAITLOGGED (unsafe)", nogate},
+                             {"P4 (reference)", p4}};
+    for (const GateRow& g : grows) {
+      double rtt = pingpong_rtt_us(g.cfg, 0);
+      double cg = cg_secs(g.cfg);
+      t.add_row({g.name, format_double(rtt, 1),
+                 cg >= 0 ? format_double(cg, 3) + " s" : "FAILED"});
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"config\": \"%s\", \"rtt_0b_us\": %.2f, "
+                    "\"cg_a8_s\": %.4f}",
+                    json_gate.empty() ? "" : ",\n", g.name, rtt, cg);
+      json_gate += buf;
+    }
+    if (!json.active()) {
+      std::printf("\n[1] event-logger acknowledgement gate\n%s",
+                  t.render().c_str());
+    }
   }
 
   // ---- 2. daemon chunk size on the fig. 9 pattern ----
@@ -80,11 +99,18 @@ int main(int argc, char** argv) {
       cfg.nprocs = 2;
       cfg.device = runtime::DeviceKind::kV2;
       cfg.net_params.daemon_chunk_bytes = chunk;
-      t.add_row({format_bytes(chunk),
-                 format_double(nonblocking_bw(cfg, 65536), 2)});
+      double bw = nonblocking_bw(cfg, 65536);
+      t.add_row({format_bytes(chunk), format_double(bw, 2)});
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"chunk_bytes\": %u, \"bandwidth_mbps\": %.2f}",
+                    json_chunk.empty() ? "" : ",\n", chunk, bw);
+      json_chunk += buf;
     }
-    std::printf("\n[2] chunk-level duplex (fig. 9 pattern)\n%s",
-                t.render().c_str());
+    if (!json.active()) {
+      std::printf("\n[2] chunk-level duplex (fig. 9 pattern)\n%s",
+                  t.render().c_str());
+    }
   }
 
   // ---- 3. TCP window on P4's fig. 9 behaviour ----
@@ -96,10 +122,18 @@ int main(int argc, char** argv) {
       cfg.nprocs = 2;
       cfg.device = runtime::DeviceKind::kP4;
       cfg.net_params.tcp_window_bytes = w;
-      t.add_row({format_bytes(w), format_double(nonblocking_bw(cfg, 65536), 2)});
+      double bw = nonblocking_bw(cfg, 65536);
+      t.add_row({format_bytes(w), format_double(bw, 2)});
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"window_bytes\": %u, \"bandwidth_mbps\": %.2f}",
+                    json_window.empty() ? "" : ",\n", w, bw);
+      json_window += buf;
     }
-    std::printf("\n[3] flow-control window (P4 inline sends)\n%s",
-                t.render().c_str());
+    if (!json.active()) {
+      std::printf("\n[3] flow-control window (P4 inline sends)\n%s",
+                  t.render().c_str());
+    }
   }
 
   // ---- 4. pipe bandwidth on V2 large-message bandwidth ----
@@ -111,10 +145,28 @@ int main(int argc, char** argv) {
       cfg.device = runtime::DeviceKind::kV2;
       cfg.net_params.pipe_bandwidth_bps = bw;
       double rtt_us = pingpong_rtt_us(cfg, 1 << 20);
+      double mbps = (1 << 20) / (rtt_us / 2.0);
       t.add_row({format_double(bw / 1e6, 0) + " MB/s",
-                 format_double((1 << 20) / (rtt_us / 2.0), 2)});
+                 format_double(mbps, 2)});
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"pipe_bw_mbps\": %.0f, \"bandwidth_mbps\": %.2f}",
+                    json_pipe.empty() ? "" : ",\n", bw / 1e6, mbps);
+      json_pipe += buf;
     }
-    std::printf("\n[4] app<->daemon copy bandwidth\n%s", t.render().c_str());
+    if (!json.active()) {
+      std::printf("\n[4] app<->daemon copy bandwidth\n%s", t.render().c_str());
+    }
+  }
+
+  if (json.active()) {
+    json.printf(
+        "{\n  \"waitlogged_gate\": [\n%s\n  ],\n"
+        "  \"daemon_chunk\": [\n%s\n  ],\n"
+        "  \"tcp_window\": [\n%s\n  ],\n"
+        "  \"pipe_bandwidth\": [\n%s\n  ]\n}\n",
+        json_gate.c_str(), json_chunk.c_str(), json_window.c_str(),
+        json_pipe.c_str());
   }
   return 0;
 }

@@ -14,9 +14,12 @@ using namespace mpiv;
 int main(int argc, char** argv) {
   Options opts(argc, argv);
   auto devices = bench::devices_from_options(opts, "p4,v1,v2");
+  bench::JsonSink json(opts);
 
-  bench::print_header("Execution time breakdown (compute vs communication)",
-                      "Figure 8 (CG-A-8 and BT-B-9)");
+  if (!json.active()) {
+    bench::print_header("Execution time breakdown (compute vs communication)",
+                        "Figure 8 (CG-A-8 and BT-B-9)");
+  }
 
   struct Case {
     const char* kernel;
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
 
   TextTable table(
       {"benchmark", "device", "total", "compute", "communication"});
+  std::string json_rows;
   for (const Case& c : cases) {
     for (const std::string& dev : devices) {
       runtime::JobConfig cfg;
@@ -50,7 +54,19 @@ int main(int argc, char** argv) {
                          std::to_string(c.np),
                      dev, format_duration(total),
                      format_duration(total - comm), format_duration(comm)});
+      char buf[224];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"benchmark\": \"%s-%s-%d\", \"device\": \"%s\", "
+                    "\"total_s\": %.4f, \"compute_s\": %.4f, \"comm_s\": %.4f}",
+                    json_rows.empty() ? "" : ",\n", c.kernel, c.cls_name, c.np,
+                    dev.c_str(), to_seconds(total), to_seconds(total - comm),
+                    to_seconds(comm));
+      json_rows += buf;
     }
+  }
+  if (json.active()) {
+    json.printf("{\n  \"breakdown\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    return 0;
   }
   std::printf("%s", table.render().c_str());
   return 0;

@@ -1,0 +1,222 @@
+// Incremental checkpoint datapath A/B bench: the chunked-delta /
+// copy-on-write / striped pipeline (default) versus the legacy
+// full-image blocking protocol, on an iterative app whose image is
+// dominated by state that does not change between checkpoints.
+//
+// Reports:
+//   * checkpoint bytes shipped per round (target: >= 2x reduction with
+//     deltas once the first full image is stable) and the dedup ratio,
+//   * app-visible stall per checkpoint (blocking full-image handoff vs
+//     copy-on-write capture),
+//   * restart fetch time and bytes, 1 stripe vs `stripes` stripes
+//     (target: 4-stripe fetch < 0.5x the single-server time).
+#include <memory>
+#include <string>
+
+#include "apps/iter_ckpt.hpp"
+#include "bench_util.hpp"
+
+using namespace mpiv;
+
+namespace {
+
+struct SteadyResult {
+  bool ok = false;
+  double ckpts = 0;              // checkpoints taken (all ranks)
+  double bytes_per_round = 0;    // wire bytes shipped per checkpoint
+  double dedup_ratio = 0;        // deduped / (sent + deduped)
+  double stall_ms_per_ckpt = 0;  // app-visible stall per checkpoint
+  double makespan_s = 0;
+};
+
+struct FetchResult {
+  bool ok = false;
+  double fetch_ms = 0;
+  double fetch_mb = 0;
+};
+
+runtime::JobConfig base_config(int nprocs, bool full_image, int stripes,
+                               std::uint64_t seed) {
+  runtime::JobConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.device = runtime::DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.ckpt_policy = services::PolicyKind::kRoundRobin;
+  cfg.ckpt_period = 0;  // continuous: always checkpointing someone
+  cfg.first_ckpt_after = milliseconds(50);
+  cfg.v2_full_image_ckpt = full_image;
+  cfg.n_ckpt_servers = stripes;
+  cfg.seed = seed;
+  cfg.time_limit = seconds(3600);
+  return cfg;
+}
+
+runtime::AppFactory make_factory(const apps::IterCkptApp::Params& params,
+                                 std::shared_ptr<std::vector<std::uint64_t>> stalls,
+                                 std::shared_ptr<std::vector<std::uint64_t>> counts) {
+  return [params, stalls, counts](mpi::Rank rank, mpi::Rank) {
+    auto ri = static_cast<std::size_t>(rank);
+    return std::make_unique<apps::IterCkptApp>(rank, params, &(*stalls)[ri],
+                                               &(*counts)[ri]);
+  };
+}
+
+SteadyResult run_steady(const apps::IterCkptApp::Params& params, int nprocs,
+                        bool full_image, int stripes) {
+  auto stalls = std::make_shared<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(nprocs), 0);
+  auto counts = std::make_shared<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(nprocs), 0);
+  runtime::JobConfig cfg = base_config(nprocs, full_image, stripes, 1);
+  runtime::JobResult res =
+      run_job(cfg, make_factory(params, stalls, counts));
+  SteadyResult out;
+  if (!res.success) return out;
+  const v2::DaemonStats& d = res.daemon_stats;
+  std::uint64_t stall_total = 0, ckpts = 0;
+  for (std::uint64_t s : *stalls) stall_total += s;
+  for (std::uint64_t c : *counts) ckpts += c;
+  if (ckpts == 0) return out;
+  out.ok = true;
+  out.ckpts = static_cast<double>(ckpts);
+  out.bytes_per_round =
+      static_cast<double>(d.ckpt_bytes_sent) / static_cast<double>(ckpts);
+  double touched = static_cast<double>(d.ckpt_bytes_sent + d.ckpt_bytes_deduped);
+  out.dedup_ratio =
+      touched > 0 ? static_cast<double>(d.ckpt_bytes_deduped) / touched : 0;
+  out.stall_ms_per_ckpt =
+      static_cast<double>(stall_total) / static_cast<double>(ckpts) / 1e6;
+  out.makespan_s = to_seconds(res.makespan);
+  return out;
+}
+
+/// Kill one rank late in the run and report its restart image fetch.
+FetchResult run_fetch(const apps::IterCkptApp::Params& params, int nprocs,
+                      bool full_image, int stripes) {
+  auto stalls = std::make_shared<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(nprocs), 0);
+  auto counts = std::make_shared<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(nprocs), 0);
+  runtime::JobConfig cfg = base_config(nprocs, full_image, stripes, 2);
+  runtime::AppFactory factory = make_factory(params, stalls, counts);
+  // Reference run to find a kill time well past the first stable images.
+  runtime::JobResult ref = run_job(cfg, factory);
+  FetchResult out;
+  if (!ref.success) return out;
+  *stalls = std::vector<std::uint64_t>(static_cast<std::size_t>(nprocs), 0);
+  *counts = std::vector<std::uint64_t>(static_cast<std::size_t>(nprocs), 0);
+  cfg.fault_plan = faults::FaultPlan::simultaneous(
+      static_cast<SimTime>(0.7 * ref.makespan), {1});
+  runtime::JobResult res = run_job(cfg, factory);
+  // Only count a restart that actually fetched an image from the
+  // checkpoint servers — a from-scratch re-execution has no fetch path.
+  if (!res.success || res.restarts == 0 ||
+      res.daemon_stats.ckpt_fetch_bytes == 0) {
+    return out;
+  }
+  out.ok = true;
+  out.fetch_ms = static_cast<double>(res.daemon_stats.ckpt_fetch_ns) / 1e6;
+  out.fetch_mb = static_cast<double>(res.daemon_stats.ckpt_fetch_bytes) / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  int nprocs = static_cast<int>(opts.get_int("nprocs", 4));
+  int stripes = static_cast<int>(opts.get_int("stripes", 4));
+  apps::IterCkptApp::Params params;
+  params.iters = static_cast<int>(opts.get_int("iters", 40));
+  params.static_bytes =
+      static_cast<std::size_t>(opts.get_int("static_kb", 2048)) * 1024;
+  params.dynamic_bytes =
+      static_cast<std::size_t>(opts.get_int("dynamic_kb", 128)) * 1024;
+  // Long enough iterations that several checkpoint rounds complete per
+  // rank: dedup only pays off from the second image onward, and the
+  // restart fetch needs a stable image to find.
+  params.compute_per_iter = milliseconds(opts.get_int("compute_ms", 40));
+  bench::JsonSink json(opts);
+
+  SteadyResult full = run_steady(params, nprocs, true, 1);
+  SteadyResult delta1 = run_steady(params, nprocs, false, 1);
+  SteadyResult deltaN = run_steady(params, nprocs, false, stripes);
+  FetchResult fetch_full = run_fetch(params, nprocs, true, 1);
+  FetchResult fetch1 = run_fetch(params, nprocs, false, 1);
+  FetchResult fetchN = run_fetch(params, nprocs, false, stripes);
+
+  double bytes_reduction =
+      delta1.ok && full.ok && delta1.bytes_per_round > 0
+          ? full.bytes_per_round / delta1.bytes_per_round
+          : 0;
+  double fetch_speedup = fetch1.ok && fetchN.ok && fetchN.fetch_ms > 0
+                             ? fetch1.fetch_ms / fetchN.fetch_ms
+                             : 0;
+
+  if (json.active()) {
+    auto steady_json = [&](const char* name, const SteadyResult& s) {
+      json.printf(
+          "  \"%s\": {\"ok\": %s, \"checkpoints\": %.0f, "
+          "\"bytes_per_round\": %.0f, \"dedup_ratio\": %.4f, "
+          "\"stall_ms_per_ckpt\": %.4f, \"makespan_s\": %.4f},\n",
+          name, s.ok ? "true" : "false", s.ckpts, s.bytes_per_round,
+          s.dedup_ratio, s.stall_ms_per_ckpt, s.makespan_s);
+    };
+    auto fetch_json = [&](const char* name, const FetchResult& f,
+                          const char* tail) {
+      json.printf(
+          "  \"%s\": {\"ok\": %s, \"fetch_ms\": %.3f, \"fetch_mb\": %.3f}%s\n",
+          name, f.ok ? "true" : "false", f.fetch_ms, f.fetch_mb, tail);
+    };
+    json.printf("{\n");
+    steady_json("full_image", full);
+    steady_json("delta_1stripe", delta1);
+    steady_json("delta_striped", deltaN);
+    json.printf("  \"stripes\": %d,\n", stripes);
+    json.printf("  \"bytes_per_round_reduction\": %.2f,\n", bytes_reduction);
+    json.printf("  \"fetch_speedup_striped\": %.2f,\n", fetch_speedup);
+    fetch_json("restart_full_image", fetch_full, ",");
+    fetch_json("restart_delta_1stripe", fetch1, ",");
+    fetch_json("restart_delta_striped", fetchN, "");
+    json.printf("}\n");
+    return 0;
+  }
+
+  bench::print_header(
+      "Incremental checkpoint datapath A/B",
+      "tentpole metrics: delta bytes/round >= 2x smaller than full images, "
+      "striped restart fetch < 0.5x single-server");
+  TextTable t({"config", "ckpts", "bytes/round", "dedup", "stall ms/ckpt",
+               "makespan"});
+  auto steady_row = [&](const char* name, const SteadyResult& s) {
+    if (!s.ok) {
+      t.add_row({name, "FAILED", "", "", "", ""});
+      return;
+    }
+    t.add_row({name, format_double(s.ckpts, 0),
+               format_bytes(static_cast<std::uint64_t>(s.bytes_per_round)),
+               format_double(s.dedup_ratio * 100, 1) + "%",
+               format_double(s.stall_ms_per_ckpt, 3),
+               format_double(s.makespan_s, 3) + " s"});
+  };
+  steady_row("full image, 1 server", full);
+  steady_row("delta, 1 stripe", delta1);
+  steady_row(("delta, " + std::to_string(stripes) + " stripes").c_str(),
+             deltaN);
+  std::printf("%s", t.render().c_str());
+  std::printf("\ncheckpoint bytes/round reduction (full/delta): %.2fx\n",
+              bytes_reduction);
+
+  TextTable tf({"restart", "fetch time ms", "fetch MB"});
+  auto fetch_row = [&](const char* name, const FetchResult& f) {
+    tf.add_row({name, f.ok ? format_double(f.fetch_ms, 3) : "FAILED",
+                f.ok ? format_double(f.fetch_mb, 3) : ""});
+  };
+  fetch_row("full image, 1 server", fetch_full);
+  fetch_row("delta, 1 stripe", fetch1);
+  fetch_row(("delta, " + std::to_string(stripes) + " stripes").c_str(),
+            fetchN);
+  std::printf("%s", tf.render().c_str());
+  std::printf("striped fetch speedup vs 1 stripe: %.2fx\n", fetch_speedup);
+  return 0;
+}

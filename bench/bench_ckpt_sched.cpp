@@ -17,9 +17,12 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(opts.get_int("nodes", 16));
   double bps = opts.get_double("rate_mbps", 4.0) * 1e6;
   double horizon = opts.get_double("horizon_s", 400.0);
+  bench::JsonSink json(opts);
 
-  bench::print_header("Checkpoint scheduling policies",
-                      "Section 4.6.2 (round-robin vs adaptive simulator)");
+  if (!json.active()) {
+    bench::print_header("Checkpoint scheduling policies",
+                        "Section 4.6.2 (round-robin vs adaptive simulator)");
+  }
 
   struct Scheme {
     const char* name;
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"scheme", "policy", "ckpt traffic MB/s", "avg log MB",
                    "RR/adaptive traffic"});
+  std::string json_rows;
   for (const Scheme& s : schemes) {
     SchedSimConfig cfg;
     cfg.nodes = n;
@@ -51,7 +55,19 @@ int main(int argc, char** argv) {
            format_double(res.ckpt_traffic_bps / 1e6, 3),
            format_double(res.avg_log_bytes / 1e6, 2),
            rr ? "" : format_double(rr_traffic / res.ckpt_traffic_bps, 2)});
+      char buf[224];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"scheme\": \"%s\", \"policy\": \"%s\", "
+                    "\"ckpt_traffic_mbps\": %.4f, \"avg_log_mb\": %.3f}",
+                    json_rows.empty() ? "" : ",\n", s.name,
+                    rr ? "round-robin" : "adaptive",
+                    res.ckpt_traffic_bps / 1e6, res.avg_log_bytes / 1e6);
+      json_rows += buf;
     }
+  }
+  if (json.active()) {
+    json.printf("{\n  \"ckpt_sched\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    return 0;
   }
   std::printf("%s", table.render().c_str());
   std::printf(

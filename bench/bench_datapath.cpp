@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
   Options opts(argc, argv);
   auto sizes = opts.get_int_list("sizes", {65536, 262144, 1048576});
   int reps = static_cast<int>(opts.get_int("reps", 10));
-  bool json = opts.get_bool("json", false);
+  bench::JsonSink json(opts);
 
   struct Row {
     std::int64_t size;
@@ -116,11 +116,11 @@ int main(int argc, char** argv) {
   double appends_legacy = run_nonblocking_appends_per_delivery(true);
   double appends_zerocopy = run_nonblocking_appends_per_delivery(false);
 
-  if (json) {
-    std::printf("{\n  \"pingpong\": [\n");
+  if (json.active()) {
+    json.printf("{\n  \"pingpong\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
-      std::printf(
+      json.printf(
           "    {\"size\": %lld, \"legacy_bw_mbps\": %.2f, "
           "\"zerocopy_bw_mbps\": %.2f, \"improvement_pct\": %.1f, "
           "\"legacy_tx_copies_per_msg\": %.2f, "
@@ -132,8 +132,8 @@ int main(int argc, char** argv) {
           r.zerocopy.tx_copies_per_msg, r.legacy.bytes_copied_per_msg,
           r.zerocopy.bytes_copied_per_msg, i + 1 < rows.size() ? "," : "");
     }
-    std::printf("  ],\n");
-    std::printf(
+    json.printf("  ],\n");
+    json.printf(
         "  \"el_appends_per_delivery\": {\"legacy\": %.3f, \"zerocopy\": "
         "%.3f}\n}\n",
         appends_legacy, appends_zerocopy);

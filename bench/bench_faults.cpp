@@ -21,9 +21,12 @@ int main(int argc, char** argv) {
   // would make each checkpoint image disproportionally expensive. Extra
   // iterations restore a paper-like ratio of work to image size.
   int iters = static_cast<int>(opts.get_int("iters", 24));
+  bench::JsonSink json(opts);
 
-  bench::print_header("BT-A under faults with continuous checkpointing",
-                      "Figure 11 (execution time vs number of faults)");
+  if (!json.active()) {
+    bench::print_header("BT-A under faults with continuous checkpointing",
+                        "Figure 11 (execution time vs number of faults)");
+  }
 
   apps::AdiApp::Params params = apps::AdiApp::Params::bt_for_class(apps::NasClass::kA);
   params.iters = iters;
@@ -41,12 +44,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   double ref_s = to_seconds(ref.makespan);
-  std::printf("reference (no checkpoints, no faults): %.3f s\n", ref_s);
+  if (!json.active()) {
+    std::printf("reference (no checkpoints, no faults): %.3f s\n", ref_s);
+  }
 
   SimDuration fault_interval = ref.makespan / 10;
 
   TextTable table({"faults", "time", "vs reference", "ckpts stored",
                    "replayed msgs", "restarts"});
+  std::string json_rows;
   for (std::int64_t nf : fault_counts) {
     runtime::JobConfig cfg = base;
     cfg.checkpointing = true;
@@ -71,6 +77,23 @@ int main(int argc, char** argv) {
                    std::to_string(res.checkpoints_stored),
                    std::to_string(res.daemon_stats.replayed_deliveries),
                    std::to_string(res.restarts)});
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s    {\"faults\": %lld, \"time_s\": %.4f, "
+                  "\"vs_reference\": %.3f, \"ckpts_stored\": %llu, "
+                  "\"replayed_msgs\": %llu, \"restarts\": %d}",
+                  json_rows.empty() ? "" : ",\n", static_cast<long long>(nf),
+                  secs, secs / ref_s,
+                  static_cast<unsigned long long>(res.checkpoints_stored),
+                  static_cast<unsigned long long>(
+                      res.daemon_stats.replayed_deliveries),
+                  res.restarts);
+    json_rows += buf;
+  }
+  if (json.active()) {
+    json.printf("{\n  \"reference_s\": %.4f,\n  \"faults\": [\n%s\n  ]\n}\n",
+                ref_s, json_rows.c_str());
+    return 0;
   }
   std::printf("%s", table.render().c_str());
   std::printf(

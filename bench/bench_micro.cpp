@@ -3,6 +3,9 @@
 // whole small V2 job as an end-to-end figure.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "apps/token_ring.hpp"
 #include "common/serialize.hpp"
 #include "runtime/job.hpp"
@@ -89,4 +92,37 @@ BENCHMARK(BM_SmallV2Job)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace mpiv
 
-BENCHMARK_MAIN();
+// Accept the repo-wide `--json <path>` convention by translating it into
+// google-benchmark's --benchmark_out flags; everything else passes through.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    std::string path;
+    if (a == "--json" || a == "json") {
+      if (i + 1 < argc) path = argv[++i];
+    } else if (a.rfind("--json=", 0) == 0) {
+      path = a.substr(7);
+    } else if (a.rfind("json=", 0) == 0) {
+      path = a.substr(5);
+    } else {
+      args.push_back(a);
+      continue;
+    }
+    if (!path.empty() && path != "true") {
+      args.push_back("--benchmark_out=" + path);
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back("--benchmark_format=json");
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

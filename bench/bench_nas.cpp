@@ -17,11 +17,15 @@ int main(int argc, char** argv) {
   std::string classes = opts.get("classes", "A,B");
   int max_procs = static_cast<int>(opts.get_int("max_procs", 32));
   auto devices = bench::devices_from_options(opts, "p4,v2");
+  bench::JsonSink json(opts);
 
-  bench::print_header("NAS kernels, P4 vs V2",
-                      "Figure 7 (NPB 2.3 class A and B, up to 32 procs)");
+  if (!json.active()) {
+    bench::print_header("NAS kernels, P4 vs V2",
+                        "Figure 7 (NPB 2.3 class A and B, up to 32 procs)");
+  }
 
   TextTable table({"kernel", "class", "procs", "device", "time", "V2/P4"});
+  std::string json_rows;
   std::size_t pos = 0;
   while (pos < kernels.size()) {
     auto comma = kernels.find(',', pos);
@@ -62,9 +66,20 @@ int main(int argc, char** argv) {
           }
           table.add_row({kernel, std::string(1, cls_ch), std::to_string(np),
                          dev, format_double(secs, 3) + " s", ratio});
+          char buf[192];
+          std::snprintf(buf, sizeof(buf),
+                        "%s    {\"kernel\": \"%s\", \"class\": \"%c\", "
+                        "\"procs\": %d, \"device\": \"%s\", \"time_s\": %.4f}",
+                        json_rows.empty() ? "" : ",\n", kernel.c_str(), cls_ch,
+                        np, dev.c_str(), secs);
+          json_rows += buf;
         }
       }
     }
+  }
+  if (json.active()) {
+    json.printf("{\n  \"nas\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    return 0;
   }
   std::printf("%s", table.render().c_str());
   std::printf(

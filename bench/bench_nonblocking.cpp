@@ -18,13 +18,17 @@ int main(int argc, char** argv) {
   int batch = static_cast<int>(opts.get_int("batch", 10));
   int reps = static_cast<int>(opts.get_int("reps", 5));
   auto devices = bench::devices_from_options(opts, "p4,v2");
+  bench::JsonSink json(opts);
 
-  bench::print_header(
-      "Non-blocking batch exchange (10x Isend + 10x Irecv + Waitall)",
-      "Figure 9 (paper: V2 reaches ~2x the P4 bandwidth at 64 KB)");
+  if (!json.active()) {
+    bench::print_header(
+        "Non-blocking batch exchange (10x Isend + 10x Irecv + Waitall)",
+        "Figure 9 (paper: V2 reaches ~2x the P4 bandwidth at 64 KB)");
+  }
 
   TextTable table({"size", "device", "round time", "agg bandwidth MB/s"});
   std::map<std::int64_t, double> p4_bw;
+  std::string json_rows;
   for (std::int64_t size : sizes) {
     for (const std::string& dev : devices) {
       runtime::JobConfig cfg;
@@ -46,7 +50,18 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(size), dev,
                      format_duration(static_cast<SimDuration>(round_ns)),
                      format_double(bw, 2)});
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"size\": %lld, \"device\": \"%s\", "
+                    "\"round_us\": %.2f, \"agg_bandwidth_mbps\": %.2f}",
+                    json_rows.empty() ? "" : ",\n", static_cast<long long>(size),
+                    dev.c_str(), round_ns / 1e3, bw);
+      json_rows += buf;
     }
+  }
+  if (json.active()) {
+    json.printf("{\n  \"nonblocking\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    return 0;
   }
   std::printf("%s", table.render().c_str());
   return 0;

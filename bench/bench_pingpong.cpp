@@ -20,13 +20,17 @@ int main(int argc, char** argv) {
       "sizes", {0, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304});
   int reps = static_cast<int>(opts.get_int("reps", 10));
   auto devices = bench::devices_from_options(opts, "p4,v1,v2");
+  bench::JsonSink json(opts);
 
-  bench::print_header("Ping-pong latency / bandwidth",
-                      "Figures 5 and 6 (paper: P4 77us / 11.3 MB/s, "
-                      "V2 237us / 10.7 MB/s, V1 ~2x slower than P4)");
+  if (!json.active()) {
+    bench::print_header("Ping-pong latency / bandwidth",
+                        "Figures 5 and 6 (paper: P4 77us / 11.3 MB/s, "
+                        "V2 237us / 10.7 MB/s, V1 ~2x slower than P4)");
+  }
 
   TextTable table({"size", "device", "one-way latency", "bandwidth MB/s",
                    "wire msgs/rt", "copied B/msg"});
+  std::string json_rows;
   for (std::int64_t size : sizes) {
     for (const std::string& dev : devices) {
       runtime::JobConfig cfg;
@@ -69,7 +73,19 @@ int main(int argc, char** argv) {
                      format_duration(static_cast<SimDuration>(rtt_ns / 2)),
                      format_double(bw, 2), format_double(msgs_per_rt, 1),
                      format_double(copied_per_msg, 0)});
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"size\": %lld, \"device\": \"%s\", "
+                    "\"one_way_us\": %.2f, \"bandwidth_mbps\": %.2f, "
+                    "\"wire_msgs_per_rt\": %.1f, \"copied_bytes_per_msg\": %.0f}",
+                    json_rows.empty() ? "" : ",\n", static_cast<long long>(size),
+                    dev.c_str(), rtt_ns / 2e3, bw, msgs_per_rt, copied_per_msg);
+      json_rows += buf;
     }
+  }
+  if (json.active()) {
+    json.printf("{\n  \"pingpong\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    return 0;
   }
   std::printf("%s", table.render().c_str());
   std::printf(

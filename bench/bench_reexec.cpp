@@ -21,11 +21,15 @@ int main(int argc, char** argv) {
   auto restarts = opts.get_int_list("restarts", {0, 1, 2, 4, 8});
   int nprocs = static_cast<int>(opts.get_int("nprocs", 8));
   int rounds = static_cast<int>(opts.get_int("rounds", 20));
+  bench::JsonSink json(opts);
 
-  bench::print_header("Re-execution time of a token ring (8 nodes)",
-                      "Figure 10 (x-restart curves vs message size)");
+  if (!json.active()) {
+    bench::print_header("Re-execution time of a token ring (8 nodes)",
+                        "Figure 10 (x-restart curves vs message size)");
+  }
 
   TextTable table({"msg size", "restarts", "re-exec time", "vs reference"});
+  std::string json_rows;
   for (std::int64_t size : sizes) {
     auto factory = [size, rounds](mpi::Rank, mpi::Rank) {
       return std::make_unique<apps::TokenRingApp>(
@@ -47,6 +51,13 @@ int main(int argc, char** argv) {
       if (x == 0) {
         table.add_row({std::to_string(size), "0 (reference)",
                        format_double(ref_s, 3) + " s", "1.00"});
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s    {\"size\": %lld, \"restarts\": 0, "
+                      "\"reexec_s\": %.4f, \"vs_reference\": 1.0}",
+                      json_rows.empty() ? "" : ",\n",
+                      static_cast<long long>(size), ref_s);
+        json_rows += buf;
         continue;
       }
       // Kill x distinct ranks just before the end (the paper stops the
@@ -68,7 +79,18 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(size), std::to_string(x),
                      format_double(reexec_s, 3) + " s",
                      format_double(reexec_s / ref_s, 2)});
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"size\": %lld, \"restarts\": %lld, "
+                    "\"reexec_s\": %.4f, \"vs_reference\": %.3f}",
+                    json_rows.empty() ? "" : ",\n", static_cast<long long>(size),
+                    static_cast<long long>(x), reexec_s, reexec_s / ref_s);
+      json_rows += buf;
     }
+  }
+  if (json.active()) {
+    json.printf("{\n  \"reexec\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    return 0;
   }
   std::printf("%s", table.render().c_str());
   return 0;

@@ -27,10 +27,14 @@ SimDuration sum_over_ranks(const runtime::JobResult& res,
 int main(int argc, char** argv) {
   Options opts(argc, argv);
   auto devices = bench::devices_from_options(opts, "p4,v2");
+  bench::JsonSink json(opts);
 
-  bench::print_header(
-      "Per-function decomposition of MPI communication time",
-      "Table 1 (BT-A-9 and CG-A-8; per-process averages)");
+  if (!json.active()) {
+    bench::print_header(
+        "Per-function decomposition of MPI communication time",
+        "Table 1 (BT-A-9 and CG-A-8; per-process averages)");
+  }
+  std::string json_cases;
 
   struct Case {
     const char* kernel;
@@ -42,7 +46,7 @@ int main(int argc, char** argv) {
                         {"cg", apps::NasClass::kA, "CG A 8", 8}};
 
   for (const Case& c : cases) {
-    std::printf("\n--- %s ---\n", c.label);
+    if (!json.active()) std::printf("\n--- %s ---\n", c.label);
     TextTable table({"function", "P4", "V2"});
     std::map<std::string, std::map<std::string, SimDuration>> rows;
     std::map<std::string, SimDuration> totals;
@@ -68,14 +72,38 @@ int main(int argc, char** argv) {
       totals[dev] = total / static_cast<SimDuration>(res.ranks.size()) -
                     sum_over_ranks(res, {F::kInit, F::kFinalize});
     }
+    std::string json_fns;
     for (const char* fn :
          {"MPI_(I)send", "MPI_Irecv", "MPI_Wait*", "(collectives)"}) {
       table.add_row({fn, format_duration(rows[fn]["p4"]),
                      format_duration(rows[fn]["v2"])});
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s      {\"function\": \"%s\", \"p4_s\": %.4f, "
+                    "\"v2_s\": %.4f}",
+                    json_fns.empty() ? "" : ",\n", fn,
+                    to_seconds(rows[fn]["p4"]), to_seconds(rows[fn]["v2"]));
+      json_fns += buf;
     }
     table.add_row({"Total comm time", format_duration(totals["p4"]),
                    format_duration(totals["v2"])});
-    std::printf("%s", table.render().c_str());
+    if (json.active()) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"case\": \"%s\", \"total_p4_s\": %.4f, "
+                    "\"total_v2_s\": %.4f, \"functions\": [\n",
+                    json_cases.empty() ? "" : ",\n", c.label,
+                    to_seconds(totals["p4"]), to_seconds(totals["v2"]));
+      json_cases += buf;
+      json_cases += json_fns;
+      json_cases += "\n    ]}";
+    } else {
+      std::printf("%s", table.render().c_str());
+    }
+  }
+  if (json.active()) {
+    json.printf("{\n  \"table1\": [\n%s\n  ]\n}\n", json_cases.c_str());
+    return 0;
   }
   std::printf(
       "\nPaper (measured on their testbed): BT A 9: P4 Isend 44.9s / Wait 4s,"

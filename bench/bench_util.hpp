@@ -1,6 +1,7 @@
 // Shared scaffolding for the paper-reproduction benches.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -11,6 +12,49 @@
 #include "runtime/job.hpp"
 
 namespace mpiv::bench {
+
+/// Machine-readable output target. Every bench accepts
+///   json                  -> JSON summary on stdout
+///   --json <path>         -> JSON summary written to <path>
+/// (equivalently json=<path>); without the option the sink is inactive and
+/// the bench prints its human tables.
+class JsonSink {
+ public:
+  explicit JsonSink(const Options& opts) {
+    if (!opts.has("json")) return;
+    std::string v = opts.get("json");
+    if (v.empty() || v == "true" || v == "1" || v == "yes") {
+      f_ = stdout;
+    } else {
+      f_ = std::fopen(v.c_str(), "w");
+      if (f_ == nullptr) throw ConfigError("cannot open json output: " + v);
+      owned_ = true;
+      path_ = v;
+    }
+  }
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+  ~JsonSink() {
+    if (owned_ && f_ != nullptr) {
+      std::fclose(f_);
+      std::fprintf(stderr, "json written to %s\n", path_.c_str());
+    }
+  }
+
+  [[nodiscard]] bool active() const { return f_ != nullptr; }
+
+  void printf(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(f_, fmt, ap);
+    va_end(ap);
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool owned_ = false;
+  std::string path_;
+};
 
 inline runtime::DeviceKind device_from_name(const std::string& name) {
   if (name == "p4") return runtime::DeviceKind::kP4;

@@ -1,0 +1,64 @@
+// Fast 64-bit content hashing for the incremental-checkpoint datapath.
+//
+// fnv1a (bytes.hpp) walks one byte at a time — fine for test fingerprints,
+// too slow to hash multi-megabyte checkpoint images every round. hash64
+// consumes 8 bytes per step with a splitmix-style avalanche, which is what
+// the chunk tables key their content store on. Equal content must hash
+// equal across processes and runs (the dedup protocol compares hashes
+// computed on different nodes), so the function is fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace mpiv {
+
+inline std::uint64_t hash64(ConstBytes bytes) {
+  auto mix = [](std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  };
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ bytes.size();
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes.data() + i, 8);
+    h = mix(h ^ w);
+  }
+  if (i < bytes.size()) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, bytes.data() + i, bytes.size() - i);
+    h = mix(h ^ w);
+  }
+  return mix(h);
+}
+
+/// Per-chunk content hashes of an image split at fixed `chunk_size`
+/// boundaries (last chunk short). Empty image -> empty table.
+inline std::vector<std::uint64_t> chunk_hashes(ConstBytes image,
+                                               std::size_t chunk_size) {
+  std::vector<std::uint64_t> out;
+  if (chunk_size == 0) return out;
+  out.reserve((image.size() + chunk_size - 1) / chunk_size);
+  for (std::size_t off = 0; off < image.size(); off += chunk_size) {
+    out.push_back(
+        hash64(image.subspan(off, std::min(chunk_size, image.size() - off))));
+  }
+  return out;
+}
+
+/// Size of chunk `index` in an image of `total` bytes.
+inline std::size_t chunk_len(std::size_t total, std::size_t chunk_size,
+                             std::size_t index) {
+  std::size_t off = index * chunk_size;
+  return off >= total ? 0 : std::min(chunk_size, total - off);
+}
+
+}  // namespace mpiv

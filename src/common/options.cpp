@@ -9,11 +9,20 @@ namespace mpiv {
 Options::Options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    bool dashed = arg.rfind("--", 0) == 0;
+    if (dashed) arg = arg.substr(2);
     auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      kv_[arg] = "true";
-    } else {
+    if (eq != std::string::npos) {
       kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" consumes the next argument as the value, unless it
+    // looks like another flag; bare "key" stays a boolean.
+    if (dashed && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
+        std::string(argv[i + 1]).find('=') == std::string::npos) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";
     }
   }
 }

@@ -31,6 +31,8 @@ struct CopyCounters {
   std::uint64_t payload_bytes_sent = 0;
   std::uint64_t payload_copies = 0;  // whole-payload memcpy passes
   std::uint64_t bytes_copied = 0;
+  std::uint64_t ckpt_bytes_captured = 0;  // app image bytes handed to daemon
+  std::uint64_t ckpt_cow_bytes = 0;       // of those, dirty bytes memcpy'd
 };
 
 class Device {

@@ -42,6 +42,12 @@ struct NetParams {
   /// Chunk size used by daemons that interleave TX with their select loop.
   std::uint32_t daemon_chunk_bytes = 16 * 1024;
 
+  /// Chunk size of the incremental-checkpoint datapath: images are hashed,
+  /// deduplicated, striped and fetched at this granularity. Also the
+  /// dirty-region tracking granularity of the copy-on-write capture on the
+  /// app pipe.
+  std::uint32_t ckpt_chunk_bytes = 64 * 1024;
+
   /// TCP flow control: a new message is admitted onto a connection only
   /// while fewer than this many bytes are in flight (sent but not yet
   /// dequeued by the receiving process). Models kernel send+receive

@@ -15,8 +15,10 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/bytes.hpp"
+#include "common/hash.hpp"
 #include "net/params.hpp"
 #include "sim/mailbox.hpp"
 
@@ -60,6 +62,37 @@ class Pipe {
       send(ctx, PipeFrame(std::move(msg)));
     }
 
+    /// Copy-on-write checkpoint handoff. Models a fork()-style capture: the
+    /// app is only charged for the pages it actually dirtied since the last
+    /// capture through this end (dirty regions tracked at ckpt_chunk_bytes
+    /// granularity via content hashes), copied at memcpy bandwidth, plus the
+    /// per-message pipe overhead for the head. Unchanged pages are shared
+    /// with the previous capture and cost nothing. Returns the number of
+    /// dirty payload bytes charged.
+    std::size_t send_cow(sim::Context& ctx, PipeFrame frame) {
+      const NetParams& p = pipe_.params_;
+      const std::uint32_t chunk = p.ckpt_chunk_bytes;
+      std::vector<std::uint64_t> hashes = chunk_hashes(frame.payload.view(), chunk);
+      std::size_t dirty = 0;
+      for (std::size_t i = 0; i < hashes.size(); ++i) {
+        if (i >= cow_hashes_.size() || hashes[i] != cow_hashes_[i]) {
+          dirty += chunk_len(frame.payload.size(), chunk, i);
+        }
+      }
+      cow_hashes_ = std::move(hashes);
+      ctx.sleep(p.pipe_per_msg +
+                transfer_time(frame.head.size(), p.pipe_bandwidth_bps) +
+                transfer_time(dirty, p.memcpy_bandwidth_bps));
+      Pipe& pipe = pipe_;
+      int other = 1 - side_;
+      pipe_.engine_.schedule_in(
+          p.pipe_latency, [&pipe, other, m = std::move(frame)]() mutable {
+            pipe.boxes_[other].push(std::move(m));
+            if (pipe.notifiers_[other] != nullptr) pipe.notifiers_[other]->notify();
+          });
+      return dirty;
+    }
+
     /// Blocking receive.
     PipeFrame recv(sim::Context& ctx) { return pipe_.boxes_[side_].recv(ctx); }
 
@@ -75,6 +108,9 @@ class Pipe {
    private:
     Pipe& pipe_;
     int side_;
+    /// Per-chunk content hashes of the last send_cow payload: the dirty
+    /// tracker for the next capture.
+    std::vector<std::uint64_t> cow_hashes_;
   };
 
   Pipe(sim::Engine& engine, const NetParams& params)

@@ -78,14 +78,14 @@ class Cluster {
     if (cfg_.ckpt_server_fails_at >= 0) {
       eng_.schedule_at(cfg_.ckpt_server_fails_at,
                        [this] { net_.kill_node(cs_node_); });
-      if (cfg_.ckpt_server_recovers && cs_ != nullptr) {
-        // Reboot with the image store intact (stable storage).
+      if (cfg_.ckpt_server_recovers && !css_.empty()) {
+        // Reboot stripe 0 with its store intact (stable storage).
         eng_.schedule_at(cfg_.ckpt_server_fails_at + cfg_.restart_delay,
                          [this] {
                            net_.revive_node(cs_node_);
                            sim::Process* p = eng_.spawn(
                                "ckpt-server'",
-                               [srv = cs_.get()](sim::Context& ctx) {
+                               [srv = css_.front().get()](sim::Context& ctx) {
                                  srv->run(ctx);
                                });
                            net_.register_process(cs_node_, p);
@@ -122,8 +122,15 @@ class Cluster {
       out.daemon_stats.payload_copies_tx += s.payload_copies_tx;
       out.daemon_stats.payload_copies_rx += s.payload_copies_rx;
       out.daemon_stats.el_appends += s.el_appends;
+      out.daemon_stats.ckpt_bytes_sent += s.ckpt_bytes_sent;
+      out.daemon_stats.ckpt_bytes_deduped += s.ckpt_bytes_deduped;
+      out.daemon_stats.ckpt_fetch_bytes += s.ckpt_fetch_bytes;
+      out.daemon_stats.ckpt_fetch_ns += s.ckpt_fetch_ns;
     }
-    if (cs_ != nullptr) out.checkpoints_stored = cs_->images_stored();
+    // Stripe 0 installs one table per checkpoint, so its store count is the
+    // per-checkpoint figure regardless of stripe fan-out.
+    if (!css_.empty()) out.checkpoints_stored = css_.front()->images_stored();
+    for (const auto& cs : css_) out.ckpt_stored_bytes += cs->stored_bytes();
     for (const auto& el : els_) out.el_events_stored += el->total_events_stored();
     return out;
   }
@@ -206,11 +213,22 @@ class Cluster {
       net_.register_process(el_node, pel);
     }
 
-    cs_ = std::make_unique<services::CkptServer>(
-        net_, services::CkptServer::Config{cs_node_});
-    sim::Process* pcs = eng_.spawn(
-        "ckpt-server", [srv = cs_.get()](sim::Context& ctx) { srv->run(ctx); });
-    net_.register_process(cs_node_, pcs);
+    // Checkpoint stripes: stripe 0 on the dedicated ckpt-server node (the
+    // one the fault injector targets), extra stripes on nodes of their own.
+    int nstripes = std::max(1, cfg_.n_ckpt_servers);
+    for (int i = 0; i < nstripes; ++i) {
+      net::NodeId node =
+          i == 0 ? cs_node_ : net_.add_node("cs" + std::to_string(i));
+      services::CkptServer::Config ccfg{node};
+      ccfg.stripe_index = i;
+      ccfg.stripe_count = nstripes;
+      css_.push_back(std::make_unique<services::CkptServer>(net_, ccfg));
+      cs_addrs_.push_back({node, v2::kCkptServerPort});
+      sim::Process* pcs = eng_.spawn(
+          "ckpt-server" + std::to_string(i),
+          [srv = css_.back().get()](sim::Context& ctx) { srv->run(ctx); });
+      net_.register_process(node, pcs);
+    }
 
     net::Address sched_addr{net::kNoNode, 0};
     if (cfg_.checkpointing) {
@@ -278,11 +296,13 @@ class Cluster {
     }
     dcfg.event_logger =
         el_addrs_[static_cast<std::size_t>(rank) % el_addrs_.size()];
-    dcfg.ckpt_server = {cs_node_, v2::kCkptServerPort};
+    dcfg.ckpt_servers = cs_addrs_;
     if (cfg_.checkpointing) dcfg.scheduler = {svc_node_, v2::kSchedulerPort};
     dcfg.dispatcher = {svc_node_, v2::kDispatcherPort};
     dcfg.gate_sends = cfg_.v2_gate_sends;
     dcfg.legacy_datapath = cfg_.v2_legacy_datapath;
+    dcfg.full_image_ckpt = cfg_.v2_full_image_ckpt;
+    dcfg.optional_connect_budget = cfg_.cs_connect_budget;
     daemons_.push_back(std::make_unique<v2::Daemon>(net_, *pipe, dcfg));
     v2::Daemon* daemon = daemons_.back().get();
     latest_daemon_[ri] = daemon;
@@ -293,7 +313,7 @@ class Cluster {
         "daemon" + suffix, [daemon](sim::Context& ctx) { daemon->run(ctx); });
     sim::Process* ap =
         eng_.spawn("rank" + suffix, [this, pipe, rank](sim::Context& ctx) {
-          v2::V2Device dev(*pipe, rank, cfg_.nprocs);
+          v2::V2Device dev(*pipe, rank, cfg_.nprocs, cfg_.v2_full_image_ckpt);
           run_app(ctx, dev, rank);
         });
     net_.register_process(node, dp);
@@ -334,7 +354,8 @@ class Cluster {
   std::vector<net::Address> el_addrs_;
   std::vector<net::NodeId> node_of_rank_;   // current placement per rank
   std::vector<net::NodeId> spare_pool_;
-  std::unique_ptr<services::CkptServer> cs_;
+  std::vector<std::unique_ptr<services::CkptServer>> css_;  // stripe order
+  std::vector<net::Address> cs_addrs_;
   std::unique_ptr<services::CkptScheduler> sched_;
   std::unique_ptr<services::Dispatcher> disp_;
   std::vector<RankResult> results_;

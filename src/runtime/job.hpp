@@ -30,6 +30,14 @@ struct JobConfig {
   services::PolicyKind ckpt_policy = services::PolicyKind::kRoundRobin;
   SimDuration ckpt_period = 0;              // 0 = continuous
   SimDuration first_ckpt_after = seconds(1);
+  /// Striped checkpoint storage: images are chunked and chunks are placed
+  /// across this many servers by content hash. Stripe 0 lives on the
+  /// dedicated ckpt-server node (and is the one targeted by
+  /// ckpt_server_fails_at); extra stripes get nodes of their own.
+  int n_ckpt_servers = 1;
+  /// Budget for a daemon's optional connects (checkpoint servers,
+  /// scheduler): after this long the daemon proceeds without the service.
+  SimDuration cs_connect_budget = milliseconds(100);
 
   // Faults (V2/V1 only; P4 has no recovery).
   faults::FaultPlan fault_plan;
@@ -62,6 +70,10 @@ struct JobConfig {
   /// ABLATION ONLY: emulate the pre-zero-copy V2 datapath (see
   /// v2::DaemonConfig::legacy_datapath) for A/B benchmarking.
   bool v2_legacy_datapath = false;
+  /// ABLATION ONLY: ship full checkpoint images with a blocking app-side
+  /// handoff instead of the incremental chunked-delta datapath (see
+  /// v2::DaemonConfig::full_image_ckpt) for A/B benchmarking.
+  bool v2_full_image_ckpt = false;
 
   SimTime time_limit = seconds(100000);
   std::uint64_t seed = 1;
@@ -85,6 +97,9 @@ struct JobResult {
   /// Aggregate V2 daemon statistics (final incarnations). Zero for P4.
   v2::DaemonStats daemon_stats;
   std::uint64_t checkpoints_stored = 0;
+  /// Bytes resident across all checkpoint stripes (content store + legacy
+  /// images) at job end.
+  std::uint64_t ckpt_stored_bytes = 0;
   std::uint64_t el_events_stored = 0;
 
   [[nodiscard]] SimDuration max_mpi_time() const;

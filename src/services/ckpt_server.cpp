@@ -1,6 +1,10 @@
 #include "services/ckpt_server.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/log.hpp"
 #include "common/serialize.hpp"
 
 namespace mpiv::services {
@@ -14,13 +18,70 @@ void CkptServer::run(sim::Context& ctx) {
       case net::NetEvent::Type::kAccepted:
         break;
       case net::NetEvent::Type::kClosed:
-        // Abandoned upload from a crashed daemon: discard the partial image.
+        // Abandoned upload from a crashed daemon: discard the partial
+        // image/session. Nothing reached the durable stores.
         uploads_.erase(ev.conn->id());
+        delta_uploads_.erase(ev.conn->id());
         break;
       case net::NetEvent::Type::kData:
         handle(ctx, ev.conn, std::move(ev.data));
         break;
     }
+  }
+}
+
+bool CkptServer::owns(const v2::ChunkTable& t, std::size_t index) const {
+  return t.owner_of(index, static_cast<std::size_t>(config_.stripe_count)) ==
+         static_cast<std::size_t>(config_.stripe_index);
+}
+
+bool CkptServer::owned_complete(const v2::ChunkTable& t) const {
+  for (std::size_t i = 0; i < t.hashes.size(); ++i) {
+    if (owns(t, i) && content_.count(t.hashes[i]) == 0) return false;
+  }
+  return true;
+}
+
+const v2::ChunkTable* CkptServer::find_table(mpi::Rank rank,
+                                             std::uint64_t seq) const {
+  auto it = tables_.find(rank);
+  if (it == tables_.end()) return nullptr;
+  for (const v2::ChunkTable& t : it->second) {
+    if (t.ckpt_seq == seq) return &t;
+  }
+  return nullptr;
+}
+
+void CkptServer::drop_table(const v2::ChunkTable& table) {
+  for (std::size_t i = 0; i < table.hashes.size(); ++i) {
+    if (!owns(table, i)) continue;
+    auto it = content_.find(table.hashes[i]);
+    if (it == content_.end()) continue;
+    if (--it->second.refs == 0) content_.erase(it);
+  }
+}
+
+void CkptServer::install_table(mpi::Rank rank, const v2::ChunkTable& table) {
+  // Incref the new table's owned chunks *before* evicting old tables, so
+  // content shared between the evictee and the new image survives.
+  for (std::size_t i = 0; i < table.hashes.size(); ++i) {
+    if (owns(table, i)) ++content_[table.hashes[i]].refs;
+  }
+  auto& dq = tables_[rank];
+  // A restarted daemon can reuse a seq a dead incarnation partially
+  // uploaded; the fresh table replaces it.
+  for (auto it = dq.begin(); it != dq.end();) {
+    if (it->ckpt_seq == table.ckpt_seq) {
+      drop_table(*it);
+      it = dq.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dq.push_back(table);
+  while (dq.size() > 2) {
+    drop_table(dq.front());
+    dq.pop_front();
   }
 }
 
@@ -63,20 +124,158 @@ void CkptServer::handle(sim::Context& ctx, net::Conn* conn, Buffer data) {
       Writer w;
       w.u8(static_cast<std::uint8_t>(v2::CsMsg::kImage));
       auto it = images_.find(rank);
-      if (it == images_.end()) {
-        w.boolean(false);
-        w.u64(0);
-        w.blob({});
-      } else {
+      if (it != images_.end()) {
         w.boolean(true);
         w.u64(it->second.ckpt_seq);
         w.blob(it->second.data);
+      } else if (config_.stripe_count == 1 && tables_.count(rank) > 0) {
+        // Single-stripe delta store: reconstruct the newest complete image
+        // from the content store.
+        const std::deque<v2::ChunkTable>& dq = tables_.at(rank);
+        const v2::ChunkTable* best = nullptr;
+        for (const v2::ChunkTable& t : dq) {
+          if (owned_complete(t) &&
+              (best == nullptr || t.ckpt_seq > best->ckpt_seq)) {
+            best = &t;
+          }
+        }
+        if (best == nullptr) {
+          w.boolean(false);
+          w.u64(0);
+          w.blob({});
+        } else {
+          Buffer image;
+          image.reserve(best->total_bytes);
+          for (std::uint64_t h : best->hashes) {
+            ConstBytes b = content_.at(h).bytes.view();
+            image.insert(image.end(), b.begin(), b.end());
+          }
+          MPIV_CHECK(image.size() == best->total_bytes,
+                     "ckpt server: reconstructed image size mismatch");
+          w.boolean(true);
+          w.u64(best->ckpt_seq);
+          w.blob(image);
+        }
+      } else {
+        w.boolean(false);
+        w.u64(0);
+        w.blob({});
+      }
+      conn->send(ctx, w.take());
+      return;
+    }
+    case v2::CsMsg::kDeltaBegin: {
+      DeltaUpload up;
+      up.rank = r.i32();
+      up.table = v2::read_chunk_table(r);
+      delta_uploads_[conn->id()] = std::move(up);
+      return;
+    }
+    case v2::CsMsg::kDeltaChunk: {
+      auto it = delta_uploads_.find(conn->id());
+      MPIV_CHECK(it != delta_uploads_.end(),
+                 "ckpt server: delta chunk without begin");
+      DeltaUpload& up = it->second;
+      std::uint64_t seq = r.u64();
+      std::uint32_t index = r.u32();
+      MPIV_CHECK(seq == up.table.ckpt_seq && index < up.table.hashes.size(),
+                 "ckpt server: delta chunk outside the announced table");
+      ConstBytes bytes = r.rest();
+      chunk_bytes_received_ += bytes.size();
+      // Stage the bytes zero-copy: the wire frame backs the session entry.
+      SharedBuffer frame{std::move(data)};
+      up.chunks[index] = frame.slice_of(bytes);
+      return;
+    }
+    case v2::CsMsg::kDeltaEnd: {
+      auto it = delta_uploads_.find(conn->id());
+      MPIV_CHECK(it != delta_uploads_.end(),
+                 "ckpt server: delta end without begin");
+      DeltaUpload up = std::move(it->second);
+      delta_uploads_.erase(it);
+      MPIV_CHECK(r.u64() == up.table.ckpt_seq,
+                 "ckpt server: delta end for a different checkpoint");
+      // Verify this stripe can serve every chunk it owns: either fresh
+      // bytes arrived in this session, or the content store already holds
+      // the hash (unchanged since a table that is still pinned). Anything
+      // else means the daemon's delta base diverged from our store — do
+      // not install, do not ack; the daemon treats the missing StoreOk as
+      // an incomplete (never-stable) checkpoint.
+      for (std::size_t i = 0; i < up.table.hashes.size(); ++i) {
+        if (!owns(up.table, i)) continue;
+        std::uint64_t h = up.table.hashes[i];
+        auto ci = up.chunks.find(static_cast<std::uint32_t>(i));
+        if (ci != up.chunks.end()) {
+          MPIV_CHECK(hash64(ci->second.view()) == h,
+                     "ckpt server: chunk content does not match its hash");
+          MPIV_CHECK(ci->second.size() ==
+                         chunk_len(up.table.total_bytes, up.table.chunk_size, i),
+                     "ckpt server: chunk length mismatch");
+          continue;
+        }
+        if (content_.count(h) == 0) {
+          MPIV_WARN("ckpt-server", ctx.now(), "stripe ", config_.stripe_index,
+                    " rank ", up.rank, " seq ", up.table.ckpt_seq,
+                    ": chunk ", i, " neither uploaded nor in store; "
+                    "dropping the upload");
+          return;
+        }
+      }
+      for (auto& [index, bytes] : up.chunks) {
+        std::uint64_t h = up.table.hashes[index];
+        auto ci = content_.find(h);
+        if (ci == content_.end()) content_[h].bytes = std::move(bytes);
+      }
+      install_table(up.rank, up.table);
+      ++store_count_;
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::CsMsg::kStoreOk));
+      w.u64(up.table.ckpt_seq);
+      conn->send(ctx, w.take());
+      return;
+    }
+    case v2::CsMsg::kChunkQuery: {
+      mpi::Rank rank = r.i32();
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::CsMsg::kChunkInfo));
+      auto it = tables_.find(rank);
+      std::uint32_t n =
+          it == tables_.end() ? 0 : static_cast<std::uint32_t>(it->second.size());
+      w.u32(n);
+      if (it != tables_.end()) {
+        for (const v2::ChunkTable& t : it->second) {
+          v2::write_chunk_table(w, t);
+          w.boolean(owned_complete(t));
+        }
+      }
+      conn->send(ctx, w.take());
+      return;
+    }
+    case v2::CsMsg::kFetchChunk: {
+      mpi::Rank rank = r.i32();
+      std::uint64_t seq = r.u64();
+      std::uint32_t index = r.u32();
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::CsMsg::kChunk));
+      w.u32(index);
+      const v2::ChunkTable* t = find_table(rank, seq);
+      auto ci = t != nullptr && index < t->hashes.size()
+                    ? content_.find(t->hashes[index])
+                    : content_.end();
+      if (ci == content_.end()) {
+        w.boolean(false);
+        w.blob({});
+      } else {
+        w.boolean(true);
+        w.blob(ci->second.bytes.view());
       }
       conn->send(ctx, w.take());
       return;
     }
     case v2::CsMsg::kStoreOk:
     case v2::CsMsg::kImage:
+    case v2::CsMsg::kChunkInfo:
+    case v2::CsMsg::kChunk:
       break;
   }
   throw ProtocolError("ckpt server: unexpected message type");
@@ -85,6 +284,7 @@ void CkptServer::handle(sim::Context& ctx, net::Conn* conn, Buffer data) {
 std::uint64_t CkptServer::stored_bytes() const {
   std::uint64_t n = 0;
   for (const auto& [rank, img] : images_) n += img.data.size();
+  for (const auto& [hash, entry] : content_) n += entry.bytes.size();
   return n;
 }
 

@@ -1,10 +1,24 @@
 // Checkpoint Server: reliable storage for checkpoint images (§4.6.1).
 //
-// Daemons stream images in chunks (so the upload interleaves with normal
-// traffic) and fetch the latest image on restart. Only the newest image per
-// rank is kept — once a checkpoint is stable, older ones are dead weight.
+// Two storage paths share one port:
+//
+//  * Legacy full images (kStoreBegin/kStoreChunk/kStoreEnd/kFetch): the
+//    daemon streams the whole image every round; only the newest image per
+//    rank is kept. Retained for the A/B ablation and raw-wire tests.
+//
+//  * Chunked deltas (kDeltaBegin/kDeltaChunk/kDeltaEnd): the daemon ships
+//    the per-chunk hash table of the whole image plus data only for chunks
+//    this stripe owns (hash % stripe_count == stripe_index) that changed
+//    since the last stable image. Chunk bytes live in a content-addressed
+//    store with refcounts shared across ranks; per rank the two newest
+//    tables are pinned (current + previous), so a daemon that crashes
+//    mid-upload can still restart from the previous complete image, and
+//    unchanged chunks referenced by a new table are guaranteed present.
+//    Restarting daemons locate and fetch images chunk-wise (kChunkQuery /
+//    kFetchChunk), in parallel across stripes.
 #pragma once
 
+#include <deque>
 #include <map>
 
 #include "net/network.hpp"
@@ -18,6 +32,10 @@ class CkptServer {
   struct Config {
     net::NodeId node = net::kNoNode;
     std::int32_t port = v2::kCkptServerPort;
+    /// Which stripe this server is, out of how many. Chunk data for index
+    /// i belongs here iff hashes[i] % stripe_count == stripe_index.
+    int stripe_index = 0;
+    int stripe_count = 1;
   };
 
   CkptServer(net::Network& net, Config config) : net_(net), config_(config) {}
@@ -27,10 +45,16 @@ class CkptServer {
 
   // ---- test/bench introspection ----
   [[nodiscard]] bool has_image(mpi::Rank rank) const {
-    return images_.count(rank) > 0;
+    return images_.count(rank) > 0 || tables_.count(rank) > 0;
   }
   [[nodiscard]] std::uint64_t stored_bytes() const;
   [[nodiscard]] std::uint64_t images_stored() const { return store_count_; }
+  /// Chunk-data bytes received over the wire (before dedup the daemon did
+  /// not perform; equal-content chunks land here only once).
+  [[nodiscard]] std::uint64_t chunk_bytes_received() const {
+    return chunk_bytes_received_;
+  }
+  [[nodiscard]] std::size_t content_entries() const { return content_.size(); }
 
  private:
   struct Image {
@@ -43,14 +67,36 @@ class CkptServer {
     std::uint64_t total = 0;
     Buffer data;
   };
+  /// In-flight delta upload; chunk data is staged here and touches the
+  /// content store only at kDeltaEnd, so an abandoned upload (daemon died
+  /// mid-stream) rolls back by discarding the session.
+  struct DeltaUpload {
+    mpi::Rank rank = -1;
+    v2::ChunkTable table;
+    std::map<std::uint32_t, SharedBuffer> chunks;  // index -> bytes
+  };
+  struct ContentEntry {
+    SharedBuffer bytes;
+    std::uint32_t refs = 0;
+  };
 
   void handle(sim::Context& ctx, net::Conn* conn, Buffer data);
+  void install_table(mpi::Rank rank, const v2::ChunkTable& table);
+  void drop_table(const v2::ChunkTable& table);
+  [[nodiscard]] bool owns(const v2::ChunkTable& t, std::size_t index) const;
+  [[nodiscard]] bool owned_complete(const v2::ChunkTable& t) const;
+  const v2::ChunkTable* find_table(mpi::Rank rank, std::uint64_t seq) const;
 
   net::Network& net_;
   Config config_;
-  std::map<mpi::Rank, Image> images_;
+  std::map<mpi::Rank, Image> images_;        // legacy full images
   std::map<std::uint64_t, Upload> uploads_;  // keyed by connection id
+  std::map<std::uint64_t, DeltaUpload> delta_uploads_;  // keyed by conn id
+  /// Newest-last; at most the two newest tables per rank are retained.
+  std::map<mpi::Rank, std::deque<v2::ChunkTable>> tables_;
+  std::map<std::uint64_t, ContentEntry> content_;  // hash -> chunk bytes
   std::uint64_t store_count_ = 0;
+  std::uint64_t chunk_bytes_received_ = 0;
 };
 
 }  // namespace mpiv::services

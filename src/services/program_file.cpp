@@ -139,6 +139,9 @@ runtime::JobConfig ProgramFile::to_job_config() const {
   cfg.device = runtime::DeviceKind::kV2;
   cfg.nprocs = count(Role::kCompute);
   cfg.n_event_loggers = count(Role::kEventLogger);
+  // Several ckpt_server machines stripe the checkpoint store across that
+  // many servers (chunks placed by content hash).
+  cfg.n_ckpt_servers = std::max(1, count(Role::kCkptServer));
   cfg.spare_nodes = count(Role::kSpare);
   cfg.checkpointing = count(Role::kCkptScheduler) > 0;
   for (const Machine& m : machines_) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/log.hpp"
 
 namespace mpiv::v2 {
@@ -10,9 +11,10 @@ namespace mpiv::v2 {
 namespace {
 // user_tag values for service connections (peer conns use the peer rank).
 constexpr std::uint64_t kTagEl = 1u << 20;
-constexpr std::uint64_t kTagCs = (1u << 20) + 1;
 constexpr std::uint64_t kTagSched = (1u << 20) + 2;
 constexpr std::uint64_t kTagDisp = (1u << 20) + 3;
+// Checkpoint stripe i tags its connection kTagCsBase + i.
+constexpr std::uint64_t kTagCsBase = (1u << 20) + 16;
 }  // namespace
 
 Daemon::Daemon(net::Network& net, net::Pipe& pipe, DaemonConfig config)
@@ -100,8 +102,13 @@ void Daemon::connect_services(sim::Context& ctx) {
     w.i32(config_.incarnation);
     disp_conn_->send(ctx, w.take());
   }
-  cs_conn_ = connect_optional(config_.ckpt_server, kTagCs, milliseconds(100));
-  sched_conn_ = connect_optional(config_.scheduler, kTagSched, milliseconds(100));
+  cs_conns_.assign(config_.ckpt_servers.size(), nullptr);
+  for (std::size_t i = 0; i < config_.ckpt_servers.size(); ++i) {
+    cs_conns_[i] = connect_optional(config_.ckpt_servers[i], kTagCsBase + i,
+                                    config_.optional_connect_budget);
+  }
+  sched_conn_ = connect_optional(config_.scheduler, kTagSched,
+                                 config_.optional_connect_budget);
   if (sched_conn_ != nullptr) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(CtlMsg::kRegister));
@@ -117,13 +124,41 @@ void Daemon::connect_services(sim::Context& ctx) {
   el_conn_->send(ctx, w.take());
 }
 
+net::NetEvent Daemon::wait_for_cs(sim::Context& ctx) {
+  auto is_cs = [this](net::Conn* c) {
+    for (net::Conn* cs : cs_conns_) {
+      if (cs != nullptr && cs == c) return true;
+    }
+    return false;
+  };
+  for (;;) {
+    net::NetEvent ev = endpoint_->wait(ctx);
+    if (is_cs(ev.conn) && (ev.type == net::NetEvent::Type::kData ||
+                           ev.type == net::NetEvent::Type::kClosed)) {
+      return ev;
+    }
+    setup_backlog_.push_back(std::move(ev));
+  }
+}
+
 void Daemon::fetch_checkpoint(sim::Context& ctx) {
-  if (cs_conn_ == nullptr || config_.incarnation == 0) return;
+  if (config_.incarnation == 0) return;
+  if (config_.full_image_ckpt) {
+    fetch_checkpoint_legacy(ctx);
+  } else {
+    fetch_checkpoint_striped(ctx);
+  }
+}
+
+void Daemon::fetch_checkpoint_legacy(sim::Context& ctx) {
+  net::Conn* cs = cs_conns_.empty() ? nullptr : cs_conns_[0];
+  if (cs == nullptr) return;
+  SimTime t0 = ctx.now();
   Writer w;
   w.u8(static_cast<std::uint8_t>(CsMsg::kFetch));
   w.i32(config_.rank);
-  cs_conn_->send(ctx, w.take());
-  Buffer reply = wait_for_data(ctx, *endpoint_, cs_conn_, setup_backlog_);
+  cs->send(ctx, w.take());
+  Buffer reply = wait_for_data(ctx, *endpoint_, cs, setup_backlog_);
   Reader r(reply);
   MPIV_CHECK(static_cast<CsMsg>(r.u8()) == CsMsg::kImage,
              "daemon: bad fetch reply");
@@ -131,12 +166,138 @@ void Daemon::fetch_checkpoint(sim::Context& ctx) {
   std::uint64_t seq = r.u64();
   Buffer image = r.blob();
   if (!found) return;
+  stats_.ckpt_fetch_bytes += image.size();
   ckpt_seq_ = seq;
   app_restart_image_ = SharedBuffer(restore_daemon_state(image));
   have_restart_image_ = true;
+  has_stable_ckpt_ = true;  // the fetched image *is* stable storage
+  last_stable_hr_ = hr_;
+  stats_.ckpt_fetch_ns += static_cast<std::uint64_t>(ctx.now() - t0);
   MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
             " restored checkpoint seq ", seq, " at delivery clock ",
             recv_clock_);
+}
+
+void Daemon::fetch_checkpoint_striped(sim::Context& ctx) {
+  std::size_t nlive = 0;
+  for (net::Conn* c : cs_conns_) nlive += c != nullptr ? 1 : 0;
+  if (nlive == 0) return;
+  SimTime t0 = ctx.now();
+  const std::size_t nstripes = cs_conns_.size();
+
+  // Phase 1: ask every live stripe which chunk tables it holds for us.
+  Writer q;
+  q.u8(static_cast<std::uint8_t>(CsMsg::kChunkQuery));
+  q.i32(config_.rank);
+  for (net::Conn* c : cs_conns_) {
+    if (c != nullptr) c->send(ctx, Buffer(q.buffer()));
+  }
+  // seq -> (table meta, stripes that can serve their share of it).
+  std::map<std::uint64_t, ChunkTable> metas;
+  std::map<std::uint64_t, std::vector<bool>> ready;
+  std::size_t pending = nlive;
+  while (pending > 0) {
+    net::NetEvent ev = wait_for_cs(ctx);
+    std::size_t s = ev.conn->user_tag - kTagCsBase;
+    if (ev.type == net::NetEvent::Type::kClosed) {
+      cs_conns_[s] = nullptr;
+      --pending;
+      continue;
+    }
+    Reader r(ev.data);
+    MPIV_CHECK(static_cast<CsMsg>(r.u8()) == CsMsg::kChunkInfo,
+               "daemon: bad chunk-query reply");
+    std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ChunkTable t = read_chunk_table(r);
+      bool complete = r.boolean();
+      if (!complete) continue;
+      ready.emplace(t.ckpt_seq, std::vector<bool>(nstripes, false))
+          .first->second[s] = true;
+      metas.emplace(t.ckpt_seq, std::move(t));
+    }
+    --pending;
+  }
+
+  // Phase 2: newest seq whose every chunk has a live, ready owner stripe.
+  const ChunkTable* best = nullptr;
+  for (auto it = metas.rbegin(); it != metas.rend(); ++it) {
+    const ChunkTable& t = it->second;
+    const std::vector<bool>& rdy = ready.at(t.ckpt_seq);
+    bool ok = true;
+    for (std::size_t i = 0; i < t.hashes.size() && ok; ++i) {
+      std::size_t s = t.owner_of(i, nstripes);
+      ok = cs_conns_[s] != nullptr && rdy[s];
+    }
+    if (ok) {
+      best = &t;
+      break;
+    }
+  }
+  if (best == nullptr) {
+    MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank,
+              " found no fetchable checkpoint across ", nlive,
+              " stripe(s); restarting from scratch");
+    return;
+  }
+
+  // Phase 3: pipeline all chunk requests, then gather the replies. Each
+  // stripe streams its share concurrently with the others — the fetch is
+  // bounded by the largest stripe share, not the whole image.
+  for (std::size_t i = 0; i < best->hashes.size(); ++i) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(CsMsg::kFetchChunk));
+    w.i32(config_.rank);
+    w.u64(best->ckpt_seq);
+    w.u32(static_cast<std::uint32_t>(i));
+    cs_conns_[best->owner_of(i, nstripes)]->send(ctx, w.take());
+  }
+  Buffer image(best->total_bytes);
+  std::size_t remaining = best->hashes.size();
+  while (remaining > 0) {
+    net::NetEvent ev = wait_for_cs(ctx);
+    if (ev.type == net::NetEvent::Type::kClosed) {
+      std::size_t s = ev.conn->user_tag - kTagCsBase;
+      cs_conns_[s] = nullptr;
+      MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank, " lost stripe ",
+                s, " mid-fetch; restarting from scratch");
+      return;
+    }
+    Reader r(ev.data);
+    MPIV_CHECK(static_cast<CsMsg>(r.u8()) == CsMsg::kChunk,
+               "daemon: bad chunk-fetch reply");
+    std::uint32_t index = r.u32();
+    bool found = r.boolean();
+    ConstBytes bytes = r.blob_view();
+    if (!found) {
+      MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank, " chunk ", index,
+                " of seq ", best->ckpt_seq,
+                " vanished mid-fetch; restarting from scratch");
+      return;
+    }
+    MPIV_CHECK(index < best->hashes.size() &&
+                   bytes.size() == chunk_len(best->total_bytes,
+                                             best->chunk_size, index),
+               "daemon: fetched chunk does not fit the table");
+    MPIV_CHECK(hash64(bytes) == best->hashes[index],
+               "daemon: fetched chunk failed its content hash");
+    std::copy(bytes.begin(), bytes.end(),
+              image.begin() +
+                  static_cast<std::ptrdiff_t>(index) * best->chunk_size);
+    stats_.ckpt_fetch_bytes += bytes.size();
+    --remaining;
+  }
+  ckpt_seq_ = best->ckpt_seq;
+  app_restart_image_ = SharedBuffer(restore_daemon_state(image));
+  have_restart_image_ = true;
+  has_stable_ckpt_ = true;  // the fetched image *is* stable storage
+  last_stable_hr_ = hr_;
+  last_stable_hashes_ = best->hashes;  // delta base for the next upload
+  stats_.ckpt_fetch_ns += static_cast<std::uint64_t>(ctx.now() - t0);
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
+            " restored checkpoint seq ", best->ckpt_seq, " (",
+            best->hashes.size(), " chunks over ", nlive,
+            " stripes) at delivery clock ", recv_clock_);
 }
 
 void Daemon::download_events(sim::Context& ctx) {
@@ -202,7 +363,8 @@ void Daemon::run(sim::Context& ctx) {
     ~Teardown() {
       d.endpoint_.reset();
       d.peers_.assign(d.peers_.size(), nullptr);
-      d.el_conn_ = d.cs_conn_ = d.sched_conn_ = d.disp_conn_ = nullptr;
+      d.cs_conns_.assign(d.cs_conns_.size(), nullptr);
+      d.el_conn_ = d.sched_conn_ = d.disp_conn_ = nullptr;
     }
   } teardown{*this};
 
@@ -253,6 +415,12 @@ void Daemon::run(sim::Context& ctx) {
       if (reconnect_at_[qi] >= 0 && peers_[qi] == nullptr) {
         deadline = deadline < 0 ? reconnect_at_[qi]
                                 : std::min(deadline, reconnect_at_[qi]);
+      }
+    }
+    if (ckpt_.has_value()) {
+      // An upload may be blocked on stripe-server window space alone.
+      for (net::Conn* c : cs_conns_) {
+        if (c != nullptr) c->add_window_waiter(proc, token);
       }
     }
     std::optional<sim::EventId> timer;
@@ -332,7 +500,12 @@ void Daemon::handle_pipe(sim::Context& ctx, net::PipeFrame frame) {
     }
     case PipeMsg::kCkptImage: {
       begin_checkpoint(ctx, std::move(frame.payload));
-      pipe_reply(ctx, pipe_writer(PipeMsg::kCkptOk, false));
+      // Non-blocking capture (the default): the app resumed the moment the
+      // image crossed the pipe; only the legacy blocking mode expects an
+      // acknowledgement.
+      if (config_.full_image_ckpt) {
+        pipe_reply(ctx, pipe_writer(PipeMsg::kCkptOk, false));
+      }
       return;
     }
     case PipeMsg::kGetImage: {
@@ -624,11 +797,13 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
         }
       } else if (ev.conn == el_conn_) {
         el_conn_ = nullptr;
-      } else if (ev.conn == cs_conn_) {
-        // Checkpoint server gone: abandon any upload in flight; the node
-        // keeps computing and would restart from scratch, at worst.
-        cs_conn_ = nullptr;
-        ckpt_.reset();
+      } else if (tag >= kTagCsBase && tag < kTagCsBase + cs_conns_.size() &&
+                 cs_conns_[tag - kTagCsBase] == ev.conn) {
+        // A checkpoint stripe is gone: abandon any upload in flight (the
+        // image never went stable, so nothing was pruned); the node keeps
+        // computing and reconnects at the next checkpoint order.
+        cs_conns_[tag - kTagCsBase] = nullptr;
+        if (ckpt_.has_value()) abandon_ckpt(ctx);
         ckpt_requested_ = false;
       } else if (ev.conn == sched_conn_) {
         sched_conn_ = nullptr;
@@ -642,7 +817,9 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
   }
   std::uint64_t tag = ev.conn->user_tag;
   if (tag == kTagEl) return handle_el(ctx, std::move(ev.data));
-  if (tag == kTagCs) return handle_cs(ctx, std::move(ev.data));
+  if (tag >= kTagCsBase && tag < kTagCsBase + cs_conns_.size()) {
+    return handle_cs(ctx, tag - kTagCsBase, std::move(ev.data));
+  }
   if (tag == kTagSched || tag == kTagDisp) {
     return handle_ctl(ctx, std::move(ev.data));
   }
@@ -847,11 +1024,33 @@ void Daemon::handle_el(sim::Context& ctx, Buffer msg) {
   (void)ctx;
 }
 
-void Daemon::handle_cs(sim::Context& ctx, Buffer msg) {
+void Daemon::handle_cs(sim::Context& ctx, std::size_t stripe, Buffer msg) {
   Reader r(msg);
-  MPIV_CHECK(static_cast<CsMsg>(r.u8()) == CsMsg::kStoreOk,
-             "daemon: unexpected checkpoint-server message");
-  on_ckpt_stable(ctx, r.u64());
+  auto type = static_cast<CsMsg>(r.u8());
+  if (type != CsMsg::kStoreOk) {
+    // Residue of an aborted setup fetch (kChunk / kChunkInfo replies that
+    // were pipelined before a stripe died): harmless, drop.
+    MPIV_CHECK(type == CsMsg::kChunk || type == CsMsg::kChunkInfo ||
+                   type == CsMsg::kImage,
+               "daemon: unexpected checkpoint-server message");
+    return;
+  }
+  std::uint64_t seq = r.u64();
+  if (!ckpt_.has_value() || ckpt_->seq != seq) {
+    // Ack for an upload we already abandoned (another stripe died first).
+    MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " stale StoreOk seq ",
+               seq, " from stripe ", stripe);
+    return;
+  }
+  if (config_.full_image_ckpt) {
+    on_ckpt_stable(ctx, seq);
+    return;
+  }
+  PendingCkpt& pc = *ckpt_;
+  if (pc.acked_s[stripe] != 0) return;  // duplicate ack
+  pc.acked_s[stripe] = 1;
+  // Stable only once *every* stripe holds its share of the image.
+  if (++pc.acks == pc.acked_s.size()) on_ckpt_stable(ctx, seq);
 }
 
 void Daemon::handle_ctl(sim::Context& ctx, Buffer msg) {
@@ -876,16 +1075,22 @@ void Daemon::handle_ctl(sim::Context& ctx, Buffer msg) {
       return;
     }
     case CtlMsg::kCkptOrder: {
-      if (cs_conn_ == nullptr && config_.ckpt_server.node != net::kNoNode) {
-        // The checkpoint server may have rebooted since we lost it.
-        net::Conn* c = net_.connect(ctx, *endpoint_, config_.ckpt_server);
+      for (std::size_t i = 0; i < cs_conns_.size(); ++i) {
+        if (cs_conns_[i] != nullptr ||
+            config_.ckpt_servers[i].node == net::kNoNode) {
+          continue;
+        }
+        // The stripe server may have rebooted since we lost it.
+        net::Conn* c = net_.connect(ctx, *endpoint_, config_.ckpt_servers[i]);
         if (c != nullptr) {
-          c->user_tag = kTagCs;
-          cs_conn_ = c;
+          c->user_tag = kTagCsBase + i;
+          cs_conns_[i] = c;
         }
       }
-      // Ignore while an upload is still in flight; the scheduler reorders.
-      if (!ckpt_.has_value() && cs_conn_ != nullptr) ckpt_requested_ = true;
+      // Ignore while an upload is still in flight (the scheduler reorders)
+      // or while any stripe is unreachable (a partial upload could never
+      // become stable).
+      if (!ckpt_.has_value() && all_cs_connected()) ckpt_requested_ = true;
       return;
     }
     case CtlMsg::kAddr: {
@@ -908,6 +1113,17 @@ void Daemon::handle_ctl(sim::Context& ctx, Buffer msg) {
 
 // --------------------------------------------------------------- checkpoint
 
+bool Daemon::all_cs_connected() const {
+  if (cs_conns_.empty()) return false;
+  for (std::size_t i = 0; i < cs_conns_.size(); ++i) {
+    if (config_.ckpt_servers[i].node != net::kNoNode &&
+        cs_conns_[i] == nullptr) {
+      return false;
+    }
+  }
+  return cs_conns_[0] != nullptr;  // at least stripe 0 must be configured
+}
+
 void Daemon::begin_checkpoint(sim::Context& ctx, SharedBuffer app_image) {
   MPIV_CHECK(!ckpt_.has_value(), "daemon: overlapping checkpoints");
   // Flush coalesced events first: every delivery folded into this image
@@ -917,14 +1133,55 @@ void Daemon::begin_checkpoint(sim::Context& ctx, SharedBuffer app_image) {
   ++ckpt_seq_;
   PendingCkpt pc;
   pc.seq = ckpt_seq_;
-  pc.image = serialize_daemon_state(app_image.view());
+  pc.image = SharedBuffer(serialize_daemon_state(app_image.view()));
   pc.h_at_ckpt = recv_clock_;
   pc.hr_at_ckpt = hr_;
+  // The serialize pass above walks the whole image once; charge it at
+  // memcpy bandwidth (daemon fiber — the app already resumed in the
+  // non-blocking mode). Not counted in bytes_copied: that stat tracks the
+  // message datapath.
+  ctx.sleep(transfer_time(pc.image.size(), net_.params().memcpy_bandwidth_bps));
+  if (!config_.full_image_ckpt) {
+    const std::size_t nstripes = cs_conns_.size();
+    const std::uint32_t chunk = net_.params().ckpt_chunk_bytes;
+    pc.hashes = chunk_hashes(pc.image.view(), chunk);
+    pc.chunks_for.assign(nstripes, {});
+    pc.next_chunk.assign(nstripes, 0);
+    pc.begun_s.assign(nstripes, 0);
+    pc.end_sent_s.assign(nstripes, 0);
+    pc.acked_s.assign(nstripes, 0);
+    for (std::size_t i = 0; i < pc.hashes.size(); ++i) {
+      std::size_t len = chunk_len(pc.image.size(), chunk, i);
+      if (i < last_stable_hashes_.size() &&
+          pc.hashes[i] == last_stable_hashes_[i]) {
+        // Unchanged since the last stable image: the owning stripe pins
+        // that table, so the content is already durable there.
+        stats_.ckpt_bytes_deduped += len;
+        continue;
+      }
+      std::size_t owner = pc.hashes[i] % nstripes;
+      pc.chunks_for[owner].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
   ckpt_ = std::move(pc);
 }
 
+void Daemon::abandon_ckpt(sim::Context& ctx) {
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
+            " abandoning checkpoint seq ", ckpt_->seq,
+            " (stripe server lost mid-upload)");
+  ckpt_.reset();
+}
+
 bool Daemon::advance_ckpt(sim::Context& ctx) {
-  if (!ckpt_.has_value() || cs_conn_ == nullptr) return false;
+  if (!ckpt_.has_value()) return false;
+  return config_.full_image_ckpt ? advance_ckpt_legacy(ctx)
+                                 : advance_ckpt_delta(ctx);
+}
+
+bool Daemon::advance_ckpt_legacy(sim::Context& ctx) {
+  net::Conn* cs = cs_conns_.empty() ? nullptr : cs_conns_[0];
+  if (cs == nullptr) return false;
   PendingCkpt& pc = *ckpt_;
   const std::uint32_t chunk = net_.params().daemon_chunk_bytes;
   if (!pc.begun) {
@@ -934,27 +1191,91 @@ bool Daemon::advance_ckpt(sim::Context& ctx) {
     w.u64(pc.seq);
     w.u64(pc.image.size());
     pc.begun = true;
-    cs_conn_->send(ctx, w.take());
+    cs->send(ctx, w.take());
     return true;
   }
   if (pc.offset < pc.image.size()) {
-    if (!cs_conn_->writable()) return false;
+    if (!cs->writable()) return false;
     std::size_t n = std::min<std::size_t>(chunk, pc.image.size() - pc.offset);
     Writer w;
     w.u8(static_cast<std::uint8_t>(CsMsg::kStoreChunk));
     w.raw(pc.image.data() + pc.offset, n);
     pc.offset += n;
-    cs_conn_->send(ctx, w.take());
+    stats_.ckpt_bytes_sent += n;
+    cs->send(ctx, w.take());
     return true;
   }
   if (!pc.done_sent) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(CsMsg::kStoreEnd));
     pc.done_sent = true;
-    cs_conn_->send(ctx, w.take());
+    cs->send(ctx, w.take());
     return true;
   }
   return false;  // waiting for StoreOk
+}
+
+bool Daemon::advance_ckpt_delta(sim::Context& ctx) {
+  PendingCkpt& pc = *ckpt_;
+  const std::size_t nstripes = cs_conns_.size();
+  const std::uint32_t chunk = net_.params().ckpt_chunk_bytes;
+  // One frame per call, round-robin across the stripes, so the upload
+  // interleaves with normal traffic and all stripes fill concurrently.
+  for (std::size_t i = 0; i < nstripes; ++i) {
+    std::size_t s = (cs_rr_next_ + i) % nstripes;
+    if (pc.acked_s[s] != 0) continue;
+    net::Conn* c = cs_conns_[s];
+    if (c == nullptr) {
+      // A stripe died before we finished with it: the image can never
+      // become stable, so drop the whole attempt.
+      abandon_ckpt(ctx);
+      return true;
+    }
+    if (!c->writable()) continue;
+    cs_rr_next_ = (s + 1) % nstripes;
+    if (pc.begun_s[s] == 0) {
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(CsMsg::kDeltaBegin));
+      w.i32(config_.rank);
+      ChunkTable t;
+      t.ckpt_seq = pc.seq;
+      t.chunk_size = chunk;
+      t.total_bytes = pc.image.size();
+      t.hashes = pc.hashes;  // replicated to every stripe
+      write_chunk_table(w, t);
+      pc.begun_s[s] = 1;
+      c->send(ctx, w.take());
+      return true;
+    }
+    if (pc.next_chunk[s] < pc.chunks_for[s].size()) {
+      std::uint32_t index = pc.chunks_for[s][pc.next_chunk[s]++];
+      std::size_t len = chunk_len(pc.image.size(), chunk, index);
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(CsMsg::kDeltaChunk));
+      w.u64(pc.seq);
+      w.u32(index);
+      // Scatter-gather: the chunk bytes ride as a slice of the pending
+      // image — the upload never materializes chunk copies. The one wire
+      // assembly copy is charged like any other TX.
+      SharedBuffer payload = pc.image;  // keep alive across send()
+      ConstBytes tail =
+          payload.view().subspan(static_cast<std::size_t>(index) * chunk, len);
+      stats_.ckpt_bytes_sent += len;
+      charge_copy(ctx, len);
+      c->send(ctx, w.take(), tail);
+      return true;
+    }
+    if (pc.end_sent_s[s] == 0) {
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(CsMsg::kDeltaEnd));
+      w.u64(pc.seq);
+      pc.end_sent_s[s] = 1;
+      c->send(ctx, w.take());
+      return true;
+    }
+    // This stripe has everything; waiting for its StoreOk.
+  }
+  return false;
 }
 
 void Daemon::on_ckpt_stable(sim::Context& ctx, std::uint64_t seq) {
@@ -962,6 +1283,7 @@ void Daemon::on_ckpt_stable(sim::Context& ctx, std::uint64_t seq) {
              "daemon: StoreOk for unknown checkpoint");
   has_stable_ckpt_ = true;
   last_stable_hr_ = ckpt_->hr_at_ckpt;
+  last_stable_hashes_ = std::move(ckpt_->hashes);  // next upload's delta base
   Clock hck = ckpt_->h_at_ckpt;
   ckpt_.reset();
   stats_.checkpoints_taken += 1;
@@ -990,7 +1312,13 @@ void Daemon::on_ckpt_stable(sim::Context& ctx, std::uint64_t seq) {
 }
 
 Buffer Daemon::serialize_daemon_state(ConstBytes app_image) const {
+  // Layout: [app image][daemon state][u64 app_image_size]. The raw app
+  // bytes come FIRST so that growth or shrinkage of the daemon state
+  // (sender log, arrival queue) between checkpoints cannot shift the app
+  // pages across chunk boundaries — the chunked-delta path depends on
+  // stable chunk alignment for its dedup.
   Writer w;
+  w.raw(app_image.data(), app_image.size());
   w.i64(send_clock_);
   w.i64(recv_clock_);
   w.u32(static_cast<std::uint32_t>(hs_.size()));
@@ -1006,12 +1334,17 @@ Buffer Daemon::serialize_daemon_state(ConstBytes app_image) const {
     w.i64(a.send_clock);
     w.blob(a.block.view());
   }
-  w.blob(app_image);
+  w.u64(app_image.size());
   return w.take();
 }
 
 Buffer Daemon::restore_daemon_state(ConstBytes image) {
-  Reader r(image);
+  MPIV_CHECK(image.size() >= 8, "daemon: checkpoint image too small");
+  Reader trailer(image.subspan(image.size() - 8));
+  auto app_size = static_cast<std::size_t>(trailer.u64());
+  MPIV_CHECK(app_size <= image.size() - 8,
+             "daemon: corrupt checkpoint image trailer");
+  Reader r(image.subspan(app_size, image.size() - 8 - app_size));
   send_clock_ = r.i64();
   recv_clock_ = r.i64();
   std::uint32_t n = r.u32();
@@ -1036,7 +1369,9 @@ Buffer Daemon::restore_daemon_state(ConstBytes image) {
     if (a.send_clock > hr_[fi]) accepted_[fi].insert(a.send_clock);
     arrivals_.push_back(std::move(a));
   }
-  return r.blob();
+  MPIV_CHECK(r.done(), "daemon: trailing bytes in checkpoint image");
+  ConstBytes app = image.subspan(0, app_size);
+  return Buffer(app.begin(), app.end());
 }
 
 }  // namespace mpiv::v2

@@ -41,11 +41,18 @@ struct DaemonConfig {
   /// Current daemon address of each rank (kDaemonPortBase + rank on its node).
   std::vector<net::Address> peer_addrs;
   net::Address event_logger;                      // required
-  net::Address ckpt_server{net::kNoNode, 0};      // optional
+  /// Stripe set of checkpoint servers (optional; may be empty). Chunk i of
+  /// an image lives on server hashes[i] % ckpt_servers.size().
+  std::vector<net::Address> ckpt_servers;
   net::Address scheduler{net::kNoNode, 0};        // optional
   net::Address dispatcher{net::kNoNode, 0};       // optional
   SimDuration peer_retry = milliseconds(20);
   SimDuration connect_timeout = seconds(30);
+  /// Connect budget for the *optional* services (checkpoint servers,
+  /// scheduler): how long setup stalls trying to reach them before running
+  /// without. Kept short by default; fault benches raise it to model slow
+  /// checkpoint-server links.
+  SimDuration optional_connect_budget = milliseconds(100);
   /// ABLATION ONLY: disable the WAITLOGGED gate (transmit before the event
   /// logger acknowledged pending reception events). Breaks the pessimistic
   /// property — a crash may then lose un-logged-but-observed receptions —
@@ -57,6 +64,12 @@ struct DaemonConfig {
   /// reassembly, deliver-time pipe blob — and flushes one event-logger
   /// append per delivery instead of coalescing.
   bool legacy_datapath = false;
+  /// ABLATION ONLY: full-image checkpoint datapath for A/B comparison —
+  /// blocking capture (the app waits for kCkptOk) and whole-image uploads
+  /// to stripe 0 via kStoreBegin/kStoreChunk/kStoreEnd. The default is the
+  /// incremental path: non-blocking capture, chunked delta upload striped
+  /// across all checkpoint servers. Must match V2Device::blocking_ckpt.
+  bool full_image_ckpt = false;
 };
 
 /// Counters exposed to tests and benches.
@@ -85,6 +98,15 @@ struct DaemonStats {
   /// kAppend messages sent to the event logger (coalescing makes this
   /// less than events_logged under batching workloads).
   std::uint64_t el_appends = 0;
+  /// Checkpoint payload bytes actually uploaded to the stripe servers.
+  std::uint64_t ckpt_bytes_sent = 0;
+  /// Checkpoint bytes *not* uploaded because the chunk matched the last
+  /// stable image (the delta datapath's dedup win).
+  std::uint64_t ckpt_bytes_deduped = 0;
+  /// Restart image fetch: bytes pulled from the stripe servers and the
+  /// virtual time the striped fetch took.
+  std::uint64_t ckpt_fetch_bytes = 0;
+  std::uint64_t ckpt_fetch_ns = 0;
 };
 
 class Daemon {
@@ -134,20 +156,38 @@ class Daemon {
 
   struct PendingCkpt {
     std::uint64_t seq = 0;
-    Buffer image;
+    SharedBuffer image;
+    Clock h_at_ckpt = 0;
+    std::vector<Clock> hr_at_ckpt;
+    // Legacy full-image upload progress (stripe 0 only).
     std::size_t offset = 0;
     bool begun = false;
     bool done_sent = false;
-    Clock h_at_ckpt = 0;
-    std::vector<Clock> hr_at_ckpt;
+    // Delta upload: per-chunk hashes of `image`, and per stripe server the
+    // dirty chunks it owns plus the begin/chunks/end/ack progress. Chunk
+    // frames alias `image` via SharedBuffer slices — no staging copies.
+    std::vector<std::uint64_t> hashes;
+    std::vector<std::vector<std::uint32_t>> chunks_for;
+    std::vector<std::size_t> next_chunk;
+    std::vector<std::uint8_t> begun_s;
+    std::vector<std::uint8_t> end_sent_s;
+    std::vector<std::uint8_t> acked_s;
+    std::uint32_t acks = 0;
   };
 
   // ---- setup / teardown ----
   void setup(sim::Context& ctx);
   void connect_services(sim::Context& ctx);
   void fetch_checkpoint(sim::Context& ctx);
+  void fetch_checkpoint_legacy(sim::Context& ctx);
+  void fetch_checkpoint_striped(sim::Context& ctx);
+  /// Next event on any checkpoint-server connection (Data or Closed);
+  /// stashes everything else for the main loop.
+  net::NetEvent wait_for_cs(sim::Context& ctx);
   void download_events(sim::Context& ctx);
   void connect_peer(sim::Context& ctx, mpi::Rank q);
+  /// True when every *configured* checkpoint stripe is connected.
+  [[nodiscard]] bool all_cs_connected() const;
 
   // ---- event handling ----
   void handle_pipe(sim::Context& ctx, net::PipeFrame frame);
@@ -158,7 +198,7 @@ class Daemon {
   void prune_accept_window(mpi::Rank q);
   void handle_ctl(sim::Context& ctx, Buffer msg);
   void handle_el(sim::Context& ctx, Buffer msg);
-  void handle_cs(sim::Context& ctx, Buffer msg);
+  void handle_cs(sim::Context& ctx, std::size_t stripe, Buffer msg);
 
   // ---- protocol actions ----
   void send_event(sim::Context& ctx, mpi::Rank dest, SharedBuffer block);
@@ -181,6 +221,11 @@ class Daemon {
   void enqueue_saved_resend(sim::Context& ctx, mpi::Rank q, Clock after);
   bool advance_tx(sim::Context& ctx);   // returns true if it did work
   bool advance_ckpt(sim::Context& ctx);
+  bool advance_ckpt_legacy(sim::Context& ctx);
+  bool advance_ckpt_delta(sim::Context& ctx);
+  /// A stripe died (or was found dead) mid-upload: forget the pending
+  /// checkpoint; the image was never stable and nothing was pruned.
+  void abandon_ckpt(sim::Context& ctx);
   void begin_checkpoint(sim::Context& ctx, SharedBuffer app_image);
   void on_ckpt_stable(sim::Context& ctx, std::uint64_t seq);
   void pipe_reply(sim::Context& ctx, Writer w);
@@ -232,7 +277,7 @@ class Daemon {
   std::vector<std::set<Clock>> accepted_;  // clocks accepted above hr_[q]
   std::vector<SimTime> reconnect_at_;       // next retry for dead lower conns
   net::Conn* el_conn_ = nullptr;
-  net::Conn* cs_conn_ = nullptr;
+  std::vector<net::Conn*> cs_conns_;        // one per stripe server
   net::Conn* sched_conn_ = nullptr;
   net::Conn* disp_conn_ = nullptr;
 
@@ -249,7 +294,12 @@ class Daemon {
   bool ckpt_requested_ = false;             // piggybacked flag to the app
   std::optional<PendingCkpt> ckpt_;
   std::vector<Clock> last_stable_hr_;       // HR vector of last stable ckpt
+  /// Chunk hashes of the last *stable* image — the delta base. Chunks whose
+  /// hash matches at the same index are skipped (the servers pin the stable
+  /// table, so its content is guaranteed present on the owning stripe).
+  std::vector<std::uint64_t> last_stable_hashes_;
   bool has_stable_ckpt_ = false;
+  std::size_t cs_rr_next_ = 0;              // round-robin stripe TX pointer
   bool shutdown_ = false;
   mpi::Rank rr_next_ = 0;                   // round-robin TX pointer
   std::deque<net::NetEvent> setup_backlog_;  // events deferred during setup

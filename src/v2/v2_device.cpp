@@ -71,10 +71,25 @@ bool V2Device::nprobe(sim::Context& ctx) {
 }
 
 void V2Device::send_checkpoint(sim::Context& ctx, Buffer image) {
-  roundtrip(ctx,
-            net::PipeFrame(pipe_writer(PipeMsg::kCkptImage).take(),
-                           SharedBuffer(std::move(image))),
-            PipeMsg::kCkptOk);
+  copies_.ckpt_bytes_captured += image.size();
+  if (blocking_ckpt_) {
+    // Legacy path: block until the daemon has taken the image.
+    roundtrip(ctx,
+              net::PipeFrame(pipe_writer(PipeMsg::kCkptImage).take(),
+                             SharedBuffer(std::move(image))),
+              PipeMsg::kCkptOk);
+    return;
+  }
+  // Incremental path: copy-on-write handoff. The app pays only for the
+  // pages it dirtied since the previous capture and resumes immediately —
+  // the daemon chunk-hashes, dedups and uploads in the background. The
+  // daemon sends no kCkptOk here; the next piggybacked header refreshes
+  // ckpt_requested_, and we clear it eagerly since this request is now
+  // satisfied.
+  copies_.ckpt_cow_bytes += pipe_.app_end().send_cow(
+      ctx, net::PipeFrame(pipe_writer(PipeMsg::kCkptImage).take(),
+                          SharedBuffer(std::move(image))));
+  ckpt_requested_ = false;
 }
 
 std::optional<Buffer> V2Device::take_restart_image(sim::Context& ctx) {

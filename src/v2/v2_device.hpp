@@ -15,8 +15,13 @@ namespace mpiv::v2 {
 
 class V2Device final : public mpi::Device {
  public:
-  V2Device(net::Pipe& pipe, mpi::Rank rank, mpi::Rank size)
-      : pipe_(pipe), rank_(rank), size_(size) {}
+  /// `blocking_ckpt` selects the checkpoint handoff: false (default, the
+  /// incremental datapath) hands the image to the daemon copy-on-write and
+  /// resumes immediately; true waits for the daemon's kCkptOk (the legacy
+  /// full-image protocol). Must match Daemon::config_.full_image_ckpt.
+  V2Device(net::Pipe& pipe, mpi::Rank rank, mpi::Rank size,
+           bool blocking_ckpt = false)
+      : pipe_(pipe), rank_(rank), size_(size), blocking_ckpt_(blocking_ckpt) {}
 
   void init(sim::Context& ctx) override;
   void finish(sim::Context& ctx) override;
@@ -47,6 +52,7 @@ class V2Device final : public mpi::Device {
   net::Pipe& pipe_;
   mpi::Rank rank_;
   mpi::Rank size_;
+  bool blocking_ckpt_ = false;
   bool ckpt_requested_ = false;
 };
 

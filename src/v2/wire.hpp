@@ -160,13 +160,60 @@ enum class ElMsg : std::uint8_t {
 // ---------------------------------------------------------------- daemon <-> checkpoint server
 
 enum class CsMsg : std::uint8_t {
+  // Legacy full-image path (kept for the A/B ablation and raw-wire tests).
   kStoreBegin = 1,  // {rank, ckpt_seq, total_bytes}
   kStoreChunk,      // {bytes}
   kStoreEnd,        // {}
-  kStoreOk,         // {ckpt_seq}
+  kStoreOk,         // {ckpt_seq}  (also acknowledges kDeltaEnd)
   kFetch,           // {rank}
   kImage,           // {found, ckpt_seq, blob}
+  // Incremental (chunked-delta) path. The chunk table — per-chunk content
+  // hashes of the whole image — is replicated to every stripe server;
+  // chunk *data* goes only to the owning stripe (hash % stripe_count) and
+  // only when the content differs from the last stable image.
+  kDeltaBegin,      // {rank, chunk_table}
+  kDeltaChunk,      // {ckpt_seq, index, bytes...}
+  kDeltaEnd,        // {ckpt_seq}
+  kChunkQuery,      // {rank}  restart: which tables do you hold for me?
+  kChunkInfo,       // {n, n x {chunk_table, owned_complete}}
+  kFetchChunk,      // {rank, ckpt_seq, index}
+  kChunk,           // {index, found, blob}
 };
+
+/// Per-image chunk table: the metadata every stripe server replicates.
+/// hashes[i] covers image bytes [i*chunk_size, min((i+1)*chunk_size, total));
+/// chunk i lives on stripe server hashes[i] % stripe_count.
+struct ChunkTable {
+  std::uint64_t ckpt_seq = 0;
+  std::uint32_t chunk_size = 0;
+  std::uint64_t total_bytes = 0;
+  std::vector<std::uint64_t> hashes;
+
+  [[nodiscard]] std::size_t owner_of(std::size_t index,
+                                     std::size_t stripe_count) const {
+    return static_cast<std::size_t>(hashes[index] %
+                                    static_cast<std::uint64_t>(stripe_count));
+  }
+};
+
+inline void write_chunk_table(Writer& w, const ChunkTable& t) {
+  w.u64(t.ckpt_seq);
+  w.u32(t.chunk_size);
+  w.u64(t.total_bytes);
+  w.u32(static_cast<std::uint32_t>(t.hashes.size()));
+  for (std::uint64_t h : t.hashes) w.u64(h);
+}
+
+inline ChunkTable read_chunk_table(Reader& r) {
+  ChunkTable t;
+  t.ckpt_seq = r.u64();
+  t.chunk_size = r.u32();
+  t.total_bytes = r.u64();
+  std::uint32_t n = r.u32();
+  t.hashes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) t.hashes.push_back(r.u64());
+  return t;
+}
 
 // ---------------------------------------------------------------- daemon <-> dispatcher & scheduler
 

@@ -1,0 +1,427 @@
+// Tests for the incremental checkpoint datapath: chunked delta uploads,
+// content-addressed dedup and refcounting on the stripe servers, the
+// two-table pinning rule, striped restart fetch, copy-on-write capture
+// accounting, and the garbage-collection protocol (event-log prune +
+// peer CkptNotify) that a stable checkpoint triggers.
+#include <gtest/gtest.h>
+
+#include "apps/iter_ckpt.hpp"
+#include "apps/token_ring.hpp"
+#include "common/hash.hpp"
+#include "net/network.hpp"
+#include "runtime/job.hpp"
+#include "services/ckpt_server.hpp"
+#include "sim/engine.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv {
+namespace {
+
+using runtime::DeviceKind;
+using runtime::JobConfig;
+using runtime::JobResult;
+using services::CkptServer;
+
+// ------------------------------------------------ wire-level delta client
+
+/// Fixture hosting `stripes` checkpoint servers (one per node) plus a
+/// scripted client fiber speaking the raw delta protocol.
+struct StripeFixture {
+  explicit StripeFixture(int stripes) {
+    for (int s = 0; s < stripes; ++s) {
+      CkptServer::Config cc;
+      cc.node = net.add_node("cs" + std::to_string(s));
+      cc.stripe_index = s;
+      cc.stripe_count = stripes;
+      nodes.push_back(cc.node);
+      servers.push_back(std::make_unique<CkptServer>(net, cc));
+      CkptServer* cs = servers.back().get();
+      eng.spawn("cs" + std::to_string(s),
+                [cs](sim::Context& ctx) { cs->run(ctx); });
+    }
+  }
+
+  std::vector<net::Conn*> connect_all(sim::Context& ctx, net::Endpoint& ep) {
+    std::vector<net::Conn*> out;
+    for (net::NodeId node : nodes) {
+      net::Conn* c =
+          net.connect_retry(ctx, ep, {node, v2::kCkptServerPort},
+                            milliseconds(1), ctx.now() + seconds(5));
+      EXPECT_NE(c, nullptr);
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  sim::Engine eng;
+  net::Network net{eng, net::NetParams{}};
+  net::NodeId client_node = net.add_node("client");
+  std::vector<net::NodeId> nodes;
+  std::vector<std::unique_ptr<CkptServer>> servers;
+};
+
+Buffer patterned(std::size_t n, std::uint64_t tag) {
+  Buffer b(n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull ^ tag;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    b[i] = static_cast<std::byte>(x >> 56);
+  }
+  return b;
+}
+
+/// Upload `image` as a chunked delta against `base` (the previous image's
+/// chunk hashes, empty for a first checkpoint), exactly as the daemon
+/// does: the table goes to every stripe, data only to the owning stripe
+/// and only for chunks whose hash changed. Waits for every StoreOk.
+void delta_upload(sim::Context& ctx, net::Endpoint& ep,
+                  const std::vector<net::Conn*>& stripes, mpi::Rank rank,
+                  std::uint64_t seq, const Buffer& image, std::uint32_t chunk,
+                  const std::vector<std::uint64_t>& base = {}) {
+  auto hashes = chunk_hashes(image, chunk);
+  const auto nstripes = static_cast<std::uint64_t>(stripes.size());
+  for (net::Conn* c : stripes) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(v2::CsMsg::kDeltaBegin));
+    w.i32(rank);
+    v2::ChunkTable t;
+    t.ckpt_seq = seq;
+    t.chunk_size = chunk;
+    t.total_bytes = image.size();
+    t.hashes = hashes;
+    v2::write_chunk_table(w, t);
+    c->send(ctx, w.take());
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    if (i < base.size() && base[i] == hashes[i]) continue;
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(v2::CsMsg::kDeltaChunk));
+    w.u64(seq);
+    w.u32(static_cast<std::uint32_t>(i));
+    std::size_t len = chunk_len(image.size(), chunk, i);
+    w.raw(image.data() + i * chunk, len);
+    stripes[hashes[i] % nstripes]->send(ctx, w.take());
+  }
+  for (net::Conn* c : stripes) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(v2::CsMsg::kDeltaEnd));
+    w.u64(seq);
+    c->send(ctx, w.take());
+  }
+  for (std::size_t acked = 0; acked < stripes.size();) {
+    net::NetEvent ev = ep.wait(ctx);
+    Reader r(ev.data);
+    ASSERT_EQ(static_cast<v2::CsMsg>(r.u8()), v2::CsMsg::kStoreOk);
+    EXPECT_EQ(r.u64(), seq);
+    ++acked;
+  }
+}
+
+TEST(CkptDelta, DedupSharesChunksAcrossCheckpoints) {
+  StripeFixture f(1);
+  constexpr std::uint32_t kChunk = 1024;
+  // Second image changes only chunk 1 of four.
+  Buffer img1 = patterned(4 * kChunk, 7);
+  Buffer img2 = img1;
+  Buffer dirty = patterned(kChunk, 8);
+  std::copy(dirty.begin(), dirty.end(), img2.begin() + kChunk);
+
+  Buffer fetched;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    auto conns = f.connect_all(ctx, ep);
+    delta_upload(ctx, ep, conns, 3, 1, img1, kChunk);
+    delta_upload(ctx, ep, conns, 3, 2, img2, kChunk,
+                 chunk_hashes(img1, kChunk));
+    // Legacy whole-image fetch reconstructs the newest table (1 stripe).
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(v2::CsMsg::kFetch));
+    w.i32(3);
+    conns[0]->send(ctx, w.take());
+    net::NetEvent ev = ep.wait(ctx);
+    Reader r(ev.data);
+    ASSERT_EQ(static_cast<v2::CsMsg>(r.u8()), v2::CsMsg::kImage);
+    ASSERT_TRUE(r.boolean());
+    EXPECT_EQ(r.u64(), 2u);
+    fetched = r.blob();
+  });
+  f.eng.run();
+  EXPECT_EQ(fetched, img2);
+  const CkptServer& cs = *f.servers[0];
+  EXPECT_EQ(cs.images_stored(), 2u);
+  // Five distinct chunk contents exist; the three unchanged ones were
+  // neither re-sent nor re-stored.
+  EXPECT_EQ(cs.content_entries(), 5u);
+  EXPECT_EQ(cs.chunk_bytes_received(), 5u * kChunk);
+  EXPECT_EQ(cs.stored_bytes(), 5u * kChunk);
+}
+
+TEST(CkptDelta, TwoNewestTablesPinnedOlderContentEvicted) {
+  StripeFixture f(1);
+  constexpr std::uint32_t kChunk = 512;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    auto conns = f.connect_all(ctx, ep);
+    // Three checkpoints with fully distinct content (2 chunks each).
+    for (std::uint64_t seq : {1, 2, 3}) {
+      delta_upload(ctx, ep, conns, 0, seq, patterned(2 * kChunk, seq), kChunk);
+    }
+  });
+  f.eng.run();
+  // Only the two newest tables stay pinned; seq 1's chunks lost their last
+  // reference and were evicted from the content store.
+  EXPECT_EQ(f.servers[0]->content_entries(), 4u);
+  EXPECT_EQ(f.servers[0]->stored_bytes(), 4u * kChunk);
+  EXPECT_EQ(f.servers[0]->images_stored(), 3u);
+}
+
+TEST(CkptDelta, AbandonedUploadInstallsNothing) {
+  StripeFixture f(1);
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    auto conns = f.connect_all(ctx, ep);
+    Buffer img = patterned(2048, 1);
+    auto hashes = chunk_hashes(img, 1024);
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(v2::CsMsg::kDeltaBegin));
+    w.i32(5);
+    v2::ChunkTable t;
+    t.ckpt_seq = 1;
+    t.chunk_size = 1024;
+    t.total_bytes = img.size();
+    t.hashes = hashes;
+    v2::write_chunk_table(w, t);
+    conns[0]->send(ctx, w.take());
+    Writer cw;
+    cw.u8(static_cast<std::uint8_t>(v2::CsMsg::kDeltaChunk));
+    cw.u64(1);
+    cw.u32(0);
+    cw.raw(img.data(), 1024);
+    conns[0]->send(ctx, cw.take());
+    // Daemon dies before kDeltaEnd: the staged session must not leak into
+    // the store.
+    ctx.sleep(milliseconds(1));
+  });
+  f.eng.run();
+  EXPECT_FALSE(f.servers[0]->has_image(5));
+  EXPECT_EQ(f.servers[0]->content_entries(), 0u);
+  EXPECT_EQ(f.servers[0]->images_stored(), 0u);
+}
+
+TEST(CkptDelta, StripedUploadQueryAndChunkFetch) {
+  StripeFixture f(3);
+  constexpr std::uint32_t kChunk = 1024;
+  Buffer img = patterned(6 * kChunk + 100, 42);  // short last chunk
+  auto hashes = chunk_hashes(img, kChunk);
+  Buffer reassembled;
+  std::vector<std::uint32_t> tables_seen;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    auto conns = f.connect_all(ctx, ep);
+    delta_upload(ctx, ep, conns, 9, 1, img, kChunk);
+
+    // Every stripe must report the (replicated) table as complete for the
+    // chunks it owns.
+    for (net::Conn* c : conns) {
+      Writer q;
+      q.u8(static_cast<std::uint8_t>(v2::CsMsg::kChunkQuery));
+      q.i32(9);
+      c->send(ctx, q.take());
+      net::NetEvent ev = ep.wait(ctx);
+      Reader r(ev.data);
+      ASSERT_EQ(static_cast<v2::CsMsg>(r.u8()), v2::CsMsg::kChunkInfo);
+      std::uint32_t n = r.u32();
+      tables_seen.push_back(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        v2::ChunkTable t = v2::read_chunk_table(r);
+        EXPECT_EQ(t.ckpt_seq, 1u);
+        EXPECT_EQ(t.total_bytes, img.size());
+        EXPECT_TRUE(r.boolean());
+      }
+    }
+
+    // Fetch every chunk from its owning stripe and reassemble.
+    reassembled.resize(img.size());
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::CsMsg::kFetchChunk));
+      w.i32(9);
+      w.u64(1);
+      w.u32(static_cast<std::uint32_t>(i));
+      conns[hashes[i] % 3]->send(ctx, w.take());
+      net::NetEvent ev = ep.wait(ctx);
+      Reader r(ev.data);
+      ASSERT_EQ(static_cast<v2::CsMsg>(r.u8()), v2::CsMsg::kChunk);
+      std::uint32_t index = r.u32();
+      ASSERT_TRUE(r.boolean());
+      Buffer bytes = r.blob();
+      std::copy(bytes.begin(), bytes.end(),
+                reassembled.begin() + index * kChunk);
+    }
+  });
+  f.eng.run();
+  EXPECT_EQ(tables_seen, (std::vector<std::uint32_t>{1, 1, 1}));
+  EXPECT_EQ(reassembled, img);
+  // Chunk data landed only on its owner: stripes partition the bytes.
+  std::uint64_t total = 0;
+  for (const auto& cs : f.servers) total += cs->chunk_bytes_received();
+  EXPECT_EQ(total, img.size());
+}
+
+// ------------------------------------------------------- job-level paths
+
+std::vector<Buffer> outputs(const JobResult& r) {
+  std::vector<Buffer> out;
+  for (const auto& rr : r.ranks) out.push_back(rr.output);
+  return out;
+}
+
+runtime::AppFactory iter_factory(const apps::IterCkptApp::Params& p) {
+  return [p](mpi::Rank rank, mpi::Rank) {
+    return std::make_unique<apps::IterCkptApp>(rank, p);
+  };
+}
+
+apps::IterCkptApp::Params small_iter_params() {
+  apps::IterCkptApp::Params p;
+  p.iters = 20;
+  p.static_bytes = 96 * 1024;
+  p.dynamic_bytes = 16 * 1024;
+  p.token_bytes = 2 * 1024;
+  p.compute_per_iter = milliseconds(3);
+  return p;
+}
+
+JobConfig ckpt_cfg(int nprocs, int stripes, bool full_image = false) {
+  JobConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.device = DeviceKind::kV2;
+  cfg.checkpointing = true;
+  cfg.ckpt_period = milliseconds(2);
+  cfg.first_ckpt_after = milliseconds(5);
+  cfg.n_ckpt_servers = stripes;
+  cfg.v2_full_image_ckpt = full_image;
+  cfg.net_params.ckpt_chunk_bytes = 16 * 1024;
+  cfg.restart_delay = milliseconds(20);
+  cfg.time_limit = seconds(600);
+  return cfg;
+}
+
+TEST(CkptGc, StableCheckpointShrinksElStoreAndSenderLogs) {
+  JobConfig cfg = ckpt_cfg(4, 1);
+  JobResult res = run_job(cfg, iter_factory(small_iter_params()));
+  ASSERT_TRUE(res.success);
+  ASSERT_GT(res.checkpoints_stored, 4u);
+  // Peer CkptNotify dropped stable entries from the sender logs...
+  EXPECT_GT(res.daemon_stats.gc_pruned_entries, 0u);
+  // ...and ElMsg::kPrune removed the pre-checkpoint events from the EL
+  // store: what remains is strictly less than everything ever logged.
+  EXPECT_LT(res.el_events_stored, res.daemon_stats.events_logged);
+  EXPECT_GT(res.el_events_stored, 0u);
+}
+
+TEST(CkptGc, CrashNearCheckpointStabilityStillRecovers) {
+  JobConfig cfg = ckpt_cfg(4, 1);
+  auto factory = iter_factory(small_iter_params());
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+  ASSERT_GT(clean.checkpoints_stored, 2u);
+  // Sweep kill times across the checkpoint cycle so some land in the
+  // window between image stability at the servers and the completion of
+  // the prune/notify messages it triggers. Recovery must hold everywhere.
+  for (double frac : {0.30, 0.42, 0.54, 0.66, 0.78, 0.90}) {
+    JobConfig fcfg = cfg;
+    fcfg.fault_plan = faults::FaultPlan::simultaneous(
+        static_cast<SimTime>(frac * clean.makespan), {1});
+    JobResult res = run_job(fcfg, factory);
+    ASSERT_TRUE(res.success) << "kill fraction " << frac;
+    EXPECT_GE(res.restarts, 1) << "kill fraction " << frac;
+    EXPECT_EQ(outputs(res), outputs(clean)) << "kill fraction " << frac;
+  }
+}
+
+TEST(CkptStriped, RestartFetchesImageAcrossStripes) {
+  JobConfig cfg = ckpt_cfg(4, 3);
+  auto factory = iter_factory(small_iter_params());
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+  ASSERT_GT(clean.checkpoints_stored, 2u);
+
+  JobConfig fcfg = cfg;
+  fcfg.fault_plan = faults::FaultPlan::simultaneous(
+      static_cast<SimTime>(0.7 * clean.makespan), {2});
+  JobResult res = run_job(fcfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  // The restart pulled a real image chunk-wise from the stripe set.
+  EXPECT_GT(res.daemon_stats.ckpt_fetch_bytes, 0u);
+  EXPECT_GT(res.daemon_stats.ckpt_fetch_ns, 0u);
+  EXPECT_EQ(outputs(res), outputs(clean));
+}
+
+TEST(CkptStriped, SurvivesStripeServerCrashMidUploadStorm) {
+  // FaultStorm-style: random rank faults layered on top of stripe 0
+  // crashing (and rebooting with its stable storage) one third into the
+  // run — continuous checkpointing guarantees uploads are in flight then.
+  JobConfig cfg = ckpt_cfg(4, 2);
+  auto factory = iter_factory(small_iter_params());
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+  for (std::uint64_t seed : {1, 2, 3}) {
+    JobConfig fcfg = cfg;
+    fcfg.ckpt_server_fails_at = clean.makespan / 3;
+    fcfg.fault_plan = faults::FaultPlan::random_arrivals(
+        to_seconds(clean.makespan) / 2.0, milliseconds(5),
+        clean.makespan * 2, 3, seed);
+    JobResult res = run_job(fcfg, factory);
+    ASSERT_TRUE(res.success) << "seed " << seed;
+    EXPECT_EQ(outputs(res), outputs(clean)) << "seed " << seed;
+  }
+}
+
+TEST(CkptCow, CaptureIsNonBlockingAndChargesOnlyDirtyBytes) {
+  JobConfig cfg = ckpt_cfg(4, 1);
+  JobResult res = run_job(cfg, iter_factory(small_iter_params()));
+  ASSERT_TRUE(res.success);
+  ASSERT_GT(res.daemon_stats.checkpoints_taken, 4u);
+  std::uint64_t captured = 0, cow = 0;
+  for (const auto& rr : res.ranks) {
+    captured += rr.copies.ckpt_bytes_captured;
+    cow += rr.copies.ckpt_cow_bytes;
+  }
+  ASSERT_GT(captured, 0u);
+  ASSERT_GT(cow, 0u);
+  // From the second capture per rank on, only dirty chunks are memcpy'd:
+  // the copy-on-write charge stays well under the bytes handed over.
+  EXPECT_LT(cow, captured);
+  // And the upload deduped unchanged chunks against the stable base.
+  EXPECT_GT(res.daemon_stats.ckpt_bytes_deduped, 0u);
+
+  // The full-image ablation blocks the app instead: it never takes the
+  // copy-on-write path.
+  JobConfig full = ckpt_cfg(4, 1, /*full_image=*/true);
+  JobResult fres = run_job(full, iter_factory(small_iter_params()));
+  ASSERT_TRUE(fres.success);
+  std::uint64_t fcow = 0;
+  for (const auto& rr : fres.ranks) fcow += rr.copies.ckpt_cow_bytes;
+  EXPECT_EQ(fcow, 0u);
+  EXPECT_EQ(outputs(fres), outputs(res));
+}
+
+TEST(CkptAblation, FullImageAndDeltaRecoverIdentically) {
+  auto factory = iter_factory(small_iter_params());
+  JobResult refr = run_job(ckpt_cfg(4, 1), factory);
+  ASSERT_TRUE(refr.success);
+  for (bool full_image : {false, true}) {
+    JobConfig cfg = ckpt_cfg(4, full_image ? 1 : 2, full_image);
+    cfg.fault_plan = faults::FaultPlan::simultaneous(
+        static_cast<SimTime>(0.6 * refr.makespan), {1, 3});
+    JobResult res = run_job(cfg, factory);
+    ASSERT_TRUE(res.success) << "full_image=" << full_image;
+    EXPECT_GE(res.restarts, 2) << "full_image=" << full_image;
+    EXPECT_EQ(outputs(res), outputs(refr)) << "full_image=" << full_image;
+  }
+}
+
+}  // namespace
+}  // namespace mpiv
