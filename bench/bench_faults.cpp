@@ -90,13 +90,47 @@ int main(int argc, char** argv) {
                   res.restarts);
     json_rows += buf;
   }
+  // Event-logger replication: the cost of quorum-acked logging (a 2f+1
+  // replica group instead of a single logger) and the behaviour when one
+  // replica is killed mid-run and never revived.
+  runtime::JobConfig q3 = base;
+  q3.el_replication = 3;
+  runtime::JobResult quorum3 = run_job(q3, factory);
+  double quorum3_s = quorum3.success ? to_seconds(quorum3.makespan) : -1.0;
+
+  q3.fault_plan = faults::FaultPlan::service_kill(
+      ref.makespan / 3, faults::FaultTarget::kEventLogger, 1,
+      /*revive=*/false);
+  q3.time_limit = seconds(3600);
+  runtime::JobResult elkill = run_job(q3, factory);
+  double elkill_s = elkill.success ? to_seconds(elkill.makespan) : -1.0;
+
   if (json.active()) {
-    json.printf("{\n  \"reference_s\": %.4f,\n  \"faults\": [\n%s\n  ]\n}\n",
-                ref_s, json_rows.c_str());
+    json.printf(
+        "{\n  \"reference_s\": %.4f,\n  \"faults\": [\n%s\n  ],\n"
+        "  \"el\": {\"replication\": 3, \"single_el_s\": %.4f, "
+        "\"quorum3_s\": %.4f, \"quorum_overhead\": %.3f, "
+        "\"el_kill_s\": %.4f, \"el_kill_ok\": %s, "
+        "\"quorum_waits\": %llu, \"replica_retries\": %llu}\n}\n",
+        ref_s, json_rows.c_str(), ref_s, quorum3_s, quorum3_s / ref_s,
+        elkill_s, elkill.success ? "true" : "false",
+        static_cast<unsigned long long>(elkill.daemon_stats.el_quorum_waits),
+        static_cast<unsigned long long>(
+            elkill.daemon_stats.el_replica_retries));
     return 0;
   }
   std::printf("%s", table.render().c_str());
   std::printf(
       "\nPaper: <2x the reference time at 9 faults; smooth degradation.\n");
+  std::printf(
+      "\nEvent-logger replication (no checkpoints, no compute faults):\n"
+      "  single logger          : %.3f s\n"
+      "  2f+1 quorum (r=3)      : %.3f s  (%.2fx)\n"
+      "  r=3, one replica killed: %.3f s  (%s; quorum waits %llu, "
+      "replica retries %llu)\n",
+      ref_s, quorum3_s, quorum3_s / ref_s, elkill_s,
+      elkill.success ? "completed" : "FAILED",
+      static_cast<unsigned long long>(elkill.daemon_stats.el_quorum_waits),
+      static_cast<unsigned long long>(elkill.daemon_stats.el_replica_retries));
   return 0;
 }

@@ -1,10 +1,11 @@
-// Fault plans: when to kill which rank's node.
+// Fault plans: when to kill which rank's node — or which service node.
 //
 // Plans are data (scripted or generated from a seeded RNG), applied by the
 // runtime as kill_node events — identical runs with identical plans are
 // bit-reproducible.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -13,9 +14,23 @@
 
 namespace mpiv::faults {
 
+/// What a fault event kills. Compute faults kill the node hosting a rank
+/// (daemon + app); service faults kill a fault-tolerance service node —
+/// testing that the services themselves survive faults.
+enum class FaultTarget : std::uint8_t {
+  kCompute = 0,
+  kEventLogger,   // rank = replica index; volatile store (cleared on revive)
+  kCkptServer,    // rank = stripe index; stable store (kept across reboot)
+};
+
 struct FaultEvent {
   SimTime at = 0;
+  /// Rank for compute faults; service instance index otherwise.
   mpi::Rank rank = 0;
+  FaultTarget target = FaultTarget::kCompute;
+  /// Service faults only: revive the node (after the runtime's restart
+  /// delay). A non-revived service stays down for the rest of the run.
+  bool revive = true;
 };
 
 struct FaultPlan {
@@ -62,6 +77,62 @@ struct FaultPlan {
   static FaultPlan simultaneous(SimTime at, std::vector<mpi::Rank> ranks) {
     FaultPlan plan;
     for (mpi::Rank r : ranks) plan.events.push_back(FaultEvent{at, r});
+    return plan;
+  }
+
+  /// Kill service instance `index` at `at`; revived after the runtime's
+  /// restart delay unless `revive` is false.
+  static FaultPlan service_kill(SimTime at, FaultTarget target, int index,
+                                bool revive = true) {
+    FaultPlan plan;
+    plan.events.push_back(FaultEvent{at, index, target, revive});
+    return plan;
+  }
+
+  /// Appends another plan's events (keeps the whole list time-sorted).
+  FaultPlan& merge(const FaultPlan& other) {
+    events.insert(events.end(), other.events.begin(), other.events.end());
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.at < b.at;
+                     });
+    return *this;
+  }
+
+  /// Torture generator: `compute_kills` uniform over [first, first+window)
+  /// across all ranks, plus `el_kills` event-logger replica reboots on a
+  /// jittered grid with at least `el_min_spacing` between them. Serializing
+  /// the EL outages keeps at most one replica down at a time, which a 2f+1
+  /// group with f >= 1 tolerates by design; concurrent EL losses beyond f
+  /// are out of contract.
+  static FaultPlan random_mixed(int compute_kills, int el_kills, SimTime first,
+                                SimDuration window, mpi::Rank nranks,
+                                int n_event_loggers,
+                                SimDuration el_min_spacing,
+                                std::uint64_t seed) {
+    FaultPlan plan;
+    Rng rng(seed);
+    for (int i = 0; i < compute_kills; ++i) {
+      SimTime at = first + static_cast<SimTime>(
+                               rng.uniform() * static_cast<double>(window));
+      plan.events.push_back(FaultEvent{
+          at, static_cast<mpi::Rank>(
+                  rng.below(static_cast<std::uint64_t>(nranks)))});
+    }
+    for (int i = 0; i < el_kills; ++i) {
+      SimTime at = first + i * el_min_spacing +
+                   static_cast<SimTime>(rng.uniform() *
+                                        static_cast<double>(el_min_spacing) / 2);
+      plan.events.push_back(FaultEvent{
+          at,
+          static_cast<mpi::Rank>(
+              rng.below(static_cast<std::uint64_t>(n_event_loggers))),
+          FaultTarget::kEventLogger, /*revive=*/true});
+    }
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.at < b.at;
+                     });
     return plan;
   }
 };

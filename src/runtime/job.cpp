@@ -68,12 +68,63 @@ class Cluster {
     for (const faults::FaultEvent& f : cfg_.fault_plan.events) {
       MPIV_CHECK(cfg_.device != DeviceKind::kP4,
                  "fault plans require a fault-tolerant device");
-      mpi::Rank rank = f.rank;
-      eng_.schedule_at(f.at, [this, rank] {
-        if (disp_ == nullptr || !disp_->job_complete()) {
-          net_.kill_node(node_of_rank_[static_cast<std::size_t>(rank)]);
+      switch (f.target) {
+        case faults::FaultTarget::kCompute: {
+          mpi::Rank rank = f.rank;
+          eng_.schedule_at(f.at, [this, rank] {
+            if (disp_ == nullptr || !disp_->job_complete()) {
+              net_.kill_node(node_of_rank_[static_cast<std::size_t>(rank)]);
+            }
+          });
+          break;
         }
-      });
+        case faults::FaultTarget::kEventLogger: {
+          MPIV_CHECK(cfg_.device == DeviceKind::kV2,
+                     "event-logger faults require the V2 device");
+          auto idx = static_cast<std::size_t>(f.rank) % els_.size();
+          eng_.schedule_at(f.at, [this, idx] {
+            if (disp_ == nullptr || !disp_->job_complete()) {
+              net_.kill_node(el_nodes_[idx]);
+            }
+          });
+          if (f.revive) {
+            // Volatile store: the replica reboots empty; the daemons that
+            // use it resync it from their in-memory logs.
+            eng_.schedule_at(f.at + cfg_.restart_delay, [this, idx] {
+              if (disp_ != nullptr && disp_->job_complete()) return;
+              net_.revive_node(el_nodes_[idx]);
+              els_[idx]->clear();
+              sim::Process* p = eng_.spawn(
+                  "event-logger" + std::to_string(idx) + "'",
+                  [srv = els_[idx].get()](sim::Context& ctx) { srv->run(ctx); });
+              net_.register_process(el_nodes_[idx], p);
+            });
+          }
+          break;
+        }
+        case faults::FaultTarget::kCkptServer: {
+          MPIV_CHECK(cfg_.device == DeviceKind::kV2,
+                     "ckpt-server faults require the V2 device");
+          auto idx = static_cast<std::size_t>(f.rank) % css_.size();
+          eng_.schedule_at(f.at, [this, idx] {
+            if (disp_ == nullptr || !disp_->job_complete()) {
+              net_.kill_node(cs_nodes_[idx]);
+            }
+          });
+          if (f.revive) {
+            // Stable storage: the stripe reboots with its store intact.
+            eng_.schedule_at(f.at + cfg_.restart_delay, [this, idx] {
+              if (disp_ != nullptr && disp_->job_complete()) return;
+              net_.revive_node(cs_nodes_[idx]);
+              sim::Process* p = eng_.spawn(
+                  "ckpt-server" + std::to_string(idx) + "'",
+                  [srv = css_[idx].get()](sim::Context& ctx) { srv->run(ctx); });
+              net_.register_process(cs_nodes_[idx], p);
+            });
+          }
+          break;
+        }
+      }
     }
     if (cfg_.ckpt_server_fails_at >= 0) {
       eng_.schedule_at(cfg_.ckpt_server_fails_at,
@@ -122,6 +173,17 @@ class Cluster {
       out.daemon_stats.payload_copies_tx += s.payload_copies_tx;
       out.daemon_stats.payload_copies_rx += s.payload_copies_rx;
       out.daemon_stats.el_appends += s.el_appends;
+      out.daemon_stats.el_quorum_waits += s.el_quorum_waits;
+      out.daemon_stats.el_replica_retries += s.el_replica_retries;
+      if (out.daemon_stats.el_replica_max_lag.size() <
+          s.el_replica_max_lag.size()) {
+        out.daemon_stats.el_replica_max_lag.resize(s.el_replica_max_lag.size(),
+                                                   0);
+      }
+      for (std::size_t i = 0; i < s.el_replica_max_lag.size(); ++i) {
+        out.daemon_stats.el_replica_max_lag[i] = std::max(
+            out.daemon_stats.el_replica_max_lag[i], s.el_replica_max_lag[i]);
+      }
       out.daemon_stats.ckpt_bytes_sent += s.ckpt_bytes_sent;
       out.daemon_stats.ckpt_bytes_deduped += s.ckpt_bytes_deduped;
       out.daemon_stats.ckpt_fetch_bytes += s.ckpt_fetch_bytes;
@@ -131,7 +193,11 @@ class Cluster {
     // per-checkpoint figure regardless of stripe fan-out.
     if (!css_.empty()) out.checkpoints_stored = css_.front()->images_stored();
     for (const auto& cs : css_) out.ckpt_stored_bytes += cs->stored_bytes();
-    for (const auto& el : els_) out.el_events_stored += el->total_events_stored();
+    for (const auto& el : els_) {
+      out.el_events_stored += el->total_events_stored();
+      out.el_stores_consistent =
+          out.el_stores_consistent && el->store_consistent();
+    }
     return out;
   }
 
@@ -197,16 +263,16 @@ class Cluster {
   void start_v2() {
     latest_daemon_.assign(static_cast<std::size_t>(cfg_.nprocs), nullptr);
 
-    // One or several event loggers; rank r binds to logger r % n. The
-    // first logger shares the frontend; extra ones get reliable nodes of
-    // their own.
-    int nels = std::max(1, cfg_.n_event_loggers);
+    // Event loggers, each on a node of its own so a fault plan can kill
+    // any one of them without taking the dispatcher down. The cluster
+    // provisions enough loggers for the requested replica groups.
+    int nels = std::max({1, cfg_.n_event_loggers, cfg_.el_replication});
     for (int i = 0; i < nels; ++i) {
-      net::NodeId el_node =
-          i == 0 ? svc_node_ : net_.add_node("el" + std::to_string(i));
+      net::NodeId el_node = net_.add_node("el" + std::to_string(i));
+      el_nodes_.push_back(el_node);
       els_.push_back(std::make_unique<services::EventLoggerServer>(
-          net_, services::EventLoggerServer::Config{el_node}));
-      el_addrs_.push_back({el_node, v2::kEventLoggerPort});
+          net_, services::EventLoggerServer::Config{el_node, cfg_.el_port}));
+      el_addrs_.push_back({el_node, cfg_.el_port});
       sim::Process* pel = eng_.spawn(
           "event-logger" + std::to_string(i),
           [srv = els_.back().get()](sim::Context& ctx) { srv->run(ctx); });
@@ -219,6 +285,7 @@ class Cluster {
     for (int i = 0; i < nstripes; ++i) {
       net::NodeId node =
           i == 0 ? cs_node_ : net_.add_node("cs" + std::to_string(i));
+      cs_nodes_.push_back(node);
       services::CkptServer::Config ccfg{node};
       ccfg.stripe_index = i;
       ccfg.stripe_count = nstripes;
@@ -294,8 +361,24 @@ class Cluster {
       dcfg.peer_addrs.push_back({node_of_rank_[static_cast<std::size_t>(q)],
                                  v2::kDaemonPortBase + q});
     }
-    dcfg.event_logger =
-        el_addrs_[static_cast<std::size_t>(rank) % el_addrs_.size()];
+    // Replica group: explicit per-rank placement when configured, else
+    // loggers (rank, rank+1, ...) mod the logger count.
+    if (!cfg_.el_groups.empty()) {
+      const auto& group = cfg_.el_groups[ri];
+      MPIV_CHECK(!group.empty(), "job: empty event-logger group for a rank");
+      for (int idx : group) {
+        dcfg.event_loggers.push_back(
+            el_addrs_[static_cast<std::size_t>(idx) % el_addrs_.size()]);
+      }
+    } else {
+      int repl = std::min(std::max(1, cfg_.el_replication),
+                          static_cast<int>(el_addrs_.size()));
+      for (int j = 0; j < repl; ++j) {
+        dcfg.event_loggers.push_back(
+            el_addrs_[(ri + static_cast<std::size_t>(j)) % el_addrs_.size()]);
+      }
+    }
+    dcfg.el_connect_budget = cfg_.el_connect_budget;
     dcfg.ckpt_servers = cs_addrs_;
     if (cfg_.checkpointing) dcfg.scheduler = {svc_node_, v2::kSchedulerPort};
     dcfg.dispatcher = {svc_node_, v2::kDispatcherPort};
@@ -352,6 +435,8 @@ class Cluster {
   std::vector<v2::Daemon*> latest_daemon_;
   std::vector<std::unique_ptr<services::EventLoggerServer>> els_;
   std::vector<net::Address> el_addrs_;
+  std::vector<net::NodeId> el_nodes_;
+  std::vector<net::NodeId> cs_nodes_;       // stripe order; [0] == cs_node_
   std::vector<net::NodeId> node_of_rank_;   // current placement per rank
   std::vector<net::NodeId> spare_pool_;
   std::vector<std::unique_ptr<services::CkptServer>> css_;  // stripe order

@@ -51,9 +51,26 @@ struct JobConfig {
   /// rejoins the spare pool once revived.
   int spare_nodes = 0;
 
-  /// Several event loggers may serve one system (§4.5); each daemon binds
-  /// to rank % n_event_loggers. Loggers never talk to each other.
+  /// Several event loggers may serve one system (§4.5). By default rank r
+  /// binds to the replica group {r, r+1, ..} mod the logger count; explicit
+  /// groups override this via el_groups. Loggers never talk to each other —
+  /// the daemons replicate. Each logger runs on a node of its own.
   int n_event_loggers = 1;
+  /// Replica group size (2f+1): every daemon appends each reception event
+  /// to this many loggers and the WAITLOGGED gate counts an event as logged
+  /// once a majority acked it. The cluster provisions
+  /// max(n_event_loggers, el_replication) loggers.
+  int el_replication = 1;
+  /// Explicit per-rank replica groups (logger indices). Empty = default
+  /// placement; otherwise one non-empty group per rank.
+  std::vector<std::vector<int>> el_groups;
+  /// Listen port of every event logger (lifted from the old hardcoded
+  /// v2::kEventLoggerPort binding).
+  std::int32_t el_port = v2::kEventLoggerPort;
+  /// Per-replica connect budget for a daemon's EL connects (the analogue of
+  /// cs_connect_budget): setup declares an unreachable replica down after
+  /// this long and proceeds if a quorum is up.
+  SimDuration el_connect_budget = milliseconds(100);
 
   /// Fault injection against the checkpoint server (allowed to be
   /// unreliable, §4.3): kill its node at this time (-1 = never).
@@ -101,6 +118,9 @@ struct JobResult {
   /// images) at job end.
   std::uint64_t ckpt_stored_bytes = 0;
   std::uint64_t el_events_stored = 0;
+  /// Every event-logger store passed its ordering/duplicate-freedom check
+  /// at job end (vacuously true for non-V2 devices).
+  bool el_stores_consistent = true;
 
   [[nodiscard]] SimDuration max_mpi_time() const;
   /// Uniform-output check: true if every rank's output equals rank 0's.

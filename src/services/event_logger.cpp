@@ -8,6 +8,28 @@
 
 namespace mpiv::services {
 
+namespace {
+
+// The (rank, incarnation) a connection announced in its Hello, packed into
+// the connection's user tag.
+std::uint64_t pack_client(mpi::Rank rank, std::int32_t incarnation) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(incarnation))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank));
+}
+
+mpi::Rank client_rank(const net::Conn* conn) {
+  return static_cast<mpi::Rank>(
+      static_cast<std::int32_t>(conn->user_tag & 0xffffffffu));
+}
+
+std::int32_t client_incarnation(const net::Conn* conn) {
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(conn->user_tag >> 32));
+}
+
+}  // namespace
+
 void EventLoggerServer::run(sim::Context& ctx) {
   net::Endpoint ep(net_, config_.node);
   ep.listen(config_.port);
@@ -31,40 +53,77 @@ void EventLoggerServer::handle(sim::Context& ctx, net::Conn* conn,
   auto type = static_cast<v2::ElMsg>(r.u8());
   switch (type) {
     case v2::ElMsg::kHello: {
-      conn->user_tag = static_cast<std::uint64_t>(r.i32());
+      mpi::Rank rank = r.i32();
+      std::int32_t incarnation = r.i32();
+      conn->user_tag = pack_client(rank, incarnation);
+      return;
+    }
+    case v2::ElMsg::kQuery: {
+      PerRank& pr = store_[client_rank(conn)];
+      // A different stored incarnation answers 0: the client must (re)send
+      // its whole live log, which truncates whatever we hold.
+      std::uint64_t next =
+          pr.incarnation == client_incarnation(conn) ? pr.next_seq : 0;
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(v2::ElMsg::kQueryR));
+      w.u64(next);
+      conn->send(ctx, w.take());
       return;
     }
     case v2::ElMsg::kAppend: {
-      auto rank = static_cast<mpi::Rank>(conn->user_tag);
-      auto& events = store_[rank];
+      std::int32_t incarnation = client_incarnation(conn);
+      PerRank& pr = store_[client_rank(conn)];
+      if (incarnation < pr.incarnation) return;  // stale client: drop, no ack
+      if (incarnation > pr.incarnation) {
+        pr.incarnation = incarnation;
+        pr.next_seq = 0;
+        pr.truncate_pending = true;
+      }
+      std::uint64_t first_seq = r.u64();
+      bool resync = r.boolean();
       std::uint32_t n = r.u32();
+      if (first_seq > pr.next_seq) {
+        // Forward gap: only legal on a resync after the client pruned the
+        // skipped history below a stable checkpoint.
+        MPIV_CHECK(resync, "event logger: append sequence gap");
+        pr.next_seq = first_seq;
+      }
       for (std::uint32_t i = 0; i < n; ++i) {
         v2::ReceptionEvent e = v2::read_event(r);
+        if (first_seq + i < pr.next_seq) continue;  // duplicate retransmit
+        if (pr.truncate_pending) {
+          // Drop the stale suffix a previous incarnation appended: the new
+          // incarnation's (merged or re-executed) history supersedes it.
+          auto first_stale =
+              std::find_if(pr.events.begin(), pr.events.end(),
+                           [&e](const v2::ReceptionEvent& old) {
+                             return !v2::event_before(old, e);
+                           });
+          pr.events.erase(first_stale, pr.events.end());
+          pr.truncate_pending = false;
+        }
         // Replayed events are never re-appended, so delivery clocks must
         // advance; probe batches are stamped with the upcoming delivery
         // clock and may share it with the delivery that follows.
-        if (!events.empty()) {
-          const v2::ReceptionEvent& last = events.back();
-          bool ok = e.recv_clock > last.recv_clock ||
-                    (e.recv_clock == last.recv_clock &&
-                     last.kind == v2::ReceptionEvent::Kind::kProbeBatch);
-          MPIV_CHECK(ok, "event logger: non-monotonic reception clock");
+        if (!pr.events.empty()) {
+          const v2::ReceptionEvent& last = pr.events.back();
+          MPIV_CHECK(v2::event_before(last, e),
+                     "event logger: non-monotonic reception clock");
         }
-        events.push_back(e);
+        pr.events.push_back(e);
+        ++pr.next_seq;
       }
-      appended_[rank] += n;
       Writer w;
       w.u8(static_cast<std::uint8_t>(v2::ElMsg::kAck));
-      w.u64(n);  // batch size: the daemon tracks per-incarnation totals
+      w.u64(pr.next_seq);
       conn->send(ctx, w.take());
       return;
     }
     case v2::ElMsg::kDownload: {
-      auto rank = static_cast<mpi::Rank>(conn->user_tag);
       v2::Clock after = r.i64();
       Writer w;
       w.u8(static_cast<std::uint8_t>(v2::ElMsg::kEvents));
-      const auto& events = store_[rank];
+      const auto& events = store_[client_rank(conn)].events;
       auto first = std::find_if(events.begin(), events.end(),
                                 [after](const v2::ReceptionEvent& e) {
                                   return e.recv_clock > after;
@@ -75,9 +134,8 @@ void EventLoggerServer::handle(sim::Context& ctx, net::Conn* conn,
       return;
     }
     case v2::ElMsg::kPrune: {
-      auto rank = static_cast<mpi::Rank>(conn->user_tag);
       v2::Clock upto = r.i64();
-      auto& events = store_[rank];
+      auto& events = store_[client_rank(conn)].events;
       auto first_kept = std::find_if(events.begin(), events.end(),
                                      [upto](const v2::ReceptionEvent& e) {
                                        return e.recv_clock > upto;
@@ -87,6 +145,7 @@ void EventLoggerServer::handle(sim::Context& ctx, net::Conn* conn,
     }
     case v2::ElMsg::kAck:
     case v2::ElMsg::kEvents:
+    case v2::ElMsg::kQueryR:
       break;
   }
   throw ProtocolError("event logger: unexpected message type");
@@ -96,13 +155,22 @@ const std::vector<v2::ReceptionEvent>& EventLoggerServer::events_for(
     mpi::Rank rank) const {
   static const std::vector<v2::ReceptionEvent> kEmpty;
   auto it = store_.find(rank);
-  return it == store_.end() ? kEmpty : it->second;
+  return it == store_.end() ? kEmpty : it->second.events;
 }
 
 std::uint64_t EventLoggerServer::total_events_stored() const {
   std::uint64_t n = 0;
-  for (const auto& [rank, events] : store_) n += events.size();
+  for (const auto& [rank, pr] : store_) n += pr.events.size();
   return n;
+}
+
+bool EventLoggerServer::store_consistent() const {
+  for (const auto& [rank, pr] : store_) {
+    for (std::size_t i = 1; i < pr.events.size(); ++i) {
+      if (!v2::event_before(pr.events[i - 1], pr.events[i])) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace mpiv::services

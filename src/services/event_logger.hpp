@@ -1,11 +1,17 @@
-// Event Logger: the reliable repository of reception events (§4.5).
+// Event Logger: a repository of reception events (§4.5), replicated.
 //
 // Stores, per computing rank, the ordered list of reception events
-// (sender, sender clock, receiver clock, probe count). Appends are
-// acknowledged — the daemon-side WAITLOGGED gate counts these acks. On
-// restart a daemon downloads every event after its checkpoint clock.
-// Several event loggers may serve one system (each daemon binds to exactly
-// one); loggers never talk to each other.
+// (sender, sender clock, receiver clock, probe count). Appends carry a
+// sequence number within the client's (rank, incarnation) and are acked
+// cumulatively — the daemon-side WAITLOGGED gate counts an event as logged
+// when a majority of its replica group acked it. On restart a daemon
+// downloads every event after its checkpoint clock from all reachable
+// replicas and merges the lists. Loggers never talk to each other: the
+// daemon is the replication engine, each logger is a dumb store.
+//
+// A logger's store is volatile: when its node is killed and revived the
+// runner calls clear(), and the owning daemons resync it from their own
+// in-memory copy of the log (kQuery/kQueryR + retransmission).
 #pragma once
 
 #include <map>
@@ -27,22 +33,39 @@ class EventLoggerServer {
   EventLoggerServer(net::Network& net, Config config)
       : net_(net), config_(config) {}
 
-  /// Fiber body; serves until killed (the EL lives on a reliable node).
+  /// Fiber body; serves until killed.
   void run(sim::Context& ctx);
+
+  /// Volatile reboot: a revived replica comes back with empty memory.
+  void clear() { store_.clear(); }
 
   // ---- test/bench introspection ----
   [[nodiscard]] const std::vector<v2::ReceptionEvent>& events_for(
       mpi::Rank rank) const;
   [[nodiscard]] std::uint64_t total_events_stored() const;
+  /// Every per-rank list strictly ordered by the restart-merge order (and
+  /// therefore duplicate-free).
+  [[nodiscard]] bool store_consistent() const;
 
  private:
+  struct PerRank {
+    std::vector<v2::ReceptionEvent> events;
+    /// Newest client incarnation seen appending; older incarnations are
+    /// ignored, a newer one truncates the stale suffix it re-appends over.
+    std::int32_t incarnation = -1;
+    /// Events accepted for that incarnation (resync gaps count as accepted:
+    /// they are history the daemon pruned below a stable checkpoint).
+    std::uint64_t next_seq = 0;
+    /// First accepted append of a new incarnation drops stored events at or
+    /// above its receiver clock — the re-executed history supersedes them.
+    bool truncate_pending = false;
+  };
+
   void handle(sim::Context& ctx, net::Conn* conn, Buffer data);
 
   net::Network& net_;
   Config config_;
-  std::map<mpi::Rank, std::vector<v2::ReceptionEvent>> store_;
-  // Cumulative number of events appended per rank (ack payload).
-  std::map<mpi::Rank, std::uint64_t> appended_;
+  std::map<mpi::Rank, PerRank> store_;
 };
 
 }  // namespace mpiv::services

@@ -144,6 +144,54 @@ runtime::JobConfig ProgramFile::to_job_config() const {
   cfg.n_ckpt_servers = std::max(1, count(Role::kCkptServer));
   cfg.spare_nodes = count(Role::kSpare);
   cfg.checkpointing = count(Role::kCkptScheduler) > 0;
+  // Event-logger placement: `port=` and `replicas=` on event_logger lines
+  // (first occurrence wins), an explicit replica group `el=0,1,2` per
+  // compute line. Ranks without an explicit group get the default
+  // (rank, rank+1, ...) placement — sized by `replicas=` — in JobConfig.
+  bool any_group = false;
+  for (const Machine& m : machines_) {
+    if (m.has_role(Role::kEventLogger)) {
+      auto pit = m.options.find("port");
+      if (pit != m.options.end()) cfg.el_port = std::stoi(pit->second);
+      auto rit = m.options.find("replicas");
+      if (rit != m.options.end()) {
+        cfg.el_replication = std::stoi(rit->second);
+        if (cfg.el_replication < 1 ||
+            cfg.el_replication > cfg.n_event_loggers) {
+          throw ConfigError(
+              "program file: replicas=" + rit->second + " needs between 1 and " +
+              std::to_string(cfg.n_event_loggers) + " event loggers");
+        }
+      }
+    }
+    if (m.has_role(Role::kCompute)) {
+      any_group = any_group || m.options.count("el") > 0;
+    }
+  }
+  if (any_group) {
+    cfg.el_groups.assign(static_cast<std::size_t>(cfg.nprocs), {});
+    for (const Machine& m : machines_) {
+      if (!m.has_role(Role::kCompute)) continue;
+      std::vector<int>& group =
+          cfg.el_groups[static_cast<std::size_t>(m.rank)];
+      auto it = m.options.find("el");
+      if (it != m.options.end()) {
+        for (const std::string& tok : split(it->second, ',')) {
+          int idx = std::stoi(tok);
+          if (idx < 0 || idx >= cfg.n_event_loggers) {
+            throw ConfigError("program file: event-logger index " + tok +
+                              " out of range for rank " +
+                              std::to_string(m.rank));
+          }
+          group.push_back(idx);
+        }
+      } else {
+        for (int j = 0; j < cfg.el_replication; ++j) {
+          group.push_back((m.rank + j) % cfg.n_event_loggers);
+        }
+      }
+    }
+  }
   for (const Machine& m : machines_) {
     if (!m.has_role(Role::kCkptScheduler)) continue;
     auto it = m.options.find("policy");

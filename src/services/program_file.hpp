@@ -3,16 +3,21 @@
 // system and per-machine options:
 //
 //     # machine        roles                          options
-//     frontend         dispatcher,event_logger,ckpt_scheduler  policy=adaptive
+//     frontend         dispatcher,ckpt_scheduler      policy=adaptive
+//     logger0          event_logger                   replicas=3 port=7001
+//     logger1          event_logger
+//     logger2          event_logger
 //     storage0         ckpt_server
-//     node0            compute                         rank=0
+//     node0            compute                        rank=0 el=0,1,2
 //     node1            compute
 //     standby0         spare
 //
-// Ranks are assigned in file order unless given explicitly. The parser
-// validates the topology (exactly one dispatcher, at least one event
-// logger, at least one computing node, contiguous ranks) and converts it
-// into a runtime::JobConfig.
+// Ranks are assigned in file order unless given explicitly. Event-logger
+// options: `replicas=` (group size for default placement) and `port=` on
+// event_logger lines, an explicit per-rank replica group `el=i,j,k` on
+// compute lines. The parser validates the topology (exactly one
+// dispatcher, at least one event logger, at least one computing node,
+// contiguous ranks) and converts it into a runtime::JobConfig.
 #pragma once
 
 #include <map>

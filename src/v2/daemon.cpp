@@ -10,11 +10,14 @@ namespace mpiv::v2 {
 
 namespace {
 // user_tag values for service connections (peer conns use the peer rank).
-constexpr std::uint64_t kTagEl = 1u << 20;
 constexpr std::uint64_t kTagSched = (1u << 20) + 2;
 constexpr std::uint64_t kTagDisp = (1u << 20) + 3;
 // Checkpoint stripe i tags its connection kTagCsBase + i.
 constexpr std::uint64_t kTagCsBase = (1u << 20) + 16;
+// Event-logger replica i tags its connection kTagElBase + i.
+constexpr std::uint64_t kTagElBase = (1u << 20) + 64;
+// Exponential backoff cap for event-logger reconnects.
+constexpr int kElBackoffMaxShift = 6;  // 64x the base retry
 }  // namespace
 
 Daemon::Daemon(net::Network& net, net::Pipe& pipe, DaemonConfig config)
@@ -116,12 +119,163 @@ void Daemon::connect_services(sim::Context& ctx) {
     w.i32(config_.incarnation);
     sched_conn_->send(ctx, w.take());
   }
-  el_conn_ = connect_to(config_.event_logger, kTagEl);
-  MPIV_CHECK(el_conn_ != nullptr, "daemon: an event logger is required");
+  connect_el_quorum(ctx);
+}
+
+net::NetEvent Daemon::wait_for_el(sim::Context& ctx) {
+  auto is_el = [this](net::Conn* c) {
+    for (net::Conn* el : el_conns_) {
+      if (el != nullptr && el == c) return true;
+    }
+    return false;
+  };
+  for (;;) {
+    net::NetEvent ev = endpoint_->wait(ctx);
+    if (is_el(ev.conn) && (ev.type == net::NetEvent::Type::kData ||
+                           ev.type == net::NetEvent::Type::kClosed)) {
+      return ev;
+    }
+    setup_backlog_.push_back(std::move(ev));
+  }
+}
+
+void Daemon::connect_el_quorum(sim::Context& ctx) {
+  const std::size_t nel = config_.event_loggers.size();
+  MPIV_CHECK(nel >= 1, "daemon: at least one event logger is required");
+  el_conns_.assign(nel, nullptr);
+  el_acked_r_.assign(nel, 0);
+  el_sent_.assign(nel, 0);
+  el_synced_.assign(nel, false);
+  el_reconnect_at_.assign(nel, -1);
+  el_backoff_.assign(nel, config_.el_retry);
+  stats_.el_replica_max_lag.assign(nel, 0);
+  const std::size_t quorum = el_quorum(nel);
+  const SimTime deadline = ctx.now() + config_.connect_timeout;
+  for (;;) {
+    for (std::size_t i = 0; i < nel; ++i) {
+      if (el_conns_[i] != nullptr) continue;
+      net::Conn* c =
+          net_.connect_retry(ctx, *endpoint_, config_.event_loggers[i],
+                             milliseconds(2), ctx.now() + config_.el_connect_budget);
+      if (c == nullptr) {
+        // Down replica: leave it to the backoff reconnect path; setup only
+        // needs a quorum.
+        MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank,
+                  " cannot reach event-logger replica ", i,
+                  "; continuing with the quorum");
+        el_drop(ctx, i);
+        continue;
+      }
+      c->user_tag = kTagElBase + i;
+      el_conns_[i] = c;
+      el_reconnect_at_[i] = -1;
+      el_backoff_[i] = config_.el_retry;
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(ElMsg::kHello));
+      w.i32(config_.rank);
+      w.i32(config_.incarnation);
+      c->send(ctx, w.take());
+      Writer q;
+      q.u8(static_cast<std::uint8_t>(ElMsg::kQuery));
+      c->send(ctx, q.take());
+    }
+    // Absorb the kQueryR handshakes synchronously so the restart download
+    // below only talks to replicas with a known resync position.
+    auto unsynced = [this] {
+      for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+        if (el_conns_[i] != nullptr && !el_synced_[i]) return true;
+      }
+      return false;
+    };
+    while (unsynced()) {
+      net::NetEvent ev = wait_for_el(ctx);
+      std::size_t i = ev.conn->user_tag - kTagElBase;
+      if (ev.type == net::NetEvent::Type::kClosed) {
+        el_drop(ctx, i);
+      } else {
+        handle_el(ctx, i, std::move(ev.data));
+      }
+    }
+    std::size_t synced = 0;
+    for (std::size_t i = 0; i < nel; ++i) synced += el_synced_[i] ? 1 : 0;
+    if (synced >= quorum) return;
+    MPIV_CHECK(ctx.now() < deadline,
+               "daemon: cannot reach a quorum of event loggers");
+    ctx.sleep(config_.el_retry * 4);
+  }
+}
+
+void Daemon::el_drop(sim::Context& ctx, std::size_t i) {
+  el_conns_[i] = nullptr;
+  el_synced_[i] = false;
+  el_reconnect_at_[i] = ctx.now() + el_backoff_[i];
+  if (el_backoff_[i] < config_.el_retry * (1 << kElBackoffMaxShift)) {
+    el_backoff_[i] = el_backoff_[i] * 2;
+  }
+  stats_.el_replica_retries += 1;
+}
+
+void Daemon::reconnect_el(sim::Context& ctx, std::size_t i) {
+  net::Conn* c = net_.connect(ctx, *endpoint_, config_.event_loggers[i]);
+  if (c == nullptr) {
+    el_drop(ctx, i);
+    return;
+  }
+  c->user_tag = kTagElBase + i;
+  el_conns_[i] = c;
+  el_synced_[i] = false;
+  el_reconnect_at_[i] = -1;
+  el_backoff_[i] = config_.el_retry;
   Writer w;
   w.u8(static_cast<std::uint8_t>(ElMsg::kHello));
   w.i32(config_.rank);
-  el_conn_->send(ctx, w.take());
+  w.i32(config_.incarnation);
+  c->send(ctx, w.take());
+  // The replica may have rebooted (volatile store) or missed appends while
+  // we were disconnected: ask where it stands, catch it up on the reply.
+  Writer q;
+  q.u8(static_cast<std::uint8_t>(ElMsg::kQuery));
+  c->send(ctx, q.take());
+}
+
+void Daemon::el_sync(sim::Context& ctx, std::size_t i, std::uint64_t next_seq) {
+  MPIV_CHECK(next_seq <= el_appended_,
+             "daemon: event-logger replica ahead of our log");
+  el_synced_[i] = true;
+  // A rebooted replica legitimately *regresses* its position: overwrite,
+  // don't max. The quorum gate recomputes below — a frame released earlier
+  // is safe, its events are still on a quorum of the other replicas.
+  el_acked_r_[i] = next_seq;
+  el_sent_[i] = next_seq;
+  update_el_quorum();
+  el_catch_up(ctx, i);
+}
+
+void Daemon::el_catch_up(sim::Context& ctx, std::size_t i) {
+  if (el_sent_[i] >= el_appended_) return;
+  // History below el_log_base_ was pruned under a stable checkpoint; the
+  // replica accepts the sequence gap when flagged as a resync.
+  std::uint64_t first = std::max(el_sent_[i], el_log_base_);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(ElMsg::kAppend));
+  w.u64(first);
+  w.boolean(first > el_sent_[i]);
+  w.u32(static_cast<std::uint32_t>(el_appended_ - first));
+  for (std::uint64_t s = first; s < el_appended_; ++s) {
+    write_event(w, el_log_[static_cast<std::size_t>(s - el_log_base_)]);
+  }
+  el_sent_[i] = el_appended_;
+  stats_.el_replica_max_lag[i] =
+      std::max(stats_.el_replica_max_lag[i], el_appended_ - el_acked_r_[i]);
+  el_conns_[i]->send(ctx, w.take());
+}
+
+void Daemon::update_el_quorum() {
+  std::vector<std::uint64_t> acks(el_acked_r_);
+  const std::size_t q = el_quorum(acks.size());
+  std::nth_element(acks.begin(), acks.begin() + static_cast<std::ptrdiff_t>(q - 1),
+                   acks.end(), std::greater<>());
+  el_quorum_acked_ = acks[q - 1];
 }
 
 net::NetEvent Daemon::wait_for_cs(sim::Context& ctx) {
@@ -302,18 +456,80 @@ void Daemon::fetch_checkpoint_striped(sim::Context& ctx) {
 
 void Daemon::download_events(sim::Context& ctx) {
   if (config_.incarnation == 0) return;
+  // A replica may have died between the quorum handshake and now (its
+  // Closed event sits in the setup backlog, stashed by wait_for_cs during
+  // the checkpoint fetch). Absorb those before addressing the group.
+  for (auto it = setup_backlog_.begin(); it != setup_backlog_.end();) {
+    std::uint64_t tag = it->conn->user_tag;
+    if (it->type == net::NetEvent::Type::kClosed && tag >= kTagElBase &&
+        tag < kTagElBase + el_conns_.size() &&
+        el_conns_[tag - kTagElBase] == it->conn) {
+      el_drop(ctx, tag - kTagElBase);
+      it = setup_backlog_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Ask every reachable replica for its list. An event whose append was
+  // quorum-acked is held by f+1 of the 2f+1 replicas, so any set of f+1
+  // responses — and we require a quorum of them — covers the entire
+  // quorum-acked prefix.
   Writer w;
   w.u8(static_cast<std::uint8_t>(ElMsg::kDownload));
   w.i64(recv_clock_);
-  el_conn_->send(ctx, w.take());
-  Buffer reply = wait_for_data(ctx, *endpoint_, el_conn_, setup_backlog_);
-  Reader r(reply);
-  MPIV_CHECK(static_cast<ElMsg>(r.u8()) == ElMsg::kEvents,
-             "daemon: bad download reply");
-  std::uint32_t n = r.u32();
-  for (std::uint32_t i = 0; i < n; ++i) replay_.push_back(read_event(r));
-  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank, " will replay ", n,
-            " logged receptions");
+  std::vector<bool> pending(el_conns_.size(), false);
+  std::size_t npending = 0;
+  for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+    if (el_conns_[i] == nullptr || !el_synced_[i]) continue;
+    el_conns_[i]->send(ctx, Buffer(w.buffer()));
+    pending[i] = true;
+    ++npending;
+  }
+  std::vector<std::vector<ReceptionEvent>> lists;
+  while (npending > 0) {
+    net::NetEvent ev = wait_for_el(ctx);
+    std::size_t i = ev.conn->user_tag - kTagElBase;
+    if (ev.type == net::NetEvent::Type::kClosed) {
+      el_drop(ctx, i);
+      if (pending[i]) {
+        pending[i] = false;
+        --npending;
+      }
+      continue;
+    }
+    Reader r(ev.data);
+    MPIV_CHECK(static_cast<ElMsg>(r.u8()) == ElMsg::kEvents,
+               "daemon: bad download reply");
+    std::uint32_t n = r.u32();
+    std::vector<ReceptionEvent> list;
+    list.reserve(n);
+    for (std::uint32_t k = 0; k < n; ++k) list.push_back(read_event(r));
+    lists.push_back(std::move(list));
+    if (pending[i]) {
+      pending[i] = false;
+      --npending;
+    }
+  }
+  MPIV_CHECK(lists.size() >= el_quorum(el_conns_.size()),
+             "daemon: lost the event-logger quorum during restart download");
+  std::vector<ReceptionEvent> merged = merge_event_logs(lists);
+  for (const ReceptionEvent& e : merged) replay_.push_back(e);
+  // Adopt the merged history as this incarnation's log and re-append it to
+  // every reachable replica under our (new) incarnation: replicas that
+  // missed events converge, stale suffixes from the previous incarnation
+  // are truncated server-side, and the quorum gate covers the history for
+  // the sends to come. (These re-appends are resyncs, not fresh events, so
+  // they do not count toward events_logged.)
+  el_log_ = std::move(merged);
+  el_log_base_ = 0;
+  el_appended_ = el_log_.size();
+  for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+    el_sent_[i] = 0;
+    if (el_conns_[i] != nullptr && el_synced_[i]) el_catch_up(ctx, i);
+  }
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank, " will replay ",
+            replay_.size(), " logged receptions (merged from ", lists.size(),
+            " replicas)");
 }
 
 void Daemon::connect_peer(sim::Context& ctx, mpi::Rank q) {
@@ -364,7 +580,8 @@ void Daemon::run(sim::Context& ctx) {
       d.endpoint_.reset();
       d.peers_.assign(d.peers_.size(), nullptr);
       d.cs_conns_.assign(d.cs_conns_.size(), nullptr);
-      d.el_conn_ = d.sched_conn_ = d.disp_conn_ = nullptr;
+      d.el_conns_.assign(d.el_conns_.size(), nullptr);
+      d.sched_conn_ = d.disp_conn_ = nullptr;
     }
   } teardown{*this};
 
@@ -398,6 +615,13 @@ void Daemon::run(sim::Context& ctx) {
         worked = true;
       }
     }
+    for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+      if (el_conns_[i] == nullptr && el_reconnect_at_[i] >= 0 &&
+          ctx.now() >= el_reconnect_at_[i]) {
+        reconnect_el(ctx, i);
+        worked = true;
+      }
+    }
     if (!worked) worked = advance_tx(ctx);
     if (!worked) worked = advance_ckpt(ctx);
     if (worked || shutdown_) continue;
@@ -415,6 +639,12 @@ void Daemon::run(sim::Context& ctx) {
       if (reconnect_at_[qi] >= 0 && peers_[qi] == nullptr) {
         deadline = deadline < 0 ? reconnect_at_[qi]
                                 : std::min(deadline, reconnect_at_[qi]);
+      }
+    }
+    for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+      if (el_conns_[i] == nullptr && el_reconnect_at_[i] >= 0) {
+        deadline = deadline < 0 ? el_reconnect_at_[i]
+                                : std::min(deadline, el_reconnect_at_[i]);
       }
     }
     if (ckpt_.has_value()) {
@@ -598,8 +828,12 @@ bool Daemon::advance_tx(sim::Context& ctx) {
     }
     OutFrame& f = tx_[qi].front();
     // WAITLOGGED: hold the frame until the events that preceded this send
-    // action are safely logged.
-    if (f.is_msg && config_.gate_sends && el_acked_ < f.required_events) {
+    // action are logged on a quorum of the replicas.
+    if (f.is_msg && config_.gate_sends && el_quorum_acked_ < f.required_events) {
+      if (!f.quorum_wait_counted) {
+        f.quorum_wait_counted = true;
+        stats_.el_quorum_waits += 1;
+      }
       continue;
     }
     if (!c->writable()) continue;
@@ -645,23 +879,29 @@ bool Daemon::advance_tx(sim::Context& ctx) {
 }
 
 void Daemon::flush_el(sim::Context& ctx) {
-  if (el_outbox_.empty() || el_conn_ == nullptr) return;
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(ElMsg::kAppend));
-  w.u32(static_cast<std::uint32_t>(el_outbox_.size()));
-  for (const ReceptionEvent& e : el_outbox_) write_event(w, e);
-  el_appended_ += el_outbox_.size();
+  if (el_outbox_.empty()) return;
+  // Adopt the batch into our log unconditionally — replicas that are down
+  // catch up from el_log_ on reconnect, and the quorum gate holds any send
+  // that depends on these events until a majority acked them.
   stats_.events_logged += el_outbox_.size();
   stats_.el_appends += 1;
+  for (const ReceptionEvent& e : el_outbox_) el_log_.push_back(e);
+  el_appended_ = el_log_base_ + el_log_.size();
   el_outbox_.clear();
-  el_conn_->send(ctx, w.take());
+  for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+    if (el_conns_[i] == nullptr || !el_synced_[i]) continue;
+    el_catch_up(ctx, i);
+  }
 }
 
 void Daemon::try_satisfy_app(sim::Context& ctx) {
   // Fully-consumed probe batches step aside (their count was reached).
+  // Their probes are already durable — remember that, or the next send
+  // would append a duplicate batch the logger's monotonic store rejects.
   while (!replay_.empty() &&
          replay_.front().kind == ReceptionEvent::Kind::kProbeBatch &&
          probes_since_delivery_ >= replay_.front().nprobes) {
+    probes_logged_ = std::max(probes_logged_, replay_.front().nprobes);
     replay_.pop_front();
   }
   if (app_waiting_probe_) {
@@ -795,8 +1035,11 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
             reconnect_at_[qi] = ctx.now() + config_.peer_retry;
           }
         }
-      } else if (ev.conn == el_conn_) {
-        el_conn_ = nullptr;
+      } else if (tag >= kTagElBase && tag < kTagElBase + el_conns_.size() &&
+                 el_conns_[tag - kTagElBase] == ev.conn) {
+        // A replica died. The quorum gate and the backoff reconnect path
+        // absorb the loss: sends keep flowing as long as a majority acks.
+        el_drop(ctx, tag - kTagElBase);
       } else if (tag >= kTagCsBase && tag < kTagCsBase + cs_conns_.size() &&
                  cs_conns_[tag - kTagCsBase] == ev.conn) {
         // A checkpoint stripe is gone: abandon any upload in flight (the
@@ -816,7 +1059,12 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
       break;
   }
   std::uint64_t tag = ev.conn->user_tag;
-  if (tag == kTagEl) return handle_el(ctx, std::move(ev.data));
+  if (tag >= kTagElBase && tag < kTagElBase + el_conns_.size()) {
+    // Drop frames from a replaced replica connection (reconnect raced a
+    // stale ack): only the live conn's traffic counts.
+    if (el_conns_[tag - kTagElBase] != ev.conn) return;
+    return handle_el(ctx, tag - kTagElBase, std::move(ev.data));
+  }
   if (tag >= kTagCsBase && tag < kTagCsBase + cs_conns_.size()) {
     return handle_cs(ctx, tag - kTagCsBase, std::move(ev.data));
   }
@@ -1015,13 +1263,27 @@ void Daemon::handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec) {
   try_satisfy_app(ctx);
 }
 
-void Daemon::handle_el(sim::Context& ctx, Buffer msg) {
+void Daemon::handle_el(sim::Context& ctx, std::size_t replica, Buffer msg) {
   Reader r(msg);
-  MPIV_CHECK(static_cast<ElMsg>(r.u8()) == ElMsg::kAck,
-             "daemon: unexpected event-logger message");
-  el_acked_ += r.u64();
-  MPIV_CHECK(el_acked_ <= el_appended_, "daemon: over-acked events");
-  (void)ctx;
+  auto type = static_cast<ElMsg>(r.u8());
+  switch (type) {
+    case ElMsg::kAck: {
+      std::uint64_t next = r.u64();
+      MPIV_CHECK(next <= el_appended_, "daemon: over-acked events");
+      if (next > el_acked_r_[replica]) {
+        el_acked_r_[replica] = next;
+        update_el_quorum();
+      }
+      return;
+    }
+    case ElMsg::kQueryR:
+      el_sync(ctx, replica, r.u64());
+      return;
+    case ElMsg::kEvents:
+      return;  // residue of an aborted restart download: harmless
+    default:
+      throw ProtocolError("daemon: unexpected event-logger message");
+  }
 }
 
 void Daemon::handle_cs(sim::Context& ctx, std::size_t stripe, Buffer msg) {
@@ -1287,11 +1549,21 @@ void Daemon::on_ckpt_stable(sim::Context& ctx, std::uint64_t seq) {
   Clock hck = ckpt_->h_at_ckpt;
   ckpt_.reset();
   stats_.checkpoints_taken += 1;
-  // The event log below the checkpoint clock is dead.
+  // The event log below the checkpoint clock is dead — on every replica
+  // and in our own resync copy. (Disconnected replicas miss the prune;
+  // they are either rebooted empty or pruned at the next checkpoint.)
   Writer w;
   w.u8(static_cast<std::uint8_t>(ElMsg::kPrune));
   w.i64(hck);
-  if (el_conn_ != nullptr) el_conn_->send(ctx, w.take());
+  for (net::Conn* c : el_conns_) {
+    if (c != nullptr) c->send(ctx, Buffer(w.buffer()));
+  }
+  auto first_kept = std::find_if(el_log_.begin(), el_log_.end(),
+                                 [hck](const ReceptionEvent& e) {
+                                   return e.recv_clock > hck;
+                                 });
+  el_log_base_ += static_cast<std::uint64_t>(first_kept - el_log_.begin());
+  el_log_.erase(el_log_.begin(), first_kept);
   // Peers can garbage collect every payload we received before the image.
   for (mpi::Rank q = 0; q < config_.size; ++q) {
     if (q == config_.rank) continue;

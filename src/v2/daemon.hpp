@@ -40,7 +40,11 @@ struct DaemonConfig {
   net::NodeId node = net::kNoNode;
   /// Current daemon address of each rank (kDaemonPortBase + rank on its node).
   std::vector<net::Address> peer_addrs;
-  net::Address event_logger;                      // required
+  /// Event-logger replica group (2f+1 replicas; at least one). Every
+  /// reception event is appended to all of them; the WAITLOGGED gate counts
+  /// an event as logged once a majority acked it, so up to f replicas may
+  /// be down at any time.
+  std::vector<net::Address> event_loggers;
   /// Stripe set of checkpoint servers (optional; may be empty). Chunk i of
   /// an image lives on server hashes[i] % ckpt_servers.size().
   std::vector<net::Address> ckpt_servers;
@@ -48,6 +52,13 @@ struct DaemonConfig {
   net::Address dispatcher{net::kNoNode, 0};       // optional
   SimDuration peer_retry = milliseconds(20);
   SimDuration connect_timeout = seconds(30);
+  /// Per-replica connect budget for event loggers: how long one connect
+  /// attempt retries before the replica is declared down and left to the
+  /// backoff reconnect path. Setup only requires a quorum to be up.
+  SimDuration el_connect_budget = milliseconds(100);
+  /// Base delay of the exponential reconnect backoff toward a dead
+  /// event-logger replica (doubles per failure, capped at 64x).
+  SimDuration el_retry = milliseconds(10);
   /// Connect budget for the *optional* services (checkpoint servers,
   /// scheduler): how long setup stalls trying to reach them before running
   /// without. Kept short by default; fault benches raise it to model slow
@@ -95,9 +106,20 @@ struct DaemonStats {
   /// Whole-payload copy passes on the receive path (0 for single-chunk
   /// messages, 1 for multi-chunk reassembly).
   std::uint64_t payload_copies_rx = 0;
-  /// kAppend messages sent to the event logger (coalescing makes this
-  /// less than events_logged under batching workloads).
+  /// kAppend batches flushed to the replica group (coalescing makes this
+  /// less than events_logged under batching workloads; one batch fans out
+  /// to every connected replica).
   std::uint64_t el_appends = 0;
+  /// TX frames that blocked on the WAITLOGGED quorum gate at least once
+  /// (the quorum of replicas had not yet acked the frame's events).
+  std::uint64_t el_quorum_waits = 0;
+  /// Reconnect attempts toward event-logger replicas that were down or
+  /// whose connection died (includes failed setup attempts).
+  std::uint64_t el_replica_retries = 0;
+  /// Per-replica maximum append backlog observed (events appended locally
+  /// but not yet acked by that replica) — the lag a replica's loss would
+  /// cost if the quorum shrank to it.
+  std::vector<std::uint64_t> el_replica_max_lag;
   /// Checkpoint payload bytes actually uploaded to the stripe servers.
   std::uint64_t ckpt_bytes_sent = 0;
   /// Checkpoint bytes *not* uploaded because the chunk matched the last
@@ -144,10 +166,11 @@ class Daemon {
     SharedBuffer payload;  // record payload slice (is_msg only)
     std::size_t offset = 0;  // chunking progress over head+payload (is_msg)
     // WAITLOGGED: number of reception events that existed when this send
-    // was issued; the frame may not leave the node until the event logger
-    // acknowledged that many. Events created *after* the send action do
-    // not gate it (they are not causal predecessors).
+    // was issued; the frame may not leave the node until a quorum of the
+    // event-logger replicas acknowledged that many. Events created *after*
+    // the send action do not gate it (they are not causal predecessors).
     std::uint64_t required_events = 0;
+    bool quorum_wait_counted = false;  // el_quorum_waits charged once/frame
 
     [[nodiscard]] std::size_t total_size() const {
       return head.size() + payload.size();
@@ -184,8 +207,24 @@ class Daemon {
   /// Next event on any checkpoint-server connection (Data or Closed);
   /// stashes everything else for the main loop.
   net::NetEvent wait_for_cs(sim::Context& ctx);
+  /// Same, for the event-logger replica connections.
+  net::NetEvent wait_for_el(sim::Context& ctx);
   void download_events(sim::Context& ctx);
   void connect_peer(sim::Context& ctx, mpi::Rank q);
+  /// Connects event-logger replicas until a quorum answered kQueryR (setup).
+  void connect_el_quorum(sim::Context& ctx);
+  /// One reconnect attempt toward replica i (main loop, backoff-scheduled).
+  void reconnect_el(sim::Context& ctx, std::size_t i);
+  /// Replica i's connection died or could not be made: schedule a retry.
+  void el_drop(sim::Context& ctx, std::size_t i);
+  /// kQueryR arrived: replica i holds `next_seq` events of our incarnation;
+  /// retransmit the missing tail from our in-memory log.
+  void el_sync(sim::Context& ctx, std::size_t i, std::uint64_t next_seq);
+  /// Sends replica i everything between its el_sent_ position and the head
+  /// of our log (with the resync flag when pruned history leaves a gap).
+  void el_catch_up(sim::Context& ctx, std::size_t i);
+  /// Re-derives the quorum-acked event count from the per-replica acks.
+  void update_el_quorum();
   /// True when every *configured* checkpoint stripe is connected.
   [[nodiscard]] bool all_cs_connected() const;
 
@@ -197,7 +236,7 @@ class Daemon {
   /// Drops accept-window entries the hr_[q] watermark now covers.
   void prune_accept_window(mpi::Rank q);
   void handle_ctl(sim::Context& ctx, Buffer msg);
-  void handle_el(sim::Context& ctx, Buffer msg);
+  void handle_el(sim::Context& ctx, std::size_t replica, Buffer msg);
   void handle_cs(sim::Context& ctx, std::size_t stripe, Buffer msg);
 
   // ---- protocol actions ----
@@ -276,7 +315,13 @@ class Daemon {
   std::vector<bool> awaiting_marker_;
   std::vector<std::set<Clock>> accepted_;  // clocks accepted above hr_[q]
   std::vector<SimTime> reconnect_at_;       // next retry for dead lower conns
-  net::Conn* el_conn_ = nullptr;
+  // Event-logger replica group state, all indexed by replica.
+  std::vector<net::Conn*> el_conns_;
+  std::vector<std::uint64_t> el_acked_r_;   // cumulative events acked
+  std::vector<std::uint64_t> el_sent_;      // next seq to transmit
+  std::vector<bool> el_synced_;             // kQueryR seen on current conn
+  std::vector<SimTime> el_reconnect_at_;    // -1 = no retry scheduled
+  std::vector<SimDuration> el_backoff_;     // current retry delay
   std::vector<net::Conn*> cs_conns_;        // one per stripe server
   net::Conn* sched_conn_ = nullptr;
   net::Conn* disp_conn_ = nullptr;
@@ -286,8 +331,14 @@ class Daemon {
   std::uint32_t probes_logged_ = 0;  // prefix of the above already durable
 
   std::vector<ReceptionEvent> el_outbox_;
-  std::uint64_t el_appended_ = 0;
-  std::uint64_t el_acked_ = 0;
+  /// Our in-memory copy of the log appended under this incarnation, used to
+  /// resync replicas that reconnect or reboot. el_log_[k] holds sequence
+  /// number el_log_base_ + k; the prefix below el_log_base_ was pruned
+  /// under a stable checkpoint (replicas accept the gap via `resync`).
+  std::vector<ReceptionEvent> el_log_;
+  std::uint64_t el_log_base_ = 0;
+  std::uint64_t el_appended_ = 0;        // == el_log_base_ + el_log_.size()
+  std::uint64_t el_quorum_acked_ = 0;    // cached quorum-held event count
 
   bool app_waiting_brecv_ = false;
   bool app_waiting_probe_ = false;

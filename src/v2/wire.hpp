@@ -6,6 +6,7 @@
 //   scheduler.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -148,14 +149,89 @@ inline MsgRecord decode_msg_record(const SharedBuffer& bytes) {
 
 // ---------------------------------------------------------------- daemon <-> event logger
 
+// Each daemon replicates its reception events to a group of 2f+1 event
+// loggers. Appends carry a per-(rank, incarnation) sequence number and are
+// acked cumulatively (TCP-style), so the WAITLOGGED gate can count an event
+// as logged exactly when a majority of replicas hold it. A replica that
+// reboots (volatile store) or reconnects resyncs via kQuery/kQueryR and the
+// daemon retransmits the missing tail from its own in-memory copy.
 enum class ElMsg : std::uint8_t {
-  kHello = 1,   // {rank}
-  kAppend,      // {events...}
-  kAck,         // {appended_count_acked}
+  kHello = 1,   // {rank, incarnation}
+  kAppend,      // {first_seq, resync, n, events...}; `resync` permits a
+                // forward seq gap (history pruned below a stable checkpoint)
+  kAck,         // {next_seq} cumulative: events [0, next_seq) of the conn's
+                // incarnation are held (pruned gaps count as held)
   kDownload,    // {after_clock}
   kEvents,      // {events...}
   kPrune,       // {upto_recv_clock}
+  kQuery,       // {} -> kQueryR: how far are you for my incarnation?
+  kQueryR,      // {next_seq}; 0 when the store holds a different incarnation
 };
+
+/// Majority of an EL replica group: f+1 of 2f+1 (1 of 1 degenerates to the
+/// unreplicated protocol).
+constexpr std::size_t el_quorum(std::size_t replicas) {
+  return replicas / 2 + 1;
+}
+
+/// Restart-merge order over reception events: receiver-clock order, with
+/// probe batches ahead of the delivery that shares their (upcoming) clock.
+/// Several batches may share one upcoming clock — one per send issued
+/// between two deliveries — each making a strictly larger cumulative probe
+/// count durable, so within the clock they are ordered by nprobes.
+inline bool event_before(const ReceptionEvent& a, const ReceptionEvent& b) {
+  if (a.recv_clock != b.recv_clock) return a.recv_clock < b.recv_clock;
+  if (a.kind != b.kind) {
+    return a.kind == ReceptionEvent::Kind::kProbeBatch;
+  }
+  return a.kind == ReceptionEvent::Kind::kProbeBatch && a.nprobes < b.nprobes;
+}
+
+inline bool event_equal(const ReceptionEvent& a, const ReceptionEvent& b) {
+  return a.kind == b.kind && a.sender == b.sender &&
+         a.send_clock == b.send_clock && a.recv_clock == b.recv_clock &&
+         a.nprobes == b.nprobes;
+}
+
+/// Merges per-replica event lists downloaded on restart: the union of the
+/// lists in receiver-clock order, exact duplicates collapsed. Because every
+/// quorum-acked event is held by f+1 replicas and at most f replicas are
+/// lost, the union over the reachable replicas covers the entire
+/// quorum-acked prefix. Conflicting events at the same ordering key (stale
+/// suffixes from a previous incarnation) are resolved by majority vote with
+/// a deterministic tie-break.
+inline std::vector<ReceptionEvent> merge_event_logs(
+    const std::vector<std::vector<ReceptionEvent>>& replica_logs) {
+  std::vector<ReceptionEvent> all;
+  for (const auto& log : replica_logs) all.insert(all.end(), log.begin(), log.end());
+  std::stable_sort(all.begin(), all.end(), event_before);
+  auto tie_less = [](const ReceptionEvent& a, const ReceptionEvent& b) {
+    if (a.sender != b.sender) return a.sender < b.sender;
+    if (a.send_clock != b.send_clock) return a.send_clock < b.send_clock;
+    return a.nprobes < b.nprobes;
+  };
+  std::vector<ReceptionEvent> out;
+  std::size_t i = 0;
+  while (i < all.size()) {
+    // [i, j) share the ordering key (same clock and kind): an equivalence
+    // class holds one copy per replica that logged this slot.
+    std::size_t j = i + 1;
+    while (j < all.size() && !event_before(all[i], all[j])) ++j;
+    std::size_t best = i, best_votes = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      std::size_t votes = 0;
+      for (std::size_t l = i; l < j; ++l) votes += event_equal(all[k], all[l]);
+      if (votes > best_votes ||
+          (votes == best_votes && tie_less(all[k], all[best]))) {
+        best = k;
+        best_votes = votes;
+      }
+    }
+    out.push_back(all[best]);
+    i = j;
+  }
+  return out;
+}
 
 // ---------------------------------------------------------------- daemon <-> checkpoint server
 

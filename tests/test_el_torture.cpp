@@ -1,0 +1,328 @@
+// Torture suite for the replicated event loggers (§4.5 extended to 2f+1
+// quorum groups): property tests for the restart merge, directed
+// replica-kill scenarios, and a randomized fault-schedule sweep mixing
+// compute-rank kills with event-logger reboots. Every faulty run must
+// produce bit-identical application outputs to the fault-free run and
+// leave every replica store ordered and duplicate-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "apps/token_ring.hpp"
+#include "common/rng.hpp"
+#include "runtime/job.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv {
+namespace {
+
+using runtime::DeviceKind;
+using runtime::JobConfig;
+using runtime::JobResult;
+using v2::ReceptionEvent;
+
+// ------------------------------------------------------------ merge properties
+
+ReceptionEvent delivery(mpi::Rank sender, v2::Clock sc, v2::Clock rc,
+                        std::uint32_t np) {
+  ReceptionEvent e;
+  e.kind = ReceptionEvent::Kind::kDelivery;
+  e.sender = sender;
+  e.send_clock = sc;
+  e.recv_clock = rc;
+  e.nprobes = np;
+  return e;
+}
+
+ReceptionEvent probe_batch(v2::Clock rc, std::uint32_t np) {
+  ReceptionEvent e;
+  e.kind = ReceptionEvent::Kind::kProbeBatch;
+  e.recv_clock = rc;
+  e.nprobes = np;
+  return e;
+}
+
+/// A random but daemon-shaped event history: deliveries with strictly
+/// increasing receiver clocks, interleaved with probe batches stamped with
+/// the upcoming delivery clock and strictly growing cumulative counts.
+std::vector<ReceptionEvent> random_history(std::size_t n, Rng& rng) {
+  std::vector<ReceptionEvent> out;
+  v2::Clock clock = 0;
+  std::uint32_t probes = 0;
+  while (out.size() < n) {
+    if (rng.below(4) == 0) {
+      probes += 1 + static_cast<std::uint32_t>(rng.below(3));
+      out.push_back(probe_batch(clock + 1, probes));
+    } else {
+      ++clock;
+      out.push_back(delivery(static_cast<mpi::Rank>(rng.below(8)),
+                             static_cast<v2::Clock>(rng.below(1000)), clock,
+                             probes));
+      probes = 0;
+    }
+  }
+  return out;
+}
+
+/// Merge the given replica prefixes of `truth` and check the contract: the
+/// result is exactly the longest contributed prefix — so it is prefix-closed,
+/// duplicate-free and strictly ordered.
+void check_prefix_merge(const std::vector<ReceptionEvent>& truth,
+                        const std::vector<std::size_t>& lens) {
+  std::vector<std::vector<ReceptionEvent>> lists;
+  std::size_t longest = 0;
+  for (std::size_t len : lens) {
+    lists.emplace_back(truth.begin(),
+                       truth.begin() + static_cast<std::ptrdiff_t>(len));
+    longest = std::max(longest, len);
+  }
+  std::vector<ReceptionEvent> merged = v2::merge_event_logs(lists);
+  ASSERT_EQ(merged.size(), longest);
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    ASSERT_TRUE(v2::event_equal(merged[k], truth[k])) << "position " << k;
+  }
+  for (std::size_t k = 1; k < merged.size(); ++k) {
+    ASSERT_TRUE(v2::event_before(merged[k - 1], merged[k]))
+        << "not strictly ordered at " << k;
+  }
+}
+
+TEST(QuorumMerge, ArbitraryReplicaPrefixesMergeToTheLongest) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    std::vector<ReceptionEvent> truth = random_history(60, rng);
+    for (int reps : {3, 5}) {
+      std::vector<std::size_t> lens;
+      for (int i = 0; i < reps; ++i) {
+        lens.push_back(rng.below(truth.size() + 1));
+      }
+      // Every subset of replicas (the reachable set on restart), not just
+      // quorum-sized ones: the merge itself is subset-agnostic.
+      for (std::uint32_t mask = 1; mask < (1u << reps); ++mask) {
+        std::vector<std::size_t> subset_lens;
+        for (int i = 0; i < reps; ++i) {
+          if (mask & (1u << i)) subset_lens.push_back(lens[i]);
+        }
+        check_prefix_merge(truth, subset_lens);
+      }
+    }
+  }
+}
+
+TEST(QuorumMerge, QuorumSubsetsCoverTheQuorumAckedPrefix) {
+  // The WAITLOGGED gate releases a send once `quorum` replicas hold its
+  // events, i.e. the quorum-acked prefix is the quorum-th largest replica
+  // length. Any subset of at least `quorum` reachable replicas must merge
+  // to a list covering that prefix — the pigeonhole argument behind 2f+1.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    std::vector<ReceptionEvent> truth = random_history(50, rng);
+    for (int reps : {3, 5}) {
+      std::size_t quorum = v2::el_quorum(static_cast<std::size_t>(reps));
+      std::vector<std::size_t> lens;
+      for (int i = 0; i < reps; ++i) {
+        lens.push_back(rng.below(truth.size() + 1));
+      }
+      std::vector<std::size_t> sorted = lens;
+      std::sort(sorted.rbegin(), sorted.rend());
+      std::size_t acked_prefix = sorted[quorum - 1];
+      for (std::uint32_t mask = 1; mask < (1u << reps); ++mask) {
+        std::vector<std::vector<ReceptionEvent>> lists;
+        std::size_t longest = 0;
+        for (int i = 0; i < reps; ++i) {
+          if (!(mask & (1u << i))) continue;
+          lists.emplace_back(
+              truth.begin(),
+              truth.begin() + static_cast<std::ptrdiff_t>(lens[i]));
+          longest = std::max(longest, lens[i]);
+        }
+        if (lists.size() < quorum) continue;
+        EXPECT_GE(longest, acked_prefix);
+        EXPECT_GE(v2::merge_event_logs(lists).size(), acked_prefix);
+      }
+    }
+  }
+}
+
+TEST(QuorumMerge, StaleIncarnationSuffixLosesTheVote) {
+  // A replica that slept through a recovery still holds the dead
+  // incarnation's suffix; at equal receiver clock the re-executed history
+  // (held by a majority) must win the vote.
+  std::vector<ReceptionEvent> fresh = {delivery(0, 1, 1, 0),
+                                       delivery(1, 1, 2, 0),
+                                       delivery(0, 2, 3, 1)};
+  std::vector<ReceptionEvent> stale = {delivery(0, 1, 1, 0),
+                                       delivery(1, 1, 2, 0),
+                                       delivery(1, 9, 3, 0)};
+  std::vector<ReceptionEvent> merged =
+      v2::merge_event_logs({fresh, fresh, stale});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(v2::event_equal(merged[2], fresh[2]));
+}
+
+TEST(QuorumMerge, EmptyAndSingletonInputs) {
+  EXPECT_TRUE(v2::merge_event_logs({}).empty());
+  EXPECT_TRUE(v2::merge_event_logs({{}, {}, {}}).empty());
+  std::vector<ReceptionEvent> one = {probe_batch(1, 2), delivery(0, 1, 1, 2)};
+  std::vector<ReceptionEvent> merged = v2::merge_event_logs({one, {}, one});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_TRUE(v2::event_equal(merged[0], one[0]));
+  EXPECT_TRUE(v2::event_equal(merged[1], one[1]));
+}
+
+// ------------------------------------------------------------ directed kills
+
+std::vector<Buffer> outputs(const JobResult& r) {
+  std::vector<Buffer> out;
+  for (const auto& rr : r.ranks) out.push_back(rr.output);
+  return out;
+}
+
+runtime::AppFactory ring(int rounds, std::size_t bytes, SimDuration compute) {
+  return [=](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::TokenRingApp>(rounds, bytes, compute);
+  };
+}
+
+TEST(ElReplication, SurvivesPermanentReplicaLoss) {
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.el_replication = 3;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // One replica of the 2f+1 group dies for good mid-run: the quorum gate
+  // keeps accepting on the two survivors and nothing stalls.
+  cfg.fault_plan = faults::FaultPlan::service_kill(
+      clean.makespan / 3, faults::FaultTarget::kEventLogger, 1,
+      /*revive=*/false);
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(outputs(res), outputs(clean));
+  EXPECT_TRUE(res.el_stores_consistent);
+  EXPECT_GE(res.daemon_stats.el_replica_retries, 1u);
+}
+
+TEST(ElReplication, RestartDownloadsFromSurvivingQuorum) {
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.el_replication = 3;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // Replica 0 is already dead when rank 2 crashes: the restart must merge
+  // its event history from the two surviving replicas alone.
+  faults::FaultPlan plan = faults::FaultPlan::service_kill(
+      clean.makespan / 4, faults::FaultTarget::kEventLogger, 0,
+      /*revive=*/false);
+  plan.merge(faults::FaultPlan::simultaneous(clean.makespan / 2, {2}));
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_GT(res.daemon_stats.replayed_deliveries, 0u);
+  EXPECT_EQ(outputs(res), outputs(clean));
+  EXPECT_TRUE(res.el_stores_consistent);
+}
+
+TEST(ElReplication, RebootedReplicaIsResyncedByItsDaemons) {
+  // Single-logger deployment: the logger reboots empty mid-run, the
+  // daemons resync it from their in-memory logs, and a compute crash
+  // *after* the resync still replays correctly from the reborn store.
+  auto factory = ring(100, 512, milliseconds(1));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.restart_delay = milliseconds(30);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+  ASSERT_GT(clean.makespan, milliseconds(250));
+
+  faults::FaultPlan plan = faults::FaultPlan::service_kill(
+      clean.makespan / 4, faults::FaultTarget::kEventLogger, 0,
+      /*revive=*/true);
+  plan.merge(faults::FaultPlan::simultaneous(clean.makespan / 2, {1}));
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_EQ(outputs(res), outputs(clean));
+  EXPECT_TRUE(res.el_stores_consistent);
+}
+
+TEST(ElReplication, SingleLoggerPermanentLossStallsTheJob) {
+  // Negative control: with replication 1 there is no quorum without the
+  // lone replica — the WAITLOGGED gate must hold every dependent send
+  // forever rather than lose the pessimistic property.
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::service_kill(
+      clean.makespan / 3, faults::FaultTarget::kEventLogger, 0,
+      /*revive=*/false);
+  cfg.time_limit = clean.makespan + seconds(5);
+  JobResult res = run_job(cfg, factory);
+  EXPECT_FALSE(res.success);
+}
+
+// ------------------------------------------------------------ randomized sweep
+
+void torture_run(const runtime::AppFactory& factory, int nprocs,
+                 std::uint64_t seed, bool checkpointing) {
+  JobConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.device = DeviceKind::kV2;
+  cfg.el_replication = 3;
+  if (checkpointing) {
+    cfg.checkpointing = true;
+    cfg.first_ckpt_after = milliseconds(5);
+    cfg.ckpt_period = milliseconds(10);
+  }
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // Mixed plan: compute kills anywhere in the run, EL reboots serialized
+  // so at most one replica (f = 1) is down at a time. The spacing must
+  // exceed the revive delay or two replicas could overlap in death.
+  int compute_kills = 1 + static_cast<int>(seed % 3);
+  cfg.fault_plan = faults::FaultPlan::random_mixed(
+      compute_kills, /*el_kills=*/2, clean.makespan / 4, clean.makespan,
+      nprocs, /*n_event_loggers=*/3, milliseconds(250), seed * 977 + 13);
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success) << "seed " << seed;
+  EXPECT_EQ(outputs(res), outputs(clean)) << "seed " << seed;
+  EXPECT_TRUE(res.el_stores_consistent) << "seed " << seed;
+}
+
+class TortureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TortureSweep, TokenRing) {
+  auto seed = static_cast<std::uint64_t>(GetParam());
+  torture_run(ring(60, 512, microseconds(500)), 4, seed,
+              /*checkpointing=*/false);
+}
+
+TEST_P(TortureSweep, Cg) {
+  auto seed = static_cast<std::uint64_t>(GetParam());
+  torture_run(apps::kernel_factory("cg", apps::NasClass::kTest), 4, seed,
+              /*checkpointing=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TortureSweep, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace mpiv

@@ -1,0 +1,148 @@
+// Regression test for the restart accept-window: a ResendDone marker from
+// a peer's *new* incarnation merges into the watermark and must not clear
+// window entries above it. If it did, a straggler message accepted from the
+// previous incarnation would be re-delivered when the new incarnation
+// re-executes the same send — a duplicate delivery.
+//
+// The scenario is driven against a real daemon with a scripted peer:
+//   1. daemon rank 1 restarts (incarnation 1) and issues Restart1;
+//   2. peer rank 0 (incarnation 0) sends clock 5, then dies mid-pass —
+//      the message is accepted into the out-of-order window;
+//   3. rank 0's next incarnation answers the re-issued Restart1 with an
+//      empty resend pass and ResendDone marker 0;
+//   4. the re-executed send of clock 5 arrives and must be dropped as a
+//      window duplicate, while the stashed copy is delivered exactly once.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/pipe.hpp"
+#include "services/event_logger.hpp"
+#include "sim/engine.hpp"
+#include "v2/daemon.hpp"
+#include "v2/wire.hpp"
+
+namespace mpiv {
+namespace {
+
+Buffer peer_hello(mpi::Rank rank, std::int32_t incarnation) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(v2::PeerMsg::kHello));
+  w.i32(rank);
+  w.i32(incarnation);
+  return w.take();
+}
+
+Buffer peer_ctl(v2::PeerMsg type, v2::Clock clock) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.i64(clock);
+  return w.take();
+}
+
+/// A whole MsgRecord in one kMsgPart frame (last = true).
+Buffer peer_record(v2::Clock clock, const Buffer& payload) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(v2::PeerMsg::kMsgPart));
+  w.boolean(true);
+  w.i64(clock);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+/// Blocks until a control frame of `want` arrives on the endpoint.
+void await_peer_msg(sim::Context& ctx, net::Endpoint& ep, v2::PeerMsg want) {
+  for (;;) {
+    net::NetEvent ev = ep.wait(ctx);
+    if (ev.type != net::NetEvent::Type::kData) continue;
+    Reader r(ev.data);
+    if (static_cast<v2::PeerMsg>(r.u8()) == want) return;
+  }
+}
+
+TEST(RestartWindow, NewIncarnationMarkerKeepsWindowEntries) {
+  sim::Engine eng;
+  net::Network net(eng, net::NetParams{});
+  net::NodeId el_node = net.add_node("el");
+  net::NodeId d_node = net.add_node("daemon1");
+  net::NodeId p_node = net.add_node("peer0");
+
+  services::EventLoggerServer el(net, {el_node});
+  eng.spawn("el", [&](sim::Context& ctx) { el.run(ctx); });
+
+  net::Pipe pipe(eng, net::NetParams{});
+  v2::DaemonConfig dcfg;
+  dcfg.rank = 1;
+  dcfg.size = 2;
+  dcfg.incarnation = 1;  // restarting: Restart1 goes out on every Hello
+  dcfg.node = d_node;
+  dcfg.peer_addrs = {{p_node, v2::kDaemonPortBase + 0},
+                     {d_node, v2::kDaemonPortBase + 1}};
+  dcfg.event_loggers = {{el_node, v2::kEventLoggerPort}};
+  v2::Daemon daemon(net, pipe, dcfg);
+  eng.spawn("daemon", [&](sim::Context& ctx) { daemon.run(ctx); });
+
+  Buffer payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i);
+  }
+
+  int deliveries = 0;
+  bool probe_pending = true;
+  eng.spawn("app", [&](sim::Context& ctx) {
+    auto& ap = pipe.app_end();
+    ap.send(ctx, v2::pipe_writer(v2::PipeMsg::kInit).take());
+    ap.recv(ctx);  // kInitOk
+    ap.send(ctx, v2::pipe_writer(v2::PipeMsg::kBrecv).take());
+    ap.recv(ctx);  // kDeliver — held until the restart exchange closes
+    ++deliveries;
+    // Give the re-executed duplicate time to land, then probe: a leaked
+    // duplicate would sit in arrivals_ and report a pending message.
+    ctx.sleep(milliseconds(100));
+    ap.send(ctx, v2::pipe_writer(v2::PipeMsg::kNprobe).take());
+    net::PipeFrame f = ap.recv(ctx);  // kProbeR
+    Reader r(f.head);
+    (void)v2::read_pipe_header(r);
+    probe_pending = r.boolean();
+    ap.send(ctx, v2::pipe_writer(v2::PipeMsg::kFinish).take());
+    ap.recv(ctx);  // kFinishOk
+  });
+
+  eng.spawn("peer", [&](sim::Context& ctx) {
+    net::Endpoint ep(net, p_node);
+    net::Address daddr{d_node, v2::kDaemonPortBase + 1};
+    net::Conn* c = net.connect_retry(ctx, ep, daddr, milliseconds(1),
+                                     ctx.now() + seconds(5));
+    ASSERT_NE(c, nullptr);
+    c->send(ctx, peer_hello(0, 0));
+    await_peer_msg(ctx, ep, v2::PeerMsg::kRestart1);
+    // Straggler from the doomed incarnation: clock 5, far above the
+    // daemon's watermark (0) — it lands in the out-of-order window.
+    c->send(ctx, peer_record(5, payload));
+    ctx.sleep(milliseconds(5));
+    c->close();  // die mid-resend-pass
+
+    ctx.sleep(milliseconds(10));
+    net::Conn* c2 = net.connect_retry(ctx, ep, daddr, milliseconds(1),
+                                      ctx.now() + seconds(5));
+    ASSERT_NE(c2, nullptr);
+    c2->send(ctx, peer_hello(0, 1));
+    await_peer_msg(ctx, ep, v2::PeerMsg::kRestart1);
+    // The reborn rank 0 lost everything: empty resend pass, marker 0.
+    c2->send(ctx, peer_ctl(v2::PeerMsg::kRestart2, 0));
+    c2->send(ctx, peer_ctl(v2::PeerMsg::kResendDone, 0));
+    ctx.sleep(milliseconds(5));
+    // Re-execution reaches the same send again: same clock, same bytes.
+    // The window entry above the marker must still identify it.
+    c2->send(ctx, peer_record(5, payload));
+  });
+
+  eng.run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_FALSE(probe_pending);
+  EXPECT_GE(daemon.stats().duplicates_dropped, 1u);
+  EXPECT_TRUE(daemon.finished());
+}
+
+}  // namespace
+}  // namespace mpiv

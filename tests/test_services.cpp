@@ -31,10 +31,11 @@ struct ServiceFixture {
   }
 };
 
-Buffer el_hello(mpi::Rank rank) {
+Buffer el_hello(mpi::Rank rank, std::int32_t incarnation = 0) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(v2::ElMsg::kHello));
   w.i32(rank);
+  w.i32(incarnation);
   return w.take();
 }
 
@@ -48,12 +49,22 @@ v2::ReceptionEvent ev(mpi::Rank sender, v2::Clock sc, v2::Clock rc,
   return e;
 }
 
-Buffer el_append(const std::vector<v2::ReceptionEvent>& events) {
+Buffer el_append(std::uint64_t first_seq,
+                 const std::vector<v2::ReceptionEvent>& events,
+                 bool resync = false) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(v2::ElMsg::kAppend));
+  w.u64(first_seq);
+  w.boolean(resync);
   w.u32(static_cast<std::uint32_t>(events.size()));
   for (const auto& e : events) v2::write_event(w, e);
   return w.take();
+}
+
+std::uint64_t read_ack(const Buffer& data) {
+  Reader r(data);
+  EXPECT_EQ(static_cast<v2::ElMsg>(r.u8()), v2::ElMsg::kAck);
+  return r.u64();
 }
 
 TEST(EventLogger, AppendAckDownloadPrune) {
@@ -67,12 +78,10 @@ TEST(EventLogger, AppendAckDownloadPrune) {
     net::Endpoint ep(f.net, f.client_node);
     net::Conn* c = f.connect(ctx, ep, v2::kEventLoggerPort);
     c->send(ctx, el_hello(3));
-    c->send(ctx, el_append({ev(1, 10, 1, 0), ev(2, 5, 2, 1), ev(1, 11, 3, 0)}));
-    // Ack carries the batch size.
-    net::NetEvent ack = ep.wait(ctx);
-    Reader r(ack.data);
-    EXPECT_EQ(static_cast<v2::ElMsg>(r.u8()), v2::ElMsg::kAck);
-    acked = r.u64();
+    c->send(ctx, el_append(0, {ev(1, 10, 1, 0), ev(2, 5, 2, 1),
+                               ev(1, 11, 3, 0)}));
+    // Acks are cumulative: next expected sequence number.
+    acked = read_ack(ep.wait(ctx).data);
 
     // Download everything after clock 1.
     Writer w;
@@ -110,17 +119,70 @@ TEST(EventLogger, PerRankIsolation) {
     net::Endpoint ep(f.net, f.client_node);
     net::Conn* a = f.connect(ctx, ep, v2::kEventLoggerPort);
     a->send(ctx, el_hello(0));
-    a->send(ctx, el_append({ev(1, 1, 1, 0)}));
+    a->send(ctx, el_append(0, {ev(1, 1, 1, 0)}));
     ep.wait(ctx);
     net::Conn* b = f.connect(ctx, ep, v2::kEventLoggerPort);
     b->send(ctx, el_hello(1));
-    b->send(ctx, el_append({ev(0, 1, 1, 0), ev(0, 2, 2, 0)}));
+    b->send(ctx, el_append(0, {ev(0, 1, 1, 0), ev(0, 2, 2, 0)}));
     ep.wait(ctx);
   });
   f.eng.run();
   EXPECT_EQ(el.events_for(0).size(), 1u);
   EXPECT_EQ(el.events_for(1).size(), 2u);
   EXPECT_EQ(el.total_events_stored(), 3u);
+}
+
+// Sequence-numbered appends: duplicate retransmits are idempotent, kQuery
+// reports the resume point, and a new incarnation's history supersedes the
+// stale suffix left behind by the crashed one.
+TEST(EventLogger, SequencedAppendsAndIncarnationTruncate) {
+  ServiceFixture f;
+  EventLoggerServer el(f.net, {f.svc_node});
+  f.eng.spawn("el", [&](sim::Context& ctx) { el.run(ctx); });
+
+  std::uint64_t dup_ack = 0;
+  std::uint64_t query_next = 99;
+  std::uint64_t merged_ack = 0;
+  f.eng.spawn("client", [&](sim::Context& ctx) {
+    net::Endpoint ep(f.net, f.client_node);
+    net::Conn* c = f.connect(ctx, ep, v2::kEventLoggerPort);
+    c->send(ctx, el_hello(7, 0));
+    c->send(ctx, el_append(0, {ev(1, 1, 1, 0), ev(1, 2, 2, 0),
+                               ev(1, 3, 3, 0)}));
+    EXPECT_EQ(read_ack(ep.wait(ctx).data), 3u);
+    // Retransmit of already-stored seq 1..2: acked, not re-stored.
+    c->send(ctx, el_append(1, {ev(1, 2, 2, 0), ev(1, 3, 3, 0)}));
+    dup_ack = read_ack(ep.wait(ctx).data);
+
+    // A reconnect of the same incarnation resumes where it left off.
+    net::Conn* c2 = f.connect(ctx, ep, v2::kEventLoggerPort);
+    c2->send(ctx, el_hello(7, 0));
+    Writer wq;
+    wq.u8(static_cast<std::uint8_t>(v2::ElMsg::kQuery));
+    c2->send(ctx, wq.take());
+    net::NetEvent qr = ep.wait(ctx);
+    Reader r(qr.data);
+    EXPECT_EQ(static_cast<v2::ElMsg>(r.u8()), v2::ElMsg::kQueryR);
+    query_next = r.u64();
+
+    // Incarnation 1 re-appends its merged history from seq 0; the first
+    // accepted event truncates the stale stored suffix (clocks >= 1 here,
+    // i.e. everything), so the store ends up exactly the new history.
+    net::Conn* c3 = f.connect(ctx, ep, v2::kEventLoggerPort);
+    c3->send(ctx, el_hello(7, 1));
+    c3->send(ctx, el_append(0, {ev(1, 1, 1, 0), ev(1, 2, 2, 0)}));
+    merged_ack = read_ack(ep.wait(ctx).data);
+    // The dead incarnation's straggler append is dropped without an ack.
+    c->send(ctx, el_append(3, {ev(1, 4, 4, 0)}));
+    ctx.sleep(milliseconds(1));
+  });
+  f.eng.run();
+  EXPECT_EQ(dup_ack, 3u);
+  EXPECT_EQ(query_next, 3u);
+  EXPECT_EQ(merged_ack, 2u);
+  ASSERT_EQ(el.events_for(7).size(), 2u);
+  EXPECT_EQ(el.events_for(7)[1].recv_clock, 2);
+  EXPECT_TRUE(el.store_consistent());
 }
 
 TEST(CkptServer, ChunkedStoreAndFetch) {

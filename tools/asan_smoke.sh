@@ -14,8 +14,10 @@ SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD_DIR="${2:-${SRC_DIR}/build-asan}"
 
 # The targets that exercise SharedBuffer aliasing end to end: the network
-# + datapath units and the checkpoint delta/striping stack.
-TARGETS=(test_network test_ckpt_path)
+# + datapath units, the checkpoint delta/striping stack, and the
+# randomized compute+service fault torture suite (daemon restart, replica
+# reconnect and restart-merge paths under ASan).
+TARGETS=(test_network test_ckpt_path test_el_torture)
 
 cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI smoke: configure, build, and run the test suite in three stages —
+#   1. the default suite (everything not labelled sanitize/torture),
+#   2. the randomized fault-schedule torture suite (label "torture"),
+#   3. the AddressSanitizer side build (label "sanitize", which itself
+#      rebuilds the lifetime-sensitive targets under -DMPIV_SANITIZE).
+#
+# Usage: tools/ci_smoke.sh [source-dir [build-dir]]
+set -euo pipefail
+
+SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+BUILD_DIR="${2:-${SRC_DIR}/build}"
+
+cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "==== default suite ===="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+      -LE 'sanitize|torture'
+
+echo "==== torture suite ===="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L torture
+
+echo "==== sanitize ===="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L sanitize
