@@ -1,0 +1,170 @@
+// Tracing-overhead A/B bench: the same V2 jobs with the causal trace
+// recorder disabled versus enabled, measured in host wall-clock time (the
+// recorder costs real cycles, not simulated ones — virtual results are
+// bit-identical by construction). Reports, per workload:
+//   * host ms per run for both configurations and the % slowdown,
+//   * events recorded and the recorder's ring footprint (bytes/event),
+//   * recording rate (events per host second) with tracing on.
+// The acceptance target is <= 5% slowdown on the ping-pong fast-wire
+// profile; compiled out (-DMPIV_TRACE=OFF) the overhead is exactly zero
+// because every MPIV_TRACE site folds to nothing.
+//
+// `json` emits a machine-readable summary for CI tracking.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/pingpong.hpp"
+#include "apps/token_ring.hpp"
+#include "bench_util.hpp"
+#include "trace/trace.hpp"
+
+using namespace mpiv;
+
+namespace {
+
+/// The fast-wire profile from bench_datapath: per-event CPU costs dominate,
+/// so recorder overhead has nowhere to hide.
+net::NetParams fast_profile() {
+  net::NetParams p;
+  p.wire_latency = microseconds(5);
+  p.bandwidth_bps = 1.25e9;
+  p.per_msg_send_cpu = microseconds(3);
+  p.per_msg_recv_cpu = microseconds(3);
+  p.connect_rtt = microseconds(40);
+  p.pipe_latency = microseconds(1);
+  p.pipe_per_msg = microseconds(2);
+  p.pipe_bandwidth_bps = 2e9;
+  p.memcpy_bandwidth_bps = 2e9;
+  p.daemon_chunk_bytes = 64 * 1024;
+  p.tcp_window_bytes = 256 * 1024;
+  return p;
+}
+
+struct Workload {
+  std::string name;
+  runtime::JobConfig cfg;
+  runtime::AppFactory factory;
+};
+
+struct Measurement {
+  double best_ms = 0;       // fastest of `iters` runs (noise floor)
+  std::uint64_t events = 0; // trace events recorded (0 with tracing off)
+};
+
+Measurement measure(const Workload& w, bool traced, int iters) {
+  Measurement m;
+  m.best_ms = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    runtime::JobConfig cfg = w.cfg;
+    cfg.trace.enabled = traced;
+    auto start = std::chrono::steady_clock::now();
+    runtime::JobResult res = run_job(cfg, w.factory);
+    auto stop = std::chrono::steady_clock::now();
+    if (!res.success) return {};
+    double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    m.best_ms = std::min(m.best_ms, ms);
+    m.events = static_cast<std::uint64_t>(
+        res.counters.get("trace_events_recorded"));
+  }
+  return m;
+}
+
+struct Row {
+  std::string name;
+  Measurement off, on;
+  double slowdown_pct = 0;
+  double events_per_sec = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  int iters = static_cast<int>(opts.get_int("iters", 5));
+  int pingpong_reps = static_cast<int>(opts.get_int("pingpong_reps", 200));
+  int ring_rounds = static_cast<int>(opts.get_int("ring_rounds", 150));
+  bench::JsonSink json(opts);
+
+  std::vector<Workload> workloads;
+  {
+    Workload w;
+    w.name = "pingpong";
+    w.cfg.nprocs = 2;
+    w.cfg.device = runtime::DeviceKind::kV2;
+    w.cfg.net_params = fast_profile();
+    w.factory = [pingpong_reps](mpi::Rank, mpi::Rank) {
+      return std::make_unique<apps::PingPongApp>(std::size_t{65536},
+                                                 pingpong_reps);
+    };
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "token_ring";
+    w.cfg.nprocs = 4;
+    w.cfg.device = runtime::DeviceKind::kV2;
+    w.cfg.net_params = fast_profile();
+    w.factory = [ring_rounds](mpi::Rank, mpi::Rank) {
+      return std::make_unique<apps::TokenRingApp>(ring_rounds, 512,
+                                                  microseconds(10));
+    };
+    workloads.push_back(std::move(w));
+  }
+
+  std::vector<Row> rows;
+  for (const Workload& w : workloads) {
+    Row row;
+    row.name = w.name;
+    // Interleaved A/B keeps thermal/cache drift out of one arm.
+    row.off = measure(w, /*traced=*/false, iters);
+    row.on = measure(w, /*traced=*/true, iters);
+    row.slowdown_pct =
+        row.off.best_ms > 0
+            ? (row.on.best_ms / row.off.best_ms - 1.0) * 100.0
+            : 0.0;
+    row.events_per_sec = row.on.best_ms > 0
+                             ? static_cast<double>(row.on.events) /
+                                   (row.on.best_ms / 1000.0)
+                             : 0.0;
+    rows.push_back(std::move(row));
+  }
+
+  if (json.active()) {
+    json.printf("{\n  \"compiled_in\": %s,\n  \"bytes_per_event\": %zu,\n",
+                trace::kCompiled ? "true" : "false",
+                sizeof(trace::TraceEvent));
+    json.printf("  \"workloads\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      json.printf(
+          "    {\"name\": \"%s\", \"off_ms\": %.3f, \"on_ms\": %.3f, "
+          "\"slowdown_pct\": %.2f, \"events\": %llu, "
+          "\"events_per_host_sec\": %.0f}%s\n",
+          r.name.c_str(), r.off.best_ms, r.on.best_ms, r.slowdown_pct,
+          static_cast<unsigned long long>(r.on.events), r.events_per_sec,
+          i + 1 < rows.size() ? "," : "");
+    }
+    json.printf("  ]\n}\n");
+    return 0;
+  }
+
+  bench::print_header("Causal trace recorder overhead A/B",
+                      "observability satellite: <= 5% slowdown traced, "
+                      "zero compiled out (-DMPIV_TRACE=OFF)");
+  std::printf("trace compiled in: %s, %zu bytes/event\n\n",
+              trace::kCompiled ? "yes" : "no", sizeof(trace::TraceEvent));
+  TextTable table({"workload", "off ms", "on ms", "slowdown", "events",
+                   "events/host-s"});
+  for (const Row& r : rows) {
+    table.add_row({r.name, format_double(r.off.best_ms, 3),
+                   format_double(r.on.best_ms, 3),
+                   format_double(r.slowdown_pct, 2) + "%",
+                   std::to_string(r.on.events),
+                   format_double(r.events_per_sec, 0)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -7,6 +7,9 @@
 //   ./mpirun_v2 pgfile=deploy.pg kernel=bt class=T faults=2
 //
 // Without pgfile= a default 8-node deployment is used.
+// --trace <path> records the run's causal protocol trace as JSONL (feed it
+// to ./trace_audit to check the pessimistic-logging invariants);
+// --trace-chrome <path> additionally writes a chrome://tracing timeline.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -15,6 +18,7 @@
 #include "common/options.hpp"
 #include "runtime/job.hpp"
 #include "services/program_file.hpp"
+#include "trace/trace.hpp"
 
 using namespace mpiv;
 
@@ -67,6 +71,20 @@ int main(int argc, char** argv) try {
     cfg.nprocs = q * q;
   }
 
+  if (opts.has("trace")) {
+    cfg.trace.enabled = true;
+    cfg.trace.jsonl_path = opts.get("trace");
+  }
+  if (opts.has("trace-chrome")) {
+    cfg.trace.enabled = true;
+    cfg.trace.chrome_path = opts.get("trace-chrome");
+  }
+  if (cfg.trace.enabled && !trace::kCompiled) {
+    std::fprintf(stderr,
+                 "warning: tracing requested but compiled out "
+                 "(-DMPIV_TRACE=OFF); no trace will be written\n");
+  }
+
   int nfaults = static_cast<int>(opts.get_int("faults", 0));
   std::printf("running %s class %s on %d ranks (%d fault%s injected)\n\n",
               kernel.c_str(), cls_s.c_str(), cfg.nprocs, nfaults,
@@ -108,6 +126,16 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(res.daemon_stats.events_logged),
               static_cast<unsigned long long>(
                   res.daemon_stats.replayed_deliveries));
+  if (trace::kCompiled && !cfg.trace.jsonl_path.empty()) {
+    std::printf("trace written to %s (%lld events; audit with trace_audit)\n",
+                cfg.trace.jsonl_path.c_str(),
+                static_cast<long long>(
+                    res.counters.get("trace_events_recorded")));
+  }
+  if (trace::kCompiled && !cfg.trace.chrome_path.empty()) {
+    std::printf("chrome trace written to %s\n",
+                cfg.trace.chrome_path.c_str());
+  }
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "mpirun_v2: %s\n", e.what());

@@ -6,6 +6,46 @@
 
 namespace mpiv {
 
+void CounterRegistry::add(const std::string& name, std::int64_t value,
+                          MergeKind kind) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    index_.emplace(name, entries_.size());
+    entries_.push_back(Entry{name, value, kind});
+    return;
+  }
+  Entry& e = entries_[it->second];
+  if (e.kind == MergeKind::kMax) {
+    e.value = std::max(e.value, value);
+  } else {
+    e.value += value;
+  }
+}
+
+void CounterRegistry::merge(const CounterRegistry& other) {
+  for (const Entry& e : other.entries_) add(e.name, e.value, e.kind);
+}
+
+std::int64_t CounterRegistry::get(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0 : entries_[it->second].value;
+}
+
+bool CounterRegistry::contains(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+std::string CounterRegistry::json_object() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << entries_[i].name << "\":" << entries_[i].value;
+  }
+  os << '}';
+  return os.str();
+}
+
 void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

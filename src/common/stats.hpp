@@ -4,9 +4,46 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace mpiv {
+
+/// How duplicate counter names combine under merge(): additive counts sum,
+/// watermarks (queue depths, replica lag) take the max.
+enum class MergeKind { kSum, kMax };
+
+/// Insertion-ordered registry of named integer counters. Every subsystem
+/// exports its ad-hoc tallies through one of these so jobs, benches and the
+/// JSON reports all aggregate per-rank stats the same way.
+class CounterRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::int64_t value = 0;
+    MergeKind kind = MergeKind::kSum;
+  };
+
+  /// Adds (or merges into) `name`. The MergeKind of the first add wins.
+  void add(const std::string& name, std::int64_t value,
+           MergeKind kind = MergeKind::kSum);
+
+  /// Folds every entry of `other` into this registry.
+  void merge(const CounterRegistry& other);
+
+  /// Value of `name`, or 0 when absent.
+  [[nodiscard]] std::int64_t get(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// `{"a":1,"b":2}` in insertion order, for embedding in bench JSON.
+  [[nodiscard]] std::string json_object() const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
 
 /// Welford running mean/variance plus min/max.
 class RunningStats {

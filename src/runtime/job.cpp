@@ -9,6 +9,7 @@
 #include "services/ckpt_server.hpp"
 #include "services/dispatcher.hpp"
 #include "services/event_logger.hpp"
+#include "trace/sinks.hpp"
 #include "v1/v1_device.hpp"
 #include "v2/v2_device.hpp"
 
@@ -46,6 +47,9 @@ class Cluster {
           const AppFactory& factory)
       : eng_(eng), net_(net), cfg_(cfg), factory_(factory) {
     results_.resize(static_cast<std::size_t>(cfg_.nprocs));
+    if (cfg_.trace.enabled && trace::kCompiled) {
+      book_ = std::make_shared<trace::TraceBook>(cfg_.trace, &eng_);
+    }
   }
 
   ~Cluster() { eng_.shutdown(); }
@@ -73,6 +77,7 @@ class Cluster {
           mpi::Rank rank = f.rank;
           eng_.schedule_at(f.at, [this, rank] {
             if (disp_ == nullptr || !disp_->job_complete()) {
+              MPIV_TRACE(rec(trace::Role::kDaemon, rank), trace::Kind::kCrash);
               net_.kill_node(node_of_rank_[static_cast<std::size_t>(rank)]);
             }
           });
@@ -84,6 +89,9 @@ class Cluster {
           auto idx = static_cast<std::size_t>(f.rank) % els_.size();
           eng_.schedule_at(f.at, [this, idx] {
             if (disp_ == nullptr || !disp_->job_complete()) {
+              MPIV_TRACE(rec(trace::Role::kEventLogger,
+                             static_cast<std::int32_t>(idx)),
+                         trace::Kind::kCrash);
               net_.kill_node(el_nodes_[idx]);
             }
           });
@@ -92,6 +100,9 @@ class Cluster {
             // use it resync it from their in-memory logs.
             eng_.schedule_at(f.at + cfg_.restart_delay, [this, idx] {
               if (disp_ != nullptr && disp_->job_complete()) return;
+              MPIV_TRACE(rec(trace::Role::kEventLogger,
+                             static_cast<std::int32_t>(idx)),
+                         trace::Kind::kSpawn, {.flag = true});
               net_.revive_node(el_nodes_[idx]);
               els_[idx]->clear();
               sim::Process* p = eng_.spawn(
@@ -108,6 +119,9 @@ class Cluster {
           auto idx = static_cast<std::size_t>(f.rank) % css_.size();
           eng_.schedule_at(f.at, [this, idx] {
             if (disp_ == nullptr || !disp_->job_complete()) {
+              MPIV_TRACE(rec(trace::Role::kCkptServer,
+                             static_cast<std::int32_t>(idx)),
+                         trace::Kind::kCrash);
               net_.kill_node(cs_nodes_[idx]);
             }
           });
@@ -115,6 +129,9 @@ class Cluster {
             // Stable storage: the stripe reboots with its store intact.
             eng_.schedule_at(f.at + cfg_.restart_delay, [this, idx] {
               if (disp_ != nullptr && disp_->job_complete()) return;
+              MPIV_TRACE(rec(trace::Role::kCkptServer,
+                             static_cast<std::int32_t>(idx)),
+                         trace::Kind::kSpawn, {.flag = true});
               net_.revive_node(cs_nodes_[idx]);
               sim::Process* p = eng_.spawn(
                   "ckpt-server" + std::to_string(idx) + "'",
@@ -127,12 +144,16 @@ class Cluster {
       }
     }
     if (cfg_.ckpt_server_fails_at >= 0) {
-      eng_.schedule_at(cfg_.ckpt_server_fails_at,
-                       [this] { net_.kill_node(cs_node_); });
+      eng_.schedule_at(cfg_.ckpt_server_fails_at, [this] {
+        MPIV_TRACE(rec(trace::Role::kCkptServer, 0), trace::Kind::kCrash);
+        net_.kill_node(cs_node_);
+      });
       if (cfg_.ckpt_server_recovers && !css_.empty()) {
         // Reboot stripe 0 with its store intact (stable storage).
         eng_.schedule_at(cfg_.ckpt_server_fails_at + cfg_.restart_delay,
                          [this] {
+                           MPIV_TRACE(rec(trace::Role::kCkptServer, 0),
+                                      trace::Kind::kSpawn, {.flag = true});
                            net_.revive_node(cs_node_);
                            sim::Process* p = eng_.spawn(
                                "ckpt-server'",
@@ -156,39 +177,14 @@ class Cluster {
     }
     out.success = all && (disp_ == nullptr || disp_->job_complete());
     out.restarts = disp_ != nullptr ? disp_->total_restarts() : 0;
+    // Per-daemon counters all flow through the registry (sums, with the
+    // per-replica lag watermarks merging by max); the legacy struct view is
+    // derived from the merged registry.
     for (v2::Daemon* d : latest_daemon_) {
       if (d == nullptr) continue;
-      const v2::DaemonStats& s = d->stats();
-      out.daemon_stats.sent_msgs += s.sent_msgs;
-      out.daemon_stats.recv_msgs += s.recv_msgs;
-      out.daemon_stats.sent_bytes += s.sent_bytes;
-      out.daemon_stats.recv_bytes += s.recv_bytes;
-      out.daemon_stats.duplicates_dropped += s.duplicates_dropped;
-      out.daemon_stats.replayed_deliveries += s.replayed_deliveries;
-      out.daemon_stats.events_logged += s.events_logged;
-      out.daemon_stats.checkpoints_taken += s.checkpoints_taken;
-      out.daemon_stats.gc_pruned_entries += s.gc_pruned_entries;
-      out.daemon_stats.suppressed_sends += s.suppressed_sends;
-      out.daemon_stats.bytes_copied += s.bytes_copied;
-      out.daemon_stats.payload_copies_tx += s.payload_copies_tx;
-      out.daemon_stats.payload_copies_rx += s.payload_copies_rx;
-      out.daemon_stats.el_appends += s.el_appends;
-      out.daemon_stats.el_quorum_waits += s.el_quorum_waits;
-      out.daemon_stats.el_replica_retries += s.el_replica_retries;
-      if (out.daemon_stats.el_replica_max_lag.size() <
-          s.el_replica_max_lag.size()) {
-        out.daemon_stats.el_replica_max_lag.resize(s.el_replica_max_lag.size(),
-                                                   0);
-      }
-      for (std::size_t i = 0; i < s.el_replica_max_lag.size(); ++i) {
-        out.daemon_stats.el_replica_max_lag[i] = std::max(
-            out.daemon_stats.el_replica_max_lag[i], s.el_replica_max_lag[i]);
-      }
-      out.daemon_stats.ckpt_bytes_sent += s.ckpt_bytes_sent;
-      out.daemon_stats.ckpt_bytes_deduped += s.ckpt_bytes_deduped;
-      out.daemon_stats.ckpt_fetch_bytes += s.ckpt_fetch_bytes;
-      out.daemon_stats.ckpt_fetch_ns += s.ckpt_fetch_ns;
+      out.counters.merge(d->stats().registry());
     }
+    out.daemon_stats = v2::DaemonStats::from_registry(out.counters);
     // Stripe 0 installs one table per checkpoint, so its store count is the
     // per-checkpoint figure regardless of stripe fan-out.
     if (!css_.empty()) out.checkpoints_stored = css_.front()->images_stored();
@@ -198,10 +194,39 @@ class Cluster {
       out.el_stores_consistent =
           out.el_stores_consistent && el->store_consistent();
     }
+    // Job-level tallies ride the same registry so bench JSON can dump one
+    // flat counters object.
+    out.counters.add("restarts", out.restarts);
+    out.counters.add("checkpoints_stored",
+                     static_cast<std::int64_t>(out.checkpoints_stored));
+    out.counters.add("ckpt_stored_bytes",
+                     static_cast<std::int64_t>(out.ckpt_stored_bytes));
+    out.counters.add("el_events_stored",
+                     static_cast<std::int64_t>(out.el_events_stored));
+    if (book_) {
+      out.counters.add("trace_events_recorded",
+                       static_cast<std::int64_t>(book_->total_recorded()));
+      out.counters.add("trace_events_dropped",
+                       static_cast<std::int64_t>(book_->total_dropped()));
+      if (!cfg_.trace.jsonl_path.empty()) {
+        trace::write_jsonl_file(cfg_.trace.jsonl_path, book_->merged(),
+                                book_->total_dropped());
+      }
+      if (!cfg_.trace.chrome_path.empty()) {
+        trace::write_chrome_trace_file(cfg_.trace.chrome_path,
+                                       book_->merged());
+      }
+      out.trace = book_;
+    }
     return out;
   }
 
  private:
+  /// Recorder for (role, id), or nullptr when tracing is off.
+  trace::TraceRecorder* rec(trace::Role role, std::int32_t id) {
+    return book_ ? book_->recorder(role, id) : nullptr;
+  }
+
   // ---------------- P4: no services, direct connections ----------------
   void start_p4() {
     MPIV_CHECK(cfg_.fault_plan.events.empty(), "P4 cannot survive faults");
@@ -270,8 +295,10 @@ class Cluster {
     for (int i = 0; i < nels; ++i) {
       net::NodeId el_node = net_.add_node("el" + std::to_string(i));
       el_nodes_.push_back(el_node);
-      els_.push_back(std::make_unique<services::EventLoggerServer>(
-          net_, services::EventLoggerServer::Config{el_node, cfg_.el_port}));
+      services::EventLoggerServer::Config elcfg{el_node, cfg_.el_port};
+      elcfg.trace = rec(trace::Role::kEventLogger, i);
+      els_.push_back(
+          std::make_unique<services::EventLoggerServer>(net_, elcfg));
       el_addrs_.push_back({el_node, cfg_.el_port});
       sim::Process* pel = eng_.spawn(
           "event-logger" + std::to_string(i),
@@ -301,6 +328,7 @@ class Cluster {
     if (cfg_.checkpointing) {
       services::CkptScheduler::Config scfg;
       scfg.node = svc_node_;
+      scfg.trace = rec(trace::Role::kScheduler, 0);
       scfg.nranks = cfg_.nprocs;
       scfg.policy = cfg_.ckpt_policy;
       scfg.seed = cfg_.seed;
@@ -386,9 +414,14 @@ class Cluster {
     dcfg.legacy_datapath = cfg_.v2_legacy_datapath;
     dcfg.full_image_ckpt = cfg_.v2_full_image_ckpt;
     dcfg.optional_connect_budget = cfg_.cs_connect_budget;
+    dcfg.trace = rec(trace::Role::kDaemon, rank);
+    dcfg.trace_mutation = cfg_.trace_mutation;
     daemons_.push_back(std::make_unique<v2::Daemon>(net_, *pipe, dcfg));
     v2::Daemon* daemon = daemons_.back().get();
     latest_daemon_[ri] = daemon;
+    if (auto* rr = rec(trace::Role::kRuntime, rank)) {
+      rr->set_incarnation(incarnation);
+    }
 
     std::string suffix =
         std::to_string(rank) + "#" + std::to_string(incarnation);
@@ -396,7 +429,8 @@ class Cluster {
         "daemon" + suffix, [daemon](sim::Context& ctx) { daemon->run(ctx); });
     sim::Process* ap =
         eng_.spawn("rank" + suffix, [this, pipe, rank](sim::Context& ctx) {
-          v2::V2Device dev(*pipe, rank, cfg_.nprocs, cfg_.v2_full_image_ckpt);
+          v2::V2Device dev(*pipe, rank, cfg_.nprocs, cfg_.v2_full_image_ckpt,
+                           rec(trace::Role::kRuntime, rank));
           run_app(ctx, dev, rank);
         });
     net_.register_process(node, dp);
@@ -444,6 +478,7 @@ class Cluster {
   std::unique_ptr<services::CkptScheduler> sched_;
   std::unique_ptr<services::Dispatcher> disp_;
   std::vector<RankResult> results_;
+  std::shared_ptr<trace::TraceBook> book_;
 };
 
 }  // namespace

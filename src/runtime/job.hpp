@@ -4,14 +4,17 @@
 // used by examples, benches and the integration tests.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "faults/plan.hpp"
 #include "mpi/profiler.hpp"
 #include "net/network.hpp"
 #include "runtime/app.hpp"
 #include "services/ckpt_policies.hpp"
+#include "trace/trace.hpp"
 #include "v2/daemon.hpp"
 
 namespace mpiv::runtime {
@@ -92,6 +95,15 @@ struct JobConfig {
   /// v2::DaemonConfig::full_image_ckpt) for A/B benchmarking.
   bool v2_full_image_ckpt = false;
 
+  /// Causal trace recorder (src/trace/): when trace.enabled, every protocol
+  /// actor records structured events; run_job keeps the merged TraceBook on
+  /// the JobResult and writes the configured sinks. Compiled out entirely
+  /// under -DMPIV_TRACE=OFF.
+  trace::TraceConfig trace;
+  /// TEST ONLY: deliberately violate one protocol invariant so the offline
+  /// auditor's detection can be asserted (see trace::Mutation).
+  trace::Mutation trace_mutation = trace::Mutation::kNone;
+
   SimTime time_limit = seconds(100000);
   std::uint64_t seed = 1;
 };
@@ -121,6 +133,12 @@ struct JobResult {
   /// Every event-logger store passed its ordering/duplicate-freedom check
   /// at job end (vacuously true for non-V2 devices).
   bool el_stores_consistent = true;
+  /// All per-daemon counters plus job-level tallies, merged through the
+  /// common registry (daemon_stats above is derived from this).
+  CounterRegistry counters;
+  /// The job's trace, when JobConfig::trace.enabled — audit it in-process
+  /// with trace::audit(trace->merged(), trace->total_dropped()).
+  std::shared_ptr<trace::TraceBook> trace;
 
   [[nodiscard]] SimDuration max_mpi_time() const;
   /// Uniform-output check: true if every rank's output equals rank 0's.

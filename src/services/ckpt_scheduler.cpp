@@ -107,6 +107,7 @@ void CkptScheduler::run(sim::Context& ctx) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(v2::CtlMsg::kCkptOrder));
     c->send(ctx, w.take());
+    MPIV_TRACE(config_.trace, trace::Kind::kCkptOrder, {.peer = target});
     ++orders_;
     awaiting_ = target;
     SimTime deadline = ctx.now() + config_.ckpt_timeout;

@@ -11,6 +11,7 @@
 #include "net/network.hpp"
 #include "services/ckpt_policies.hpp"
 #include "sim/process.hpp"
+#include "trace/trace.hpp"
 #include "v2/wire.hpp"
 
 namespace mpiv::services {
@@ -20,6 +21,8 @@ class CkptScheduler {
   struct Config {
     net::NodeId node = net::kNoNode;
     std::int32_t port = v2::kSchedulerPort;
+    /// Optional causal trace recorder (Role::kScheduler).
+    trace::TraceRecorder* trace = nullptr;
     mpi::Rank nranks = 0;
     PolicyKind policy = PolicyKind::kRoundRobin;
     std::uint64_t seed = 1;

@@ -99,9 +99,19 @@ void EventLoggerServer::handle(sim::Context& ctx, net::Conn* conn,
                            [&e](const v2::ReceptionEvent& old) {
                              return !v2::event_before(old, e);
                            });
+          MPIV_TRACE(config_.trace, trace::Kind::kElSrvTruncate,
+                     {.peer = client_rank(conn),
+                      .n = static_cast<std::uint64_t>(pr.events.end() -
+                                                      first_stale)});
           pr.events.erase(first_stale, pr.events.end());
           pr.truncate_pending = false;
         }
+        MPIV_TRACE(config_.trace, trace::Kind::kElSrvAppend,
+                   {.peer = client_rank(conn),
+                    .c1 = e.send_clock,
+                    .c2 = e.recv_clock,
+                    .c3 = e.sender,
+                    .flag = e.kind == v2::ReceptionEvent::Kind::kProbeBatch});
         // Replayed events are never re-appended, so delivery clocks must
         // advance; probe batches are stamped with the upcoming delivery
         // clock and may share it with the delivery that follows.
@@ -135,6 +145,8 @@ void EventLoggerServer::handle(sim::Context& ctx, net::Conn* conn,
     }
     case v2::ElMsg::kPrune: {
       v2::Clock upto = r.i64();
+      MPIV_TRACE(config_.trace, trace::Kind::kElSrvPrune,
+                 {.peer = client_rank(conn), .c1 = upto});
       auto& events = store_[client_rank(conn)].events;
       auto first_kept = std::find_if(events.begin(), events.end(),
                                      [upto](const v2::ReceptionEvent& e) {

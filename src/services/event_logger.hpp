@@ -19,6 +19,7 @@
 
 #include "net/network.hpp"
 #include "sim/process.hpp"
+#include "trace/trace.hpp"
 #include "v2/wire.hpp"
 
 namespace mpiv::services {
@@ -28,6 +29,8 @@ class EventLoggerServer {
   struct Config {
     net::NodeId node = net::kNoNode;
     std::int32_t port = v2::kEventLoggerPort;
+    /// Optional causal trace recorder (Role::kEventLogger).
+    trace::TraceRecorder* trace = nullptr;
   };
 
   EventLoggerServer(net::Network& net, Config config)

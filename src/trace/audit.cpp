@@ -1,0 +1,374 @@
+#include "trace/audit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace mpiv::trace {
+namespace {
+
+constexpr std::size_t kMaxViolations = 64;
+
+// Per-peer watermark state within one (rank, incarnation).
+struct PeerState {
+  std::int64_t hs_bound = 0;     // highest clock known sent to this peer
+  std::int64_t notified_hr = 0;  // highest CkptNotify received from peer
+  std::int64_t pruned_upto = 0;  // highest SAVED prune bound toward peer
+  std::int64_t last_r1 = -1;     // last Restart1 HR sent to peer
+  std::int64_t last_r2 = -1;     // last Restart2 HR sent to peer
+  std::int64_t last_notify = -1; // last CkptNotify value sent to peer
+};
+
+// State of one incarnation of one rank.
+struct IncState {
+  std::set<std::pair<std::int32_t, std::int64_t>> delivered;
+  std::int64_t recv_clock = 0;   // last delivery clock observed
+  std::vector<TraceEvent> plan;          // every kReplayPlan, in order
+  std::vector<TraceEvent> plan_deliv;    // delivery subset of the plan
+  std::size_t next_replay = 0;
+  bool has_stable = false;       // stable ckpt reached (or restored from one)
+  std::map<std::int32_t, PeerState> peers;
+};
+
+// Append key: (event sender, send clock, recv clock, probe-batch flag).
+using AppendKey = std::tuple<std::int32_t, std::int64_t, std::int64_t, bool>;
+
+struct RankState {
+  std::map<std::int32_t, IncState> incs;
+  std::map<AppendKey, std::int32_t> append_min_inc;
+  std::int64_t el_pruned = 0;    // event-log prune bound (recv clock)
+};
+
+class Auditor {
+ public:
+  explicit Auditor(std::uint64_t dropped) { report_.dropped = dropped; }
+
+  AuditReport run(const std::vector<TraceEvent>& events) {
+    for (const TraceEvent& e : events) {
+      ++report_.events_checked;
+      if (e.role == Role::kDaemon) daemon_event(e);
+    }
+    if (report_.dropped > 0) {
+      report_.inconclusive = true;
+    }
+    if (report_.events_checked == 0) {
+      report_.inconclusive = true;
+    }
+    report_.pass = report_.violations.empty() && !report_.inconclusive;
+    return std::move(report_);
+  }
+
+ private:
+  void flag(Invariant inv, const TraceEvent& e, std::string detail,
+            const TraceEvent* context = nullptr) {
+    if (report_.violations.size() >= kMaxViolations) return;
+    Violation v;
+    v.invariant = inv;
+    v.detail = std::move(detail);
+    if (context != nullptr) v.evidence.push_back(*context);
+    v.evidence.push_back(e);
+    report_.violations.push_back(std::move(v));
+  }
+
+  IncState& inc_state(const TraceEvent& e) {
+    return ranks_[e.id].incs[e.incarnation];
+  }
+
+  void daemon_event(const TraceEvent& e) {
+    RankState& rank = ranks_[e.id];
+    IncState& inc = inc_state(e);
+    switch (e.kind) {
+      case Kind::kSendWire: {
+        // No-orphan: the frame's required reception events (n) must be
+        // quorum-acked (c2) when the last chunk leaves the node.
+        if (e.n > static_cast<std::uint64_t>(std::max<std::int64_t>(e.c2, 0))) {
+          std::ostringstream os;
+          os << "rank " << e.id << " sent clock " << e.c1 << " to rank "
+             << e.peer << " with only " << e.c2 << "/" << e.n
+             << " reception events quorum-acked (WAITLOGGED violated)";
+          flag(Invariant::kNoOrphan, e, os.str());
+        }
+        break;
+      }
+      case Kind::kSendIssued:
+        touch_hs(inc, e.peer, e.c1);
+        break;
+      case Kind::kRestart2Recv:
+        touch_hs(inc, e.peer, e.c1);
+        break;
+      case Kind::kWatermarks:
+        touch_hs(inc, e.peer, e.c1);
+        break;
+      case Kind::kSendSuppressed: {
+        // Monotonic-H: suppression may only fire at or below the HS bound
+        // established by prior sends / RESTART2 / the restored watermark.
+        std::int64_t bound = inc.peers[e.peer].hs_bound;
+        if (e.c1 > bound) {
+          std::ostringstream os;
+          os << "rank " << e.id << " suppressed send clock " << e.c1
+             << " to rank " << e.peer << " above its HS bound " << bound;
+          flag(Invariant::kMonotonicH, e, os.str());
+        }
+        break;
+      }
+      case Kind::kDeliver:
+        deliver(rank, inc, e);
+        break;
+      case Kind::kReplayPlan:
+        replay_plan(rank, inc, e);
+        break;
+      case Kind::kElAppend: {
+        AppendKey key{e.peer, e.c1, e.c2, e.flag};
+        auto it = rank.append_min_inc.find(key);
+        if (it == rank.append_min_inc.end() || it->second > e.incarnation) {
+          rank.append_min_inc[key] = e.incarnation;
+        }
+        break;
+      }
+      case Kind::kElPrune:
+        rank.el_pruned = std::max(rank.el_pruned, e.c1);
+        break;
+      case Kind::kElDownload: {
+        // GC safety: the restored delivery clock must cover everything the
+        // event log pruned, or part of the history is unrecoverable.
+        if (e.c1 < rank.el_pruned) {
+          std::ostringstream os;
+          os << "rank " << e.id << " restarted at delivery clock " << e.c1
+             << " but its event log was pruned up to " << rank.el_pruned;
+          flag(Invariant::kGcSafety, e, os.str());
+        }
+        break;
+      }
+      case Kind::kCkptStable:
+      case Kind::kCkptRestore:
+        inc.has_stable = true;
+        if (e.kind == Kind::kCkptRestore) inc.recv_clock = e.c2;
+        break;
+      case Kind::kCkptNotifySend: {
+        PeerState& ps = inc.peers[e.peer];
+        if (e.c1 > 0 && !inc.has_stable) {
+          std::ostringstream os;
+          os << "rank " << e.id << " advertised GC watermark " << e.c1
+             << " to rank " << e.peer << " without a stable checkpoint";
+          flag(Invariant::kSenderLogCoverage, e, os.str());
+        }
+        if (e.c1 < ps.last_notify) {
+          std::ostringstream os;
+          os << "rank " << e.id << " CkptNotify to rank " << e.peer
+             << " regressed from " << ps.last_notify << " to " << e.c1;
+          flag(Invariant::kMonotonicH, e, os.str());
+        }
+        ps.last_notify = e.c1;
+        notify_sent_.insert({e.id, e.peer, e.c1});
+        break;
+      }
+      case Kind::kCkptNotifyRecv: {
+        // Sender-log coverage: a GC permission must originate from a real
+        // CkptNotify send by that peer (i.e. from a stable checkpoint).
+        if (notify_sent_.find({e.peer, e.id, e.c1}) == notify_sent_.end()) {
+          std::ostringstream os;
+          os << "rank " << e.id << " observed CkptNotify h=" << e.c1
+             << " from rank " << e.peer << " that rank " << e.peer
+             << " never sent";
+          flag(Invariant::kSenderLogCoverage, e, os.str());
+        }
+        PeerState& ps = inc.peers[e.peer];
+        ps.notified_hr = std::max(ps.notified_hr, e.c1);
+        break;
+      }
+      case Kind::kGcPrune: {
+        PeerState& ps = inc.peers[e.peer];
+        if (e.c1 > ps.notified_hr) {
+          std::ostringstream os;
+          os << "rank " << e.id << " pruned SAVED toward rank " << e.peer
+             << " up to clock " << e.c1 << " but rank " << e.peer
+             << " only notified stability up to " << ps.notified_hr;
+          flag(Invariant::kGcSafety, e, os.str());
+        }
+        ps.pruned_upto = std::max(ps.pruned_upto, e.c1);
+        break;
+      }
+      case Kind::kRestart1Recv: {
+        // GC safety: the restarting peer asks for everything above its HR;
+        // if we pruned beyond that, the resend is unsatisfiable.
+        PeerState& ps = inc.peers[e.peer];
+        if (e.c1 < ps.pruned_upto) {
+          std::ostringstream os;
+          os << "rank " << e.id << " received Restart1 hr=" << e.c1
+             << " from rank " << e.peer << " after pruning SAVED up to "
+             << ps.pruned_upto << " (pruned payload re-requested)";
+          flag(Invariant::kGcSafety, e, os.str());
+        }
+        // Restart1 re-seeds HS from the peer's HR, so resend suppression up
+        // to that clock is legitimate.
+        touch_hs(inc, e.peer, e.c1);
+        break;
+      }
+      case Kind::kRestart1Send: {
+        PeerState& ps = inc.peers[e.peer];
+        if (e.c1 < ps.last_r1) {
+          std::ostringstream os;
+          os << "rank " << e.id << " Restart1 HR toward rank " << e.peer
+             << " regressed from " << ps.last_r1 << " to " << e.c1;
+          flag(Invariant::kMonotonicH, e, os.str());
+        }
+        ps.last_r1 = e.c1;
+        break;
+      }
+      case Kind::kRestart2Send: {
+        PeerState& ps = inc.peers[e.peer];
+        if (e.c1 < ps.last_r2) {
+          std::ostringstream os;
+          os << "rank " << e.id << " Restart2 HR toward rank " << e.peer
+             << " regressed from " << ps.last_r2 << " to " << e.c1;
+          flag(Invariant::kMonotonicH, e, os.str());
+        }
+        ps.last_r2 = e.c1;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  static void touch_hs(IncState& inc, std::int32_t peer, std::int64_t clock) {
+    PeerState& ps = inc.peers[peer];
+    ps.hs_bound = std::max(ps.hs_bound, clock);
+  }
+
+  void deliver(RankState& rank, IncState& inc, const TraceEvent& e) {
+    (void)rank;
+    // At-most-once per (sender, sender clock) within this incarnation.
+    auto key = std::make_pair(e.peer, e.c1);
+    if (!inc.delivered.insert(key).second) {
+      std::ostringstream os;
+      os << "rank " << e.id << " delivered (sender " << e.peer << ", clock "
+         << e.c1 << ") twice in incarnation " << e.incarnation;
+      flag(Invariant::kAtMostOnce, e, os.str());
+    }
+    // The delivery clock advances by exactly one per delivery.
+    if (e.c2 != inc.recv_clock + 1) {
+      std::ostringstream os;
+      os << "rank " << e.id << " delivery clock jumped from " << inc.recv_clock
+         << " to " << e.c2 << " (sender " << e.peer << ", clock " << e.c1
+         << ")";
+      flag(Invariant::kAtMostOnce, e, os.str());
+    }
+    inc.recv_clock = e.c2;
+    // Replay-order: replayed deliveries must match the downloaded plan
+    // position-by-position, and no fresh delivery may preempt the replay.
+    if (e.flag) {
+      if (inc.next_replay >= inc.plan_deliv.size()) {
+        flag(Invariant::kReplayOrder, e,
+             "replayed delivery has no corresponding logged event");
+      } else {
+        const TraceEvent& want = inc.plan_deliv[inc.next_replay];
+        if (want.peer != e.peer || want.c1 != e.c1 || want.c2 != e.c2) {
+          std::ostringstream os;
+          os << "rank " << e.id << " replay diverged from the logged order: "
+             << "logged (sender " << want.peer << ", clock " << want.c1
+             << ", recv " << want.c2 << ") but delivered (sender " << e.peer
+             << ", clock " << e.c1 << ", recv " << e.c2 << ")";
+          flag(Invariant::kReplayOrder, e, os.str(), &want);
+        }
+        ++inc.next_replay;
+      }
+    } else if (inc.next_replay < inc.plan_deliv.size()) {
+      std::ostringstream os;
+      os << "rank " << e.id << " delivered a fresh message with "
+         << (inc.plan_deliv.size() - inc.next_replay)
+         << " logged re-deliveries still pending";
+      flag(Invariant::kReplayOrder, e, os.str());
+    }
+  }
+
+  void replay_plan(RankState& rank, IncState& inc, const TraceEvent& e) {
+    // The plan itself must be ordered the way the event log orders events:
+    // delivery clocks non-decreasing, probe batches before the delivery
+    // that closes the same clock slot.
+    if (!inc.plan.empty()) {
+      const TraceEvent& prev = inc.plan.back();
+      bool ordered = e.c2 > prev.c2 || (e.c2 == prev.c2 && prev.flag);
+      if (!ordered) {
+        std::ostringstream os;
+        os << "rank " << e.id << " downloaded a replay plan out of logged "
+           << "order: recv " << prev.c2 << " then recv " << e.c2;
+        flag(Invariant::kReplayOrder, e, os.str(), &prev);
+      }
+    }
+    // Every planned event must have been appended by an earlier
+    // incarnation of this rank (otherwise the log invented history).
+    AppendKey key{e.peer, e.c1, e.c2, e.flag};
+    auto it = rank.append_min_inc.find(key);
+    if (it == rank.append_min_inc.end() || it->second >= e.incarnation) {
+      std::ostringstream os;
+      os << "rank " << e.id << " replay plan contains (sender " << e.peer
+         << ", clock " << e.c1 << ", recv " << e.c2
+         << ") never appended by an earlier incarnation";
+      flag(Invariant::kReplayOrder, e, os.str());
+    }
+    inc.plan.push_back(e);
+    if (!e.flag) inc.plan_deliv.push_back(e);
+  }
+
+  AuditReport report_;
+  std::map<std::int32_t, RankState> ranks_;
+  std::set<std::tuple<std::int32_t, std::int32_t, std::int64_t>> notify_sent_;
+};
+
+}  // namespace
+
+std::string_view invariant_name(Invariant inv) {
+  switch (inv) {
+    case Invariant::kNoOrphan: return "no-orphan";
+    case Invariant::kAtMostOnce: return "at-most-once";
+    case Invariant::kReplayOrder: return "replay-order";
+    case Invariant::kSenderLogCoverage: return "sender-log-coverage";
+    case Invariant::kGcSafety: return "gc-safety";
+    case Invariant::kMonotonicH: return "monotonic-h";
+  }
+  return "unknown";
+}
+
+bool AuditReport::has(Invariant inv) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [inv](const Violation& v) { return v.invariant == inv; });
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  if (pass) {
+    os << "PASS: " << events_checked << " events, all invariants hold\n";
+    return os.str();
+  }
+  if (inconclusive) {
+    os << "INCONCLUSIVE: " << dropped << " events dropped by ring eviction, "
+       << events_checked << " checked";
+    if (events_checked == 0) os << " (empty trace)";
+    os << "\n";
+  }
+  for (const Violation& v : violations) {
+    os << "FAIL " << invariant_name(v.invariant) << ": " << v.detail << "\n";
+    for (const TraceEvent& e : v.evidence) {
+      os << "  evidence: t=" << e.t << "ns seq=" << e.seq << " "
+         << role_name(e.role) << " " << e.id << " inc=" << e.incarnation
+         << " " << kind_name(e.kind) << " peer=" << e.peer << " c1=" << e.c1
+         << " c2=" << e.c2 << " n=" << e.n << " flag="
+         << (e.flag ? "true" : "false") << "\n";
+    }
+  }
+  return os.str();
+}
+
+AuditReport audit(const std::vector<TraceEvent>& events,
+                  std::uint64_t dropped) {
+  return Auditor(dropped).run(events);
+}
+
+AuditReport audit(const TraceBook& book) {
+  return audit(book.merged(), book.total_dropped());
+}
+
+}  // namespace mpiv::trace

@@ -1,0 +1,79 @@
+// Offline protocol auditor: reconstructs a global MPICH-V2 run from the
+// merged trace and checks the pessimistic-logging invariants the paper's
+// safety argument rests on (§3–§4 of MPICH-V2):
+//
+//   no-orphan            no payload leaves a node while the reception
+//                        events that causally precede the send are not yet
+//                        quorum-acked by the event-logger replicas
+//                        (WAITLOGGED, §4.4)
+//   at-most-once         per receiver incarnation, each (sender, sender
+//                        clock) is delivered at most once, and the delivery
+//                        clock advances by exactly one per delivery
+//   replay-order         after a restart, re-deliveries follow exactly the
+//                        order the event log recorded, every replayed event
+//                        was logged by an earlier incarnation, and no fresh
+//                        delivery happens before replay completes (§4.6)
+//   sender-log-coverage  a rank only learns it may GC via a CkptNotify its
+//                        peer really sent after reaching a stable
+//                        checkpoint (§4.3, §4.6 GC)
+//   gc-safety            SAVED prunes stay within the notified watermark,
+//                        no restart ever re-requests a pruned payload, and
+//                        no restart downloads below the event-log prune
+//                        bound
+//   monotonic-h          HS/HR watermarks only advance within an
+//                        incarnation; duplicate suppression never fires
+//                        above the established HS bound (§4.6)
+//
+// The auditor is deliberately conservative: state is re-baselined at every
+// incarnation (from the kWatermarks/kCkptRestore snapshot events), so a
+// legitimate rollback is never a false positive. If any recorder ring
+// dropped events the verdict degrades to "inconclusive" — never to a false
+// pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mpiv::trace {
+
+enum class Invariant : std::uint8_t {
+  kNoOrphan = 0,
+  kAtMostOnce,
+  kReplayOrder,
+  kSenderLogCoverage,
+  kGcSafety,
+  kMonotonicH,
+};
+
+[[nodiscard]] std::string_view invariant_name(Invariant inv);
+
+struct Violation {
+  Invariant invariant = Invariant::kNoOrphan;
+  std::string detail;                 // human-readable counterexample
+  std::vector<TraceEvent> evidence;   // offending event(s), causal order
+};
+
+struct AuditReport {
+  /// True iff no violations and the trace is complete (nothing dropped).
+  bool pass = false;
+  /// True when ring eviction (or an empty trace) makes the verdict
+  /// unreliable; never reported as a pass.
+  bool inconclusive = false;
+  std::uint64_t dropped = 0;
+  std::size_t events_checked = 0;
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool has(Invariant inv) const;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Audits a merged, (t, seq)-ordered event stream. `dropped` is the total
+/// ring-eviction count across recorders.
+AuditReport audit(const std::vector<TraceEvent>& events, std::uint64_t dropped);
+
+/// Convenience: audits everything a job's TraceBook holds.
+AuditReport audit(const TraceBook& book);
+
+}  // namespace mpiv::trace

@@ -1,0 +1,277 @@
+#include "trace/sinks.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <tuple>
+
+namespace mpiv::trace {
+namespace {
+
+constexpr int kLastKind = static_cast<int>(Kind::kAppCkptImage);
+constexpr int kLastRole = static_cast<int>(Role::kRuntime);
+
+bool kind_from_name(std::string_view name, Kind& out) {
+  for (int k = 0; k <= kLastKind; ++k) {
+    if (kind_name(static_cast<Kind>(k)) == name) {
+      out = static_cast<Kind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool role_from_name(std::string_view name, Role& out) {
+  for (int r = 0; r <= kLastRole; ++r) {
+    if (role_name(static_cast<Role>(r)) == name) {
+      out = static_cast<Role>(r);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Minimal parser for the flat JSON objects write_jsonl emits: string,
+// integer and boolean values only, no nesting, no escapes.
+class FlatJson {
+ public:
+  explicit FlatJson(std::string_view line) { ok_ = parse(line); }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool has(std::string_view key) const {
+    return fields_.count(std::string(key)) > 0;
+  }
+  [[nodiscard]] std::string str(std::string_view key) const {
+    auto it = fields_.find(std::string(key));
+    return it == fields_.end() ? std::string() : it->second;
+  }
+  [[nodiscard]] std::int64_t num(std::string_view key,
+                                 std::int64_t def = 0) const {
+    auto it = fields_.find(std::string(key));
+    if (it == fields_.end()) return def;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] std::uint64_t unum(std::string_view key,
+                                   std::uint64_t def = 0) const {
+    auto it = fields_.find(std::string(key));
+    if (it == fields_.end()) return def;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] bool boolean(std::string_view key) const {
+    return str(key) == "true";
+  }
+
+ private:
+  bool parse(std::string_view s) {
+    std::size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    };
+    skip_ws();
+    if (i >= s.size() || s[i] != '{') return false;
+    ++i;
+    for (;;) {
+      skip_ws();
+      if (i < s.size() && s[i] == '}') return true;
+      if (i >= s.size() || s[i] != '"') return false;
+      auto key_end = s.find('"', i + 1);
+      if (key_end == std::string_view::npos) return false;
+      std::string key(s.substr(i + 1, key_end - i - 1));
+      i = key_end + 1;
+      skip_ws();
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      skip_ws();
+      if (i >= s.size()) return false;
+      std::string value;
+      if (s[i] == '"') {
+        auto val_end = s.find('"', i + 1);
+        if (val_end == std::string_view::npos) return false;
+        value = std::string(s.substr(i + 1, val_end - i - 1));
+        i = val_end + 1;
+      } else {
+        std::size_t start = i;
+        while (i < s.size() && s[i] != ',' && s[i] != '}') ++i;
+        value = std::string(s.substr(start, i - start));
+        while (!value.empty() && (value.back() == ' ' || value.back() == '\t'))
+          value.pop_back();
+        if (value.empty()) return false;
+      }
+      fields_[key] = value;
+      skip_ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') return true;
+      return false;
+    }
+  }
+
+  bool ok_ = false;
+  std::map<std::string, std::string> fields_;
+};
+
+void write_event_line(std::ostream& out, const TraceEvent& e) {
+  out << "{\"t\":" << e.t << ",\"seq\":" << e.seq << ",\"role\":\""
+      << role_name(e.role) << "\",\"id\":" << e.id << ",\"inc\":"
+      << e.incarnation << ",\"kind\":\"" << kind_name(e.kind) << "\""
+      << ",\"peer\":" << e.peer << ",\"c1\":" << e.c1 << ",\"c2\":" << e.c2
+      << ",\"c3\":" << e.c3 << ",\"n\":" << e.n << ",\"flag\":"
+      << (e.flag ? "true" : "false") << "}\n";
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events,
+                 std::uint64_t dropped) {
+  out << "{\"trace\":\"mpich-v2\",\"version\":1,\"dropped\":" << dropped
+      << ",\"events\":" << events.size() << "}\n";
+  for (const TraceEvent& e : events) write_event_line(out, e);
+}
+
+bool write_jsonl_file(const std::string& path,
+                      const std::vector<TraceEvent>& events,
+                      std::uint64_t dropped) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_jsonl(out, events, dropped);
+  return static_cast<bool>(out);
+}
+
+bool read_jsonl(std::istream& in, LoadedTrace& out, std::string* error) {
+  std::string line;
+  std::size_t lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    FlatJson obj(line);
+    if (!obj.ok()) return fail("malformed JSON object");
+    if (obj.has("trace")) {  // header
+      out.dropped += obj.unum("dropped");
+      continue;
+    }
+    TraceEvent e;
+    Role role{};
+    Kind kind{};
+    if (!role_from_name(obj.str("role"), role)) return fail("unknown role");
+    if (!kind_from_name(obj.str("kind"), kind)) return fail("unknown kind");
+    e.role = role;
+    e.kind = kind;
+    e.t = obj.num("t");
+    e.seq = obj.unum("seq");
+    e.id = static_cast<std::int32_t>(obj.num("id"));
+    e.incarnation = static_cast<std::int32_t>(obj.num("inc"));
+    e.peer = static_cast<std::int32_t>(obj.num("peer", -1));
+    e.c1 = obj.num("c1");
+    e.c2 = obj.num("c2");
+    e.c3 = obj.num("c3");
+    e.n = obj.unum("n");
+    e.flag = obj.boolean("flag");
+    out.events.push_back(e);
+  }
+  return true;
+}
+
+bool read_jsonl_file(const std::string& path, LoadedTrace& out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  return read_jsonl(in, out, error);
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events) {
+  auto pid = [](Role role) { return static_cast<int>(role) + 1; };
+  auto us = [](SimTime t) { return static_cast<double>(t) / 1000.0; };
+
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+
+  // Process/thread naming metadata.
+  std::map<int, bool> roles_seen;
+  std::map<std::pair<int, std::int32_t>, bool> actors_seen;
+  for (const TraceEvent& e : events) {
+    int p = pid(e.role);
+    if (!roles_seen.count(p)) {
+      roles_seen[p] = true;
+      sep() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << p
+            << ",\"args\":{\"name\":\"" << role_name(e.role) << "\"}}";
+    }
+    auto key = std::make_pair(p, e.id);
+    if (!actors_seen.count(key)) {
+      actors_seen[key] = true;
+      sep() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << p
+            << ",\"tid\":" << e.id << ",\"args\":{\"name\":\""
+            << role_name(e.role) << " " << e.id << "\"}}";
+    }
+  }
+
+  // Duration slices: WAITLOGGED stalls (kStallStart..kStallEnd matched by
+  // (actor, peer, clock)) and outages (kCrash..kSpawn per actor).
+  std::map<std::tuple<int, std::int32_t, std::int32_t, std::int64_t>, SimTime>
+      open_stalls;
+  std::map<std::pair<int, std::int32_t>, SimTime> open_outages;
+  for (const TraceEvent& e : events) {
+    int p = pid(e.role);
+    if (e.kind == Kind::kStallStart) {
+      open_stalls[{p, e.id, e.peer, e.c1}] = e.t;
+    } else if (e.kind == Kind::kStallEnd) {
+      auto it = open_stalls.find({p, e.id, e.peer, e.c1});
+      if (it != open_stalls.end()) {
+        sep() << "{\"name\":\"WAITLOGGED dest=" << e.peer << " clock=" << e.c1
+              << "\",\"cat\":\"stall\",\"ph\":\"X\",\"pid\":" << p
+              << ",\"tid\":" << e.id << ",\"ts\":" << us(it->second)
+              << ",\"dur\":" << us(e.t - it->second) << "}";
+        open_stalls.erase(it);
+      }
+    } else if (e.kind == Kind::kCrash) {
+      open_outages[{p, e.id}] = e.t;
+    } else if (e.kind == Kind::kSpawn) {
+      auto it = open_outages.find({p, e.id});
+      if (it != open_outages.end()) {
+        sep() << "{\"name\":\"outage\",\"cat\":\"fault\",\"ph\":\"X\",\"pid\":"
+              << p << ",\"tid\":" << e.id << ",\"ts\":" << us(it->second)
+              << ",\"dur\":" << us(e.t - it->second) << "}";
+        open_outages.erase(it);
+      }
+    }
+  }
+
+  // Everything as instant events with structured args.
+  for (const TraceEvent& e : events) {
+    sep() << "{\"name\":\"" << kind_name(e.kind)
+          << "\",\"cat\":\"proto\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+          << pid(e.role) << ",\"tid\":" << e.id << ",\"ts\":" << us(e.t)
+          << ",\"args\":{\"inc\":" << e.incarnation << ",\"peer\":" << e.peer
+          << ",\"c1\":" << e.c1 << ",\"c2\":" << e.c2 << ",\"c3\":" << e.c3
+          << ",\"n\":" << e.n << ",\"flag\":" << (e.flag ? "true" : "false")
+          << ",\"seq\":" << e.seq << "}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, events);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mpiv::trace

@@ -1,0 +1,45 @@
+// Trace sinks: JSONL dump (one event per line, lossless, re-readable by
+// the offline auditor) and a Chrome-trace / Perfetto export for timeline
+// visualization of WAITLOGGED stalls, node outages and replay.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mpiv::trace {
+
+/// One JSON object per line:
+///   {"t":1234,"seq":7,"role":"daemon","id":0,"inc":1,"kind":"deliver",
+///    "peer":2,"c1":5,"c2":9,"c3":0,"n":0,"flag":true}
+/// The header line {"trace":"mpich-v2","dropped":N} carries the total ring
+/// eviction count so the auditor can degrade to "inconclusive".
+void write_jsonl(std::ostream& out, const std::vector<TraceEvent>& events,
+                 std::uint64_t dropped);
+bool write_jsonl_file(const std::string& path,
+                      const std::vector<TraceEvent>& events,
+                      std::uint64_t dropped);
+
+struct LoadedTrace {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+/// Parses the JSONL format emitted by write_jsonl. Returns false on any
+/// malformed line (partial results are kept in `out`).
+bool read_jsonl(std::istream& in, LoadedTrace& out, std::string* error = nullptr);
+bool read_jsonl_file(const std::string& path, LoadedTrace& out,
+                     std::string* error = nullptr);
+
+/// Chrome-trace (chrome://tracing, Perfetto) JSON. Each actor becomes a
+/// pid/tid pair; WAITLOGGED stalls and crash→respawn outages become
+/// duration ("X") slices, everything else instant ("i") events with the
+/// structured fields in args.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events);
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events);
+
+}  // namespace mpiv::trace

@@ -1,0 +1,123 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace mpiv::trace {
+
+std::string_view kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kSendIssued: return "send_issued";
+    case Kind::kSendSuppressed: return "send_suppressed";
+    case Kind::kSendWire: return "send_wire";
+    case Kind::kStallStart: return "stall_start";
+    case Kind::kStallEnd: return "stall_end";
+    case Kind::kSavedResend: return "saved_resend";
+    case Kind::kDeliver: return "deliver";
+    case Kind::kDupDrop: return "dup_drop";
+    case Kind::kElAppend: return "el_append";
+    case Kind::kElAck: return "el_ack";
+    case Kind::kElQuorum: return "el_quorum";
+    case Kind::kElDownload: return "el_download";
+    case Kind::kElPrune: return "el_prune";
+    case Kind::kReplayPlan: return "replay_plan";
+    case Kind::kRestart1Send: return "restart1_send";
+    case Kind::kRestart1Recv: return "restart1_recv";
+    case Kind::kRestart2Send: return "restart2_send";
+    case Kind::kRestart2Recv: return "restart2_recv";
+    case Kind::kResendDoneSend: return "resend_done_send";
+    case Kind::kResendDoneRecv: return "resend_done_recv";
+    case Kind::kCkptBegin: return "ckpt_begin";
+    case Kind::kCkptStable: return "ckpt_stable";
+    case Kind::kCkptAbandon: return "ckpt_abandon";
+    case Kind::kCkptRestore: return "ckpt_restore";
+    case Kind::kCkptNotifySend: return "ckpt_notify_send";
+    case Kind::kCkptNotifyRecv: return "ckpt_notify_recv";
+    case Kind::kGcPrune: return "gc_prune";
+    case Kind::kSpawn: return "spawn";
+    case Kind::kCrash: return "crash";
+    case Kind::kFinish: return "finish";
+    case Kind::kWatermarks: return "watermarks";
+    case Kind::kElSrvAppend: return "el_srv_append";
+    case Kind::kElSrvPrune: return "el_srv_prune";
+    case Kind::kElSrvTruncate: return "el_srv_truncate";
+    case Kind::kCkptOrder: return "ckpt_order";
+    case Kind::kAppCkptImage: return "app_ckpt_image";
+  }
+  return "unknown";
+}
+
+std::string_view role_name(Role role) {
+  switch (role) {
+    case Role::kDaemon: return "daemon";
+    case Role::kEventLogger: return "event_logger";
+    case Role::kCkptServer: return "ckpt_server";
+    case Role::kScheduler: return "scheduler";
+    case Role::kRuntime: return "runtime";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(TraceBook& book, Role role, std::int32_t id,
+                             std::size_t capacity)
+    : book_(book), role_(role), id_(id), capacity_(capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (!wrapped_) {
+    out = ring_;
+    return out;
+  }
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+TraceBook::TraceBook(TraceConfig config, const sim::Engine* engine)
+    : config_(std::move(config)), engine_(engine) {}
+
+SimTime TraceBook::now() const {
+  return engine_ != nullptr ? engine_->now() : manual_time_;
+}
+
+TraceRecorder* TraceBook::recorder(Role role, std::int32_t id) {
+  auto key = std::make_pair(static_cast<int>(role), id);
+  auto it = recorders_.find(key);
+  if (it == recorders_.end()) {
+    it = recorders_
+             .emplace(key, std::make_unique<TraceRecorder>(
+                               *this, role, id, config_.ring_capacity))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<TraceEvent> TraceBook::merged() const {
+  std::vector<TraceEvent> out;
+  for (const auto& [key, rec] : recorders_) {
+    auto events = rec->events();
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  });
+  return out;
+}
+
+std::uint64_t TraceBook::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, rec] : recorders_) n += rec->dropped();
+  return n;
+}
+
+std::uint64_t TraceBook::total_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, rec] : recorders_) n += rec->recorded();
+  return n;
+}
+
+}  // namespace mpiv::trace

@@ -1,0 +1,280 @@
+// Causal trace recorder for the MPICH-V2 protocol stack.
+//
+// Every actor (daemon, event logger, checkpoint server, scheduler, runtime)
+// can own a TraceRecorder — a fixed-capacity ring of structured TraceEvents
+// stamped with the actor's identity, its incarnation, the relevant logical
+// clocks and the simulator's virtual time. Recorders hang off a per-job
+// TraceBook which hands out a globally ordered sequence number, so the full
+// run can be reconstructed offline and checked against the paper's
+// invariants (see trace/audit.hpp) or exported for timeline visualization
+// (see trace/sinks.hpp).
+//
+// Recording compiles out entirely when MPIV_TRACE_DISABLED is defined (the
+// CMake option MPIV_TRACE=OFF): record() becomes an empty inline and every
+// instrumentation site folds to nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace mpiv::trace {
+
+#ifdef MPIV_TRACE_DISABLED
+inline constexpr bool kCompiled = false;
+#else
+inline constexpr bool kCompiled = true;
+#endif
+
+/// Which protocol actor recorded an event.
+enum class Role : std::uint8_t {
+  kDaemon = 0,
+  kEventLogger,
+  kCkptServer,
+  kScheduler,
+  kRuntime,
+};
+
+/// Structured event kinds. The generic fields (peer/c1/c2/c3/n/flag) carry
+/// kind-specific payloads — see docs/observability.md for the schema of
+/// every kind.
+enum class Kind : std::uint8_t {
+  // Send path (daemon).
+  kSendIssued = 0,  // peer=dest, c1=send clock, n=required events (gate)
+  kSendSuppressed,  // peer=dest, c1=send clock, c2=HS bound that killed it
+  kSendWire,        // peer=dest, c1=send clock, c2=quorum acked, n=required,
+                    // flag=stalled on WAITLOGGED at least once
+  kStallStart,      // peer=dest, c1=send clock, c2=quorum acked, n=required
+  kStallEnd,        // peer=dest, c1=send clock
+  kSavedResend,     // peer=dest, c1=peer's HR, n=entries re-enqueued
+  // Receive path (daemon).
+  kDeliver,   // peer=sender, c1=send clock, c2=recv clock after delivery,
+              // n=probes since last delivery, flag=replayed
+  kDupDrop,   // peer=sender, c1=send clock, c2=HR bound, flag=window dup
+  // Event-logger client side (daemon).
+  kElAppend,    // peer=event sender, c1=send clock, c2=recv clock,
+                // c3=log sequence number, flag=probe batch
+  kElAck,       // peer=replica index, n=cumulative events acked
+  kElQuorum,    // n=new quorum-acked event count
+  kElDownload,  // c1=pruned base of merged log, n=events downloaded
+  kElPrune,     // c1=prune bound (recv clock of stable ckpt)
+  kReplayPlan,  // peer=sender, c1=send clock, c2=recv clock, n=probes,
+                // flag=probe batch; one per downloaded event, in plan order
+  // Restart handshake (daemon).
+  kRestart1Send,    // peer=q, c1=our HR[q]
+  kRestart1Recv,    // peer=q, c1=q's HR (our resend lower bound)
+  kRestart2Send,    // peer=q, c1=our HR[q]
+  kRestart2Recv,    // peer=q, c1=new HS bound
+  kResendDoneSend,  // peer=q, c1=send-clock marker
+  kResendDoneRecv,  // peer=q, c1=marker
+  // Checkpointing + GC (daemon).
+  kCkptBegin,       // n=ckpt seq, c2=recv clock at capture
+  kCkptStable,      // n=ckpt seq, c1=recv clock of the image (EL prune bound)
+  kCkptAbandon,     // n=ckpt seq
+  kCkptRestore,     // n=ckpt seq, c2=restored recv clock
+  kCkptNotifySend,  // peer=q, c1=stable HR[q] (q may GC SAVED up to c1)
+  kCkptNotifyRecv,  // peer=q, c1=q's stable HR toward us
+  kGcPrune,         // peer=q, c1=prune bound, n=SAVED entries dropped
+  // Lifecycle.
+  kSpawn,       // flag=restarted (incarnation > 0)
+  kCrash,       // injected kill of this actor's node
+  kFinish,      // app completed on this rank
+  kWatermarks,  // peer=q, c1=restored HS[q], c2=restored HR[q] (one per
+                // peer after checkpoint restore; baselines the audit)
+  // Event-logger server side.
+  kElSrvAppend,    // peer=client rank, c1=send clock, c2=recv clock,
+                   // c3=event sender, flag=probe batch
+  kElSrvPrune,     // peer=client rank, c1=prune bound
+  kElSrvTruncate,  // peer=client rank, n=events dropped (new incarnation)
+  // Checkpoint scheduler.
+  kCkptOrder,  // peer=rank ordered to checkpoint
+  // App/device side.
+  kAppCkptImage,  // n=image bytes handed to the daemon
+};
+
+[[nodiscard]] std::string_view kind_name(Kind kind);
+[[nodiscard]] std::string_view role_name(Role role);
+
+/// One recorded event. POD; the meaning of peer/c1/c2/c3/n/flag depends on
+/// `kind` (documented on the Kind enumerators above).
+struct TraceEvent {
+  SimTime t = 0;             // sim virtual time (ns)
+  std::uint64_t seq = 0;     // global record order within the job
+  Role role = Role::kDaemon;
+  std::int32_t id = 0;       // rank / replica index / stripe index
+  std::int32_t incarnation = 0;
+  Kind kind = Kind::kSendIssued;
+  std::int32_t peer = -1;
+  std::int64_t c1 = 0;
+  std::int64_t c2 = 0;
+  std::int64_t c3 = 0;
+  std::uint64_t n = 0;
+  bool flag = false;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Kind-specific payload for TraceRecorder::record, so call sites read as
+/// named fields: record(Kind::kSendWire, {.peer = q, .c1 = clock}).
+struct Fields {
+  std::int32_t peer = -1;
+  std::int64_t c1 = 0;
+  std::int64_t c2 = 0;
+  std::int64_t c3 = 0;
+  std::uint64_t n = 0;
+  bool flag = false;
+};
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Ring capacity per recorder. Oldest events are dropped (and counted)
+  /// past this; the auditor then reports "inconclusive" rather than pass.
+  std::size_t ring_capacity = std::size_t{1} << 18;
+  /// When non-empty, run_job writes the merged trace here as JSONL.
+  std::string jsonl_path;
+  /// When non-empty, run_job writes a Chrome-trace timeline here.
+  std::string chrome_path;
+};
+
+/// Test-only fault injection for the auditor's self-test: each mode breaks
+/// exactly one protocol invariant so tests can assert trace_audit catches it.
+enum class Mutation : std::uint8_t {
+  kNone = 0,
+  /// Transmit payload frames even while their reception events are not yet
+  /// quorum-acked (violates no-orphan / WAITLOGGED).
+  kSkipWaitLogged,
+  /// Swap the first two re-deliveries of the downloaded replay plan
+  /// (violates replay-order ≡ logged-order).
+  kReplayOutOfOrder,
+  /// Prune one SAVED sender-log entry without a covering CkptNotify
+  /// (violates GC safety / sender-log coverage).
+  kPruneSavedEarly,
+};
+
+class TraceBook;
+
+/// Per-actor ring buffer of TraceEvents. Cheap enough to call from the
+/// daemon hot path: one branch, a ring slot write and a relaxed global
+/// sequence fetch. Not thread-safe per recorder — each actor records only
+/// from its own fiber (the sim engine is single-threaded).
+class TraceRecorder {
+ public:
+  TraceRecorder(TraceBook& book, Role role, std::int32_t id,
+                std::size_t capacity);
+
+  void set_incarnation(std::int32_t incarnation) {
+    incarnation_ = incarnation;
+  }
+  [[nodiscard]] std::int32_t incarnation() const { return incarnation_; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] std::int32_t id() const { return id_; }
+
+  void record(Kind kind, Fields f = {});
+
+  /// Events still held, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// How many events the ring evicted (0 = the trace is complete).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+ private:
+  TraceBook& book_;
+  Role role_;
+  std::int32_t id_;
+  std::int32_t incarnation_ = 0;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // next write position once the ring wrapped
+  bool wrapped_ = false;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+/// Owns every recorder of one job and the global sequence counter. Merged
+/// output is totally ordered by (t, seq): seq breaks virtual-time ties in
+/// record order, which respects causality inside the single-threaded sim.
+class TraceBook {
+ public:
+  explicit TraceBook(TraceConfig config, const sim::Engine* engine = nullptr);
+
+  /// Returns the recorder for (role, id), creating it on first use.
+  /// Recorders are stable for the life of the book (daemons keep theirs
+  /// across incarnations).
+  TraceRecorder* recorder(Role role, std::int32_t id);
+
+  [[nodiscard]] const TraceConfig& config() const { return config_; }
+  [[nodiscard]] SimTime now() const;
+  std::uint64_t next_seq() { return seq_++; }
+  /// Unit tests drive time manually when no engine is attached.
+  void set_manual_time(SimTime t) { manual_time_ = t; }
+
+  /// All surviving events across recorders, sorted by (t, seq).
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+  [[nodiscard]] std::uint64_t total_recorded() const;
+
+ private:
+  TraceConfig config_;
+  const sim::Engine* engine_;
+  SimTime manual_time_ = 0;
+  std::uint64_t seq_ = 0;
+  std::map<std::pair<int, std::int32_t>, std::unique_ptr<TraceRecorder>>
+      recorders_;
+};
+
+inline void TraceRecorder::record(Kind kind, Fields f) {
+  if constexpr (!kCompiled) {
+    (void)kind;
+    (void)f;
+    return;
+  } else {
+    TraceEvent e;
+    e.t = book_.now();
+    e.seq = book_.next_seq();
+    e.role = role_;
+    e.id = id_;
+    e.incarnation = incarnation_;
+    e.kind = kind;
+    e.peer = f.peer;
+    e.c1 = f.c1;
+    e.c2 = f.c2;
+    e.c3 = f.c3;
+    e.n = f.n;
+    e.flag = f.flag;
+    ++recorded_;
+    if (!wrapped_ && ring_.size() < capacity_) {
+      ring_.push_back(e);
+      return;
+    }
+    if (capacity_ == 0) {
+      ++dropped_;
+      return;
+    }
+    wrapped_ = true;
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+}  // namespace mpiv::trace
+
+// Instrumentation helper: records iff a recorder is attached and tracing is
+// compiled in. Field commas inside the braced Fields initializer split into
+// macro arguments and reassemble through __VA_ARGS__.
+#ifndef MPIV_TRACE_DISABLED
+#define MPIV_TRACE(rec, ...)                              \
+  do {                                                    \
+    if ((rec) != nullptr) (rec)->record(__VA_ARGS__);     \
+  } while (0)
+#else
+#define MPIV_TRACE(rec, ...) \
+  do {                       \
+  } while (0)
+#endif

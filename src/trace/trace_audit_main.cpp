@@ -1,0 +1,67 @@
+// trace_audit: offline protocol auditor CLI.
+//
+//   trace_audit <run.jsonl> [more.jsonl ...] [--chrome out.json] [--quiet]
+//
+// Loads one or more JSONL trace dumps (merging them into one global run),
+// checks the MPICH-V2 pessimistic-logging invariants and prints a report.
+// Exit status: 0 = pass, 1 = invariant violation, 2 = inconclusive or
+// unreadable input.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/audit.hpp"
+#include "trace/sinks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpiv::trace;
+  std::vector<std::string> inputs;
+  std::string chrome_out;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--chrome" && i + 1 < argc) {
+      chrome_out = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: trace_audit <run.jsonl> [more.jsonl ...] "
+          "[--chrome out.json] [--quiet]\n");
+      return 0;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "trace_audit: no input files (see --help)\n");
+    return 2;
+  }
+
+  LoadedTrace trace;
+  for (const std::string& path : inputs) {
+    std::string error;
+    if (!read_jsonl_file(path, trace, &error)) {
+      std::fprintf(stderr, "trace_audit: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+  }
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+            });
+
+  if (!chrome_out.empty() && !write_chrome_trace_file(chrome_out, trace.events)) {
+    std::fprintf(stderr, "trace_audit: cannot write %s\n", chrome_out.c_str());
+    return 2;
+  }
+
+  AuditReport report = audit(trace.events, trace.dropped);
+  if (!quiet || !report.pass) {
+    std::fputs(report.summary().c_str(), stdout);
+  }
+  if (report.pass) return 0;
+  return report.violations.empty() ? 2 : 1;
+}

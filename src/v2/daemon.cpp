@@ -5,8 +5,11 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/log.hpp"
+#include "common/stats.hpp"
 
 namespace mpiv::v2 {
+
+using TK = trace::Kind;
 
 namespace {
 // user_tag values for service connections (peer conns use the peer rank).
@@ -33,6 +36,9 @@ Daemon::Daemon(net::Network& net, net::Pipe& pipe, DaemonConfig config)
   accepted_.assign(n, {});
   reconnect_at_.assign(n, -1);
   last_stable_hr_.assign(n, 0);
+  if (config_.trace != nullptr) {
+    config_.trace->set_incarnation(config_.incarnation);
+  }
 }
 
 // --------------------------------------------------------------- setup
@@ -42,6 +48,16 @@ void Daemon::setup(sim::Context& ctx) {
   endpoint_->listen(kDaemonPortBase + config_.rank);
   connect_services(ctx);
   fetch_checkpoint(ctx);
+  if (config_.incarnation > 0) {
+    // Snapshot the restored HS/HR watermarks (zero on a scratch restart):
+    // the offline auditor baselines its per-incarnation bounds from these.
+    for (mpi::Rank q = 0; q < config_.size; ++q) {
+      if (q == config_.rank) continue;
+      auto qi = static_cast<std::size_t>(q);
+      MPIV_TRACE(config_.trace, TK::kWatermarks,
+                 {.peer = q, .c1 = hs_[qi], .c2 = hr_[qi]});
+    }
+  }
   download_events(ctx);
 
   if (config_.incarnation > 0) {
@@ -275,7 +291,11 @@ void Daemon::update_el_quorum() {
   const std::size_t q = el_quorum(acks.size());
   std::nth_element(acks.begin(), acks.begin() + static_cast<std::ptrdiff_t>(q - 1),
                    acks.end(), std::greater<>());
+  std::uint64_t before = el_quorum_acked_;
   el_quorum_acked_ = acks[q - 1];
+  if (el_quorum_acked_ != before) {
+    MPIV_TRACE(config_.trace, TK::kElQuorum, {.n = el_quorum_acked_});
+  }
 }
 
 net::NetEvent Daemon::wait_for_cs(sim::Context& ctx) {
@@ -327,6 +347,8 @@ void Daemon::fetch_checkpoint_legacy(sim::Context& ctx) {
   has_stable_ckpt_ = true;  // the fetched image *is* stable storage
   last_stable_hr_ = hr_;
   stats_.ckpt_fetch_ns += static_cast<std::uint64_t>(ctx.now() - t0);
+  MPIV_TRACE(config_.trace, TK::kCkptRestore,
+             {.c2 = recv_clock_, .n = seq});
   MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
             " restored checkpoint seq ", seq, " at delivery clock ",
             recv_clock_);
@@ -448,6 +470,8 @@ void Daemon::fetch_checkpoint_striped(sim::Context& ctx) {
   last_stable_hr_ = hr_;
   last_stable_hashes_ = best->hashes;  // delta base for the next upload
   stats_.ckpt_fetch_ns += static_cast<std::uint64_t>(ctx.now() - t0);
+  MPIV_TRACE(config_.trace, TK::kCkptRestore,
+             {.c2 = recv_clock_, .n = ckpt_seq_});
   MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
             " restored checkpoint seq ", best->ckpt_seq, " (",
             best->hashes.size(), " chunks over ", nlive,
@@ -513,7 +537,34 @@ void Daemon::download_events(sim::Context& ctx) {
   MPIV_CHECK(lists.size() >= el_quorum(el_conns_.size()),
              "daemon: lost the event-logger quorum during restart download");
   std::vector<ReceptionEvent> merged = merge_event_logs(lists);
-  for (const ReceptionEvent& e : merged) replay_.push_back(e);
+  MPIV_TRACE(config_.trace, TK::kElDownload,
+             {.c1 = recv_clock_, .n = merged.size()});
+  for (const ReceptionEvent& e : merged) {
+    // The replay plan, in the exact order the log dictates; the auditor
+    // checks re-deliveries against this sequence.
+    MPIV_TRACE(config_.trace, TK::kReplayPlan,
+               {.peer = e.sender,
+                .c1 = e.send_clock,
+                .c2 = e.recv_clock,
+                .n = e.nprobes,
+                .flag = e.kind == ReceptionEvent::Kind::kProbeBatch});
+    replay_.push_back(e);
+  }
+  if (config_.trace_mutation == trace::Mutation::kReplayOutOfOrder) {
+    // TEST ONLY: swap the first two re-deliveries so the replay diverges
+    // from the logged order (the plan above records the true order).
+    std::size_t first = replay_.size(), second = replay_.size();
+    for (std::size_t i = 0; i < replay_.size(); ++i) {
+      if (replay_[i].kind != ReceptionEvent::Kind::kDelivery) continue;
+      if (first == replay_.size()) {
+        first = i;
+      } else {
+        second = i;
+        break;
+      }
+    }
+    if (second < replay_.size()) std::swap(replay_[first], replay_[second]);
+  }
   // Adopt the merged history as this incarnation's log and re-append it to
   // every reachable replica under our (new) incarnation: replicas that
   // missed events converge, stale suffixes from the previous incarnation
@@ -562,6 +613,8 @@ void Daemon::connect_peer(sim::Context& ctx, mpi::Rank q) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(PeerMsg::kRestart1));
     w.i64(hr_[static_cast<std::size_t>(q)]);
+    MPIV_TRACE(config_.trace, TK::kRestart1Send,
+               {.peer = q, .c1 = hr_[static_cast<std::size_t>(q)]});
     enqueue_control(q, w.take());
   }
 }
@@ -585,6 +638,7 @@ void Daemon::run(sim::Context& ctx) {
     }
   } teardown{*this};
 
+  MPIV_TRACE(config_.trace, TK::kSpawn, {.flag = config_.incarnation > 0});
   setup(ctx);
   sim::Notifier notifier(net_.engine());
   endpoint_->set_notifier(&notifier);
@@ -695,6 +749,7 @@ void Daemon::handle_pipe(sim::Context& ctx, net::PipeFrame frame) {
       // Nothing sends after finalize; push any coalesced events out now so
       // the log is complete at shutdown.
       flush_el(ctx);
+      MPIV_TRACE(config_.trace, TK::kFinish, {});
       pipe_reply(ctx, pipe_writer(PipeMsg::kFinishOk, false));
       if (disp_conn_ != nullptr) {
         Writer w;
@@ -778,12 +833,25 @@ void Daemon::send_event(sim::Context& ctx, mpi::Rank dest, SharedBuffer block) {
   } else {
     // Replay suppression (clock <= HS): the receiver already has this
     // message, so nothing is queued.
+    MPIV_TRACE(config_.trace, TK::kSendSuppressed,
+               {.peer = dest, .c1 = clock, .c2 = hs_[di]});
     stats_.suppressed_sends += 1;
   }
   // Record in SAVED either way, so a *future* crash of the receiver can
   // still be served (closes a hole in the paper's simplified protocol).
   // The entry shares the allocation with the queued frame — no copy.
   saved_.record(dest, clock, std::move(block));
+  if (config_.trace_mutation == trace::Mutation::kPruneSavedEarly &&
+      !mut_prune_done_ && saved_.count_for(dest) >= 4) {
+    // TEST ONLY: drop the oldest SAVED entry toward `dest` without any
+    // covering CkptNotify — a GC-safety violation the auditor must flag.
+    mut_prune_done_ = true;
+    auto entries = saved_.entries_after(dest, 0);
+    Clock oldest = entries.front()->clock;
+    saved_.prune(dest, oldest);
+    MPIV_TRACE(config_.trace, TK::kGcPrune,
+               {.peer = dest, .c1 = oldest, .n = 1});
+  }
 }
 
 void Daemon::enqueue_control(mpi::Rank q, Buffer frame) {
@@ -801,9 +869,15 @@ void Daemon::enqueue_msg(sim::Context& ctx, mpi::Rank q, Clock clock,
     charge_copy(ctx, kMsgRecordHeaderBytes + block.size());
     stats_.payload_copies_tx += 1;
   }
-  tx_[static_cast<std::size_t>(q)].push_back(
-      OutFrame{true, encode_msg_record_header(clock, block.size()),
-               std::move(block), 0, el_events_created()});
+  OutFrame f;
+  f.is_msg = true;
+  f.head = encode_msg_record_header(clock, block.size());
+  f.payload = std::move(block);
+  f.required_events = el_events_created();
+  f.clock = clock;
+  MPIV_TRACE(config_.trace, TK::kSendIssued,
+             {.peer = q, .c1 = clock, .n = f.required_events});
+  tx_[static_cast<std::size_t>(q)].push_back(std::move(f));
 }
 
 void Daemon::enqueue_saved_resend(sim::Context& ctx, mpi::Rank q, Clock after) {
@@ -833,8 +907,18 @@ bool Daemon::advance_tx(sim::Context& ctx) {
       if (!f.quorum_wait_counted) {
         f.quorum_wait_counted = true;
         stats_.el_quorum_waits += 1;
+        MPIV_TRACE(config_.trace, TK::kStallStart,
+                   {.peer = q,
+                    .c1 = f.clock,
+                    .c2 = static_cast<std::int64_t>(el_quorum_acked_),
+                    .n = f.required_events});
       }
-      continue;
+      // TEST ONLY: kSkipWaitLogged transmits anyway — an orphan-creating
+      // WAITLOGGED breach the auditor must catch from the honest counters
+      // recorded at departure.
+      if (config_.trace_mutation != trace::Mutation::kSkipWaitLogged) {
+        continue;
+      }
     }
     if (!c->writable()) continue;
     rr_next_ = (q + 1) % config_.size;
@@ -869,6 +953,15 @@ bool Daemon::advance_tx(sim::Context& ctx) {
     f.offset += n;
     if (last) {
       stats_.payload_copies_tx += 1;
+      if (f.quorum_wait_counted) {
+        MPIV_TRACE(config_.trace, TK::kStallEnd, {.peer = q, .c1 = f.clock});
+      }
+      MPIV_TRACE(config_.trace, TK::kSendWire,
+                 {.peer = q,
+                  .c1 = f.clock,
+                  .c2 = static_cast<std::int64_t>(el_quorum_acked_),
+                  .n = f.required_events,
+                  .flag = f.quorum_wait_counted});
       tx_[qi].pop_front();
     }
     charge_copy(ctx, n);
@@ -885,7 +978,15 @@ void Daemon::flush_el(sim::Context& ctx) {
   // that depends on these events until a majority acked them.
   stats_.events_logged += el_outbox_.size();
   stats_.el_appends += 1;
-  for (const ReceptionEvent& e : el_outbox_) el_log_.push_back(e);
+  for (const ReceptionEvent& e : el_outbox_) {
+    MPIV_TRACE(config_.trace, TK::kElAppend,
+               {.peer = e.sender,
+                .c1 = e.send_clock,
+                .c2 = e.recv_clock,
+                .c3 = static_cast<std::int64_t>(el_log_base_ + el_log_.size()),
+                .flag = e.kind == ReceptionEvent::Kind::kProbeBatch});
+    el_log_.push_back(e);
+  }
   el_appended_ = el_log_base_ + el_log_.size();
   el_outbox_.clear();
   for (std::size_t i = 0; i < el_conns_.size(); ++i) {
@@ -989,7 +1090,10 @@ void Daemon::deliver_to_app(sim::Context& ctx, Arrival arrival, bool replayed) {
              fnv1a(arrival.block.view()) & 0xffff, replayed ? " REPLAY" : "");
   if (replayed) {
     const ReceptionEvent& e = replay_.front();
-    MPIV_CHECK(recv_clock_ == e.recv_clock,
+    // (The kReplayOutOfOrder mutation deliberately diverges; keep the run
+    // alive so the offline auditor — not this check — reports it.)
+    MPIV_CHECK(recv_clock_ == e.recv_clock ||
+                   config_.trace_mutation == trace::Mutation::kReplayOutOfOrder,
                "replay diverged: delivery clock does not match the log "
                "(piecewise determinism violated?)");
     replay_.pop_front();
@@ -1003,6 +1107,12 @@ void Daemon::deliver_to_app(sim::Context& ctx, Arrival arrival, bool replayed) {
                                         arrival.from, arrival.send_clock,
                                         recv_clock_, probes_since_delivery_});
   }
+  MPIV_TRACE(config_.trace, TK::kDeliver,
+             {.peer = arrival.from,
+              .c1 = arrival.send_clock,
+              .c2 = recv_clock_,
+              .n = probes_since_delivery_,
+              .flag = replayed});
   probes_since_delivery_ = 0;
   probes_logged_ = 0;
   Writer w = pipe_writer(PipeMsg::kDeliver, ckpt_requested_);
@@ -1088,6 +1198,7 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
       Writer w;
       w.u8(static_cast<std::uint8_t>(PeerMsg::kRestart1));
       w.i64(hr_[qi]);
+      MPIV_TRACE(config_.trace, TK::kRestart1Send, {.peer = q, .c1 = hr_[qi]});
       enqueue_control(q, w.take());
     }
     if (has_stable_ckpt_) {
@@ -1096,6 +1207,8 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
       Writer w;
       w.u8(static_cast<std::uint8_t>(PeerMsg::kCkptNotify));
       w.i64(last_stable_hr_[qi]);
+      MPIV_TRACE(config_.trace, TK::kCkptNotifySend,
+                 {.peer = q, .c1 = last_stable_hr_[qi]});
       enqueue_control(q, w.take());
     }
     return;
@@ -1144,6 +1257,7 @@ void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
       Clock hr = r.i64();
       MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " RESTART1 from ", q,
                  " hr=", hr);
+      MPIV_TRACE(config_.trace, TK::kRestart1Recv, {.peer = q, .c1 = hr});
       hs_[qi] = hr;
       // Drop queued payload frames: the resend pass below re-covers them
       // from SAVED. Control frames (e.g. our own pending Restart1 to q)
@@ -1161,19 +1275,26 @@ void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
       Writer w2;
       w2.u8(static_cast<std::uint8_t>(PeerMsg::kRestart2));
       w2.i64(hr_[qi]);
+      MPIV_TRACE(config_.trace, TK::kRestart2Send, {.peer = q, .c1 = hr_[qi]});
       enqueue_control(q, w2.take());
       if (has_stable_ckpt_) {
         Writer w3;
         w3.u8(static_cast<std::uint8_t>(PeerMsg::kCkptNotify));
         w3.i64(last_stable_hr_[qi]);
+        MPIV_TRACE(config_.trace, TK::kCkptNotifySend,
+                   {.peer = q, .c1 = last_stable_hr_[qi]});
         enqueue_control(q, w3.take());
       }
+      MPIV_TRACE(config_.trace, TK::kSavedResend,
+                 {.peer = q, .c1 = hr, .n = saved_.entries_after(q, hr).size()});
       enqueue_saved_resend(ctx, q, hr);
       // Close the pass: everything we ever sent (clock <= h_) has now been
       // transmitted or re-transmitted on this connection.
       Writer w4;
       w4.u8(static_cast<std::uint8_t>(PeerMsg::kResendDone));
       w4.i64(send_clock_);
+      MPIV_TRACE(config_.trace, TK::kResendDoneSend,
+                 {.peer = q, .c1 = send_clock_});
       enqueue_control(q, w4.take());
       return;
     }
@@ -1181,19 +1302,28 @@ void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
       hs_[qi] = r.i64();
       MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " RESTART2 from ", q,
                  " hs=", hs_[qi]);
+      MPIV_TRACE(config_.trace, TK::kRestart2Recv, {.peer = q, .c1 = hs_[qi]});
       return;
     }
     case PeerMsg::kCkptNotify: {
       Clock hr = r.i64();
+      MPIV_TRACE(config_.trace, TK::kCkptNotifyRecv, {.peer = q, .c1 = hr});
       std::size_t before = saved_.count_for(q);
       saved_.prune(q, hr);
-      stats_.gc_pruned_entries += before - saved_.count_for(q);
+      std::size_t pruned = before - saved_.count_for(q);
+      stats_.gc_pruned_entries += pruned;
+      if (pruned > 0) {
+        MPIV_TRACE(config_.trace, TK::kGcPrune,
+                   {.peer = q, .c1 = hr, .n = pruned});
+      }
       return;
     }
     case PeerMsg::kResendDone: {
       Clock marker = r.i64();
       MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " ResendDone from ",
                  q, " marker=", marker);
+      MPIV_TRACE(config_.trace, TK::kResendDoneRecv,
+                 {.peer = q, .c1 = marker});
       hr_[qi] = std::max(hr_[qi], marker);
       // Close the out-of-order window, but only forget clocks the watermark
       // now covers. Entries above the marker can be real: if q died mid-pass,
@@ -1221,6 +1351,8 @@ void Daemon::handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec) {
   if (rec.send_clock <= hr_[qi]) {
     MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " msg from ", q, "@",
                rec.send_clock, " DUP(below)");
+    MPIV_TRACE(config_.trace, TK::kDupDrop,
+               {.peer = q, .c1 = rec.send_clock, .c2 = hr_[qi]});
     stats_.duplicates_dropped += 1;
     return;
   }
@@ -1230,6 +1362,8 @@ void Daemon::handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec) {
     if (!accepted_[qi].insert(rec.send_clock).second) {
       MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " msg from ", q, "@",
                  rec.send_clock, " DUP(window)");
+      MPIV_TRACE(config_.trace, TK::kDupDrop,
+                 {.peer = q, .c1 = rec.send_clock, .c2 = hr_[qi], .flag = true});
       stats_.duplicates_dropped += 1;
       return;
     }
@@ -1239,6 +1373,8 @@ void Daemon::handle_msg_record(sim::Context& ctx, mpi::Rank q, MsgRecord rec) {
     if (accepted_[qi].count(rec.send_clock) != 0) {
       MPIV_DEBUG("daemon", ctx.now(), "r", config_.rank, " msg from ", q, "@",
                  rec.send_clock, " DUP(window)");
+      MPIV_TRACE(config_.trace, TK::kDupDrop,
+                 {.peer = q, .c1 = rec.send_clock, .c2 = hr_[qi], .flag = true});
       stats_.duplicates_dropped += 1;
       return;
     }
@@ -1272,6 +1408,8 @@ void Daemon::handle_el(sim::Context& ctx, std::size_t replica, Buffer msg) {
       MPIV_CHECK(next <= el_appended_, "daemon: over-acked events");
       if (next > el_acked_r_[replica]) {
         el_acked_r_[replica] = next;
+        MPIV_TRACE(config_.trace, TK::kElAck,
+                   {.peer = static_cast<std::int32_t>(replica), .n = next});
         update_el_quorum();
       }
       return;
@@ -1393,6 +1531,8 @@ void Daemon::begin_checkpoint(sim::Context& ctx, SharedBuffer app_image) {
   flush_el(ctx);
   ckpt_requested_ = false;
   ++ckpt_seq_;
+  MPIV_TRACE(config_.trace, TK::kCkptBegin,
+             {.c2 = recv_clock_, .n = ckpt_seq_});
   PendingCkpt pc;
   pc.seq = ckpt_seq_;
   pc.image = SharedBuffer(serialize_daemon_state(app_image.view()));
@@ -1432,6 +1572,7 @@ void Daemon::abandon_ckpt(sim::Context& ctx) {
   MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
             " abandoning checkpoint seq ", ckpt_->seq,
             " (stripe server lost mid-upload)");
+  MPIV_TRACE(config_.trace, TK::kCkptAbandon, {.n = ckpt_->seq});
   ckpt_.reset();
 }
 
@@ -1549,6 +1690,8 @@ void Daemon::on_ckpt_stable(sim::Context& ctx, std::uint64_t seq) {
   Clock hck = ckpt_->h_at_ckpt;
   ckpt_.reset();
   stats_.checkpoints_taken += 1;
+  MPIV_TRACE(config_.trace, TK::kCkptStable, {.c1 = hck, .n = seq});
+  MPIV_TRACE(config_.trace, TK::kElPrune, {.c1 = hck});
   // The event log below the checkpoint clock is dead — on every replica
   // and in our own resync copy. (Disconnected replicas miss the prune;
   // they are either rebooted empty or pruned at the next checkpoint.)
@@ -1570,6 +1713,8 @@ void Daemon::on_ckpt_stable(sim::Context& ctx, std::uint64_t seq) {
     Writer wn;
     wn.u8(static_cast<std::uint8_t>(PeerMsg::kCkptNotify));
     wn.i64(last_stable_hr_[static_cast<std::size_t>(q)]);
+    MPIV_TRACE(config_.trace, TK::kCkptNotifySend,
+               {.peer = q, .c1 = last_stable_hr_[static_cast<std::size_t>(q)]});
     enqueue_control(q, wn.take());
   }
   if (sched_conn_ != nullptr) {
@@ -1644,6 +1789,64 @@ Buffer Daemon::restore_daemon_state(ConstBytes image) {
   MPIV_CHECK(r.done(), "daemon: trailing bytes in checkpoint image");
   ConstBytes app = image.subspan(0, app_size);
   return Buffer(app.begin(), app.end());
+}
+
+namespace {
+
+// Single source of truth for the counter <-> struct-field mapping; registry()
+// and from_registry() both walk this table so they cannot drift apart.
+template <typename Stats, typename Fn>
+void for_each_counter(Stats& s, Fn&& fn) {
+  fn("sent_msgs", s.sent_msgs);
+  fn("recv_msgs", s.recv_msgs);
+  fn("sent_bytes", s.sent_bytes);
+  fn("recv_bytes", s.recv_bytes);
+  fn("duplicates_dropped", s.duplicates_dropped);
+  fn("replayed_deliveries", s.replayed_deliveries);
+  fn("events_logged", s.events_logged);
+  fn("checkpoints_taken", s.checkpoints_taken);
+  fn("gc_pruned_entries", s.gc_pruned_entries);
+  fn("suppressed_sends", s.suppressed_sends);
+  fn("bytes_copied", s.bytes_copied);
+  fn("payload_copies_tx", s.payload_copies_tx);
+  fn("payload_copies_rx", s.payload_copies_rx);
+  fn("el_appends", s.el_appends);
+  fn("el_quorum_waits", s.el_quorum_waits);
+  fn("el_replica_retries", s.el_replica_retries);
+  fn("ckpt_bytes_sent", s.ckpt_bytes_sent);
+  fn("ckpt_bytes_deduped", s.ckpt_bytes_deduped);
+  fn("ckpt_fetch_bytes", s.ckpt_fetch_bytes);
+  fn("ckpt_fetch_ns", s.ckpt_fetch_ns);
+}
+
+std::string lag_name(std::size_t i) {
+  return "el_replica_max_lag_" + std::to_string(i);
+}
+
+}  // namespace
+
+CounterRegistry DaemonStats::registry() const {
+  CounterRegistry reg;
+  for_each_counter(*this, [&](const char* name, std::uint64_t v) {
+    reg.add(name, static_cast<std::int64_t>(v), MergeKind::kSum);
+  });
+  for (std::size_t i = 0; i < el_replica_max_lag.size(); ++i) {
+    reg.add(lag_name(i), static_cast<std::int64_t>(el_replica_max_lag[i]),
+            MergeKind::kMax);
+  }
+  return reg;
+}
+
+DaemonStats DaemonStats::from_registry(const CounterRegistry& reg) {
+  DaemonStats s;
+  for_each_counter(s, [&](const char* name, std::uint64_t& v) {
+    v = static_cast<std::uint64_t>(reg.get(name));
+  });
+  for (std::size_t i = 0; reg.contains(lag_name(i)); ++i) {
+    s.el_replica_max_lag.push_back(
+        static_cast<std::uint64_t>(reg.get(lag_name(i))));
+  }
+  return s;
 }
 
 }  // namespace mpiv::v2

@@ -28,8 +28,13 @@
 
 #include "net/network.hpp"
 #include "net/pipe.hpp"
+#include "trace/trace.hpp"
 #include "v2/sender_log.hpp"
 #include "v2/wire.hpp"
+
+namespace mpiv {
+class CounterRegistry;
+}
 
 namespace mpiv::v2 {
 
@@ -81,6 +86,12 @@ struct DaemonConfig {
   /// incremental path: non-blocking capture, chunked delta upload striped
   /// across all checkpoint servers. Must match V2Device::blocking_ckpt.
   bool full_image_ckpt = false;
+  /// Causal trace recorder for this rank (owned by the job's TraceBook;
+  /// shared across incarnations). Null = no tracing.
+  trace::TraceRecorder* trace = nullptr;
+  /// TEST ONLY: deliberately violate one protocol invariant so the offline
+  /// auditor's checks can be validated against a known-bad run.
+  trace::Mutation trace_mutation = trace::Mutation::kNone;
 };
 
 /// Counters exposed to tests and benches.
@@ -129,6 +140,13 @@ struct DaemonStats {
   /// virtual time the striped fetch took.
   std::uint64_t ckpt_fetch_bytes = 0;
   std::uint64_t ckpt_fetch_ns = 0;
+
+  /// All counters as a named registry (el_replica_max_lag entries merge by
+  /// max, everything else by sum) — the single aggregation path used by
+  /// JobResult and the benches.
+  [[nodiscard]] CounterRegistry registry() const;
+  /// Inverse of registry(): rebuilds the struct from merged counters.
+  static DaemonStats from_registry(const CounterRegistry& reg);
 };
 
 class Daemon {
@@ -171,6 +189,7 @@ class Daemon {
     // the send action do not gate it (they are not causal predecessors).
     std::uint64_t required_events = 0;
     bool quorum_wait_counted = false;  // el_quorum_waits charged once/frame
+    Clock clock = 0;                   // send clock of the record (is_msg)
 
     [[nodiscard]] std::size_t total_size() const {
       return head.size() + payload.size();
@@ -352,6 +371,7 @@ class Daemon {
   bool has_stable_ckpt_ = false;
   std::size_t cs_rr_next_ = 0;              // round-robin stripe TX pointer
   bool shutdown_ = false;
+  bool mut_prune_done_ = false;  // kPruneSavedEarly fired (test only)
   mpi::Rank rr_next_ = 0;                   // round-robin TX pointer
   std::deque<net::NetEvent> setup_backlog_;  // events deferred during setup
 

@@ -72,6 +72,7 @@ bool V2Device::nprobe(sim::Context& ctx) {
 
 void V2Device::send_checkpoint(sim::Context& ctx, Buffer image) {
   copies_.ckpt_bytes_captured += image.size();
+  MPIV_TRACE(trace_, trace::Kind::kAppCkptImage, {.n = image.size()});
   if (blocking_ckpt_) {
     // Legacy path: block until the daemon has taken the image.
     roundtrip(ctx,

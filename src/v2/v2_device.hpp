@@ -9,6 +9,7 @@
 
 #include "mpi/device.hpp"
 #include "net/pipe.hpp"
+#include "trace/trace.hpp"
 #include "v2/wire.hpp"
 
 namespace mpiv::v2 {
@@ -19,9 +20,14 @@ class V2Device final : public mpi::Device {
   /// incremental datapath) hands the image to the daemon copy-on-write and
   /// resumes immediately; true waits for the daemon's kCkptOk (the legacy
   /// full-image protocol). Must match Daemon::config_.full_image_ckpt.
+  /// `trace` optionally records app-side events (Role::kRuntime).
   V2Device(net::Pipe& pipe, mpi::Rank rank, mpi::Rank size,
-           bool blocking_ckpt = false)
-      : pipe_(pipe), rank_(rank), size_(size), blocking_ckpt_(blocking_ckpt) {}
+           bool blocking_ckpt = false, trace::TraceRecorder* trace = nullptr)
+      : pipe_(pipe),
+        rank_(rank),
+        size_(size),
+        blocking_ckpt_(blocking_ckpt),
+        trace_(trace) {}
 
   void init(sim::Context& ctx) override;
   void finish(sim::Context& ctx) override;
@@ -54,6 +60,7 @@ class V2Device final : public mpi::Device {
   mpi::Rank size_;
   bool blocking_ckpt_ = false;
   bool ckpt_requested_ = false;
+  trace::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace mpiv::v2

@@ -13,6 +13,7 @@
 #include "apps/token_ring.hpp"
 #include "common/rng.hpp"
 #include "runtime/job.hpp"
+#include "trace/audit.hpp"
 #include "v2/wire.hpp"
 
 namespace mpiv {
@@ -302,10 +303,19 @@ void torture_run(const runtime::AppFactory& factory, int nprocs,
       compute_kills, /*el_kills=*/2, clean.makespan / 4, clean.makespan,
       nprocs, /*n_event_loggers=*/3, milliseconds(250), seed * 977 + 13);
   cfg.time_limit = seconds(600);
+  // Every faulty run is traced and audited post-hoc: beyond bit-identical
+  // outputs, the causal event stream itself must satisfy the pessimistic
+  // logging invariants (no-orphan, at-most-once, replay order, GC safety).
+  cfg.trace.enabled = true;
   JobResult res = run_job(cfg, factory);
   ASSERT_TRUE(res.success) << "seed " << seed;
   EXPECT_EQ(outputs(res), outputs(clean)) << "seed " << seed;
   EXPECT_TRUE(res.el_stores_consistent) << "seed " << seed;
+  if constexpr (trace::kCompiled) {
+    ASSERT_NE(res.trace, nullptr) << "seed " << seed;
+    trace::AuditReport audit = trace::audit(*res.trace);
+    EXPECT_TRUE(audit.pass) << "seed " << seed << "\n" << audit.summary();
+  }
 }
 
 class TortureSweep : public ::testing::TestWithParam<int> {};

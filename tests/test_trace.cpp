@@ -1,0 +1,368 @@
+// Unit tests for the causal trace recorder (src/trace/): ring semantics,
+// JSONL round-trip fidelity, Chrome-trace well-formedness, auditor
+// degradation on incomplete traces, and the common counter registry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "trace/audit.hpp"
+#include "trace/sinks.hpp"
+#include "trace/trace.hpp"
+#include "v2/daemon.hpp"
+
+namespace mpiv {
+namespace {
+
+using trace::Fields;
+using trace::Kind;
+using trace::Role;
+using trace::TraceBook;
+using trace::TraceConfig;
+using trace::TraceEvent;
+using trace::TraceRecorder;
+
+TraceConfig small_config(std::size_t capacity) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = capacity;
+  return cfg;
+}
+
+// With -DMPIV_TRACE=OFF every record() folds to a no-op; tests that assert
+// on live-recorded streams only make sense compiled in.
+#define REQUIRE_TRACE_COMPILED()                                          \
+  if (!trace::kCompiled)                                                  \
+  GTEST_SKIP() << "tracing compiled out (-DMPIV_TRACE=OFF)"
+
+// ------------------------------------------------------------ recorder/book
+
+TEST(TraceRecorder, RecordsIdentityTimeAndFields) {
+  REQUIRE_TRACE_COMPILED();
+  TraceBook book(small_config(16));
+  book.set_manual_time(1234);
+  TraceRecorder* rec = book.recorder(Role::kDaemon, 3);
+  rec->set_incarnation(2);
+  rec->record(Kind::kDeliver,
+              {.peer = 1, .c1 = 7, .c2 = 8, .c3 = -9, .n = 4, .flag = true});
+  auto events = rec->events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& e = events[0];
+  EXPECT_EQ(e.t, 1234);
+  EXPECT_EQ(e.role, Role::kDaemon);
+  EXPECT_EQ(e.id, 3);
+  EXPECT_EQ(e.incarnation, 2);
+  EXPECT_EQ(e.kind, Kind::kDeliver);
+  EXPECT_EQ(e.peer, 1);
+  EXPECT_EQ(e.c1, 7);
+  EXPECT_EQ(e.c2, 8);
+  EXPECT_EQ(e.c3, -9);
+  EXPECT_EQ(e.n, 4u);
+  EXPECT_TRUE(e.flag);
+  EXPECT_EQ(rec->dropped(), 0u);
+  EXPECT_EQ(rec->recorded(), 1u);
+}
+
+TEST(TraceRecorder, RecordersAreStablePerRoleAndId) {
+  TraceBook book(small_config(16));
+  TraceRecorder* a = book.recorder(Role::kDaemon, 0);
+  TraceRecorder* b = book.recorder(Role::kEventLogger, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, book.recorder(Role::kDaemon, 0));
+}
+
+TEST(TraceBook, MergedIsOrderedByTimeThenSequence) {
+  REQUIRE_TRACE_COMPILED();
+  TraceBook book(small_config(16));
+  TraceRecorder* r0 = book.recorder(Role::kDaemon, 0);
+  TraceRecorder* r1 = book.recorder(Role::kDaemon, 1);
+  book.set_manual_time(5);
+  r1->record(Kind::kSendIssued, {.peer = 0, .c1 = 1});
+  book.set_manual_time(3);
+  r0->record(Kind::kSendIssued, {.peer = 1, .c1 = 1});
+  book.set_manual_time(5);
+  r0->record(Kind::kDeliver, {.peer = 1, .c1 = 1, .c2 = 1});
+  auto merged = book.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].t, 3);
+  EXPECT_EQ(merged[1].t, 5);
+  EXPECT_EQ(merged[2].t, 5);
+  EXPECT_LT(merged[1].seq, merged[2].seq);  // same t: record order wins
+}
+
+TEST(TraceRecorder, RingOverflowDropsOldestAndCounts) {
+  REQUIRE_TRACE_COMPILED();
+  TraceBook book(small_config(4));
+  TraceRecorder* rec = book.recorder(Role::kDaemon, 0);
+  for (int i = 0; i < 10; ++i) {
+    rec->record(Kind::kSendIssued, {.peer = 1, .c1 = i});
+  }
+  EXPECT_EQ(rec->recorded(), 10u);
+  EXPECT_EQ(rec->dropped(), 6u);
+  auto events = rec->events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the survivors are the newest four.
+  EXPECT_EQ(events.front().c1, 6);
+  EXPECT_EQ(events.back().c1, 9);
+  EXPECT_EQ(book.total_dropped(), 6u);
+  EXPECT_EQ(book.total_recorded(), 10u);
+}
+
+TEST(TraceNames, EveryKindAndRoleHasAName) {
+  for (int k = 0; k <= static_cast<int>(Kind::kAppCkptImage); ++k) {
+    EXPECT_NE(trace::kind_name(static_cast<Kind>(k)), "unknown")
+        << "kind " << k;
+  }
+  for (int r = 0; r <= static_cast<int>(Role::kRuntime); ++r) {
+    EXPECT_NE(trace::role_name(static_cast<Role>(r)), "unknown")
+        << "role " << r;
+  }
+}
+
+// ------------------------------------------------------------ JSONL sink
+
+std::vector<TraceEvent> sample_events() {
+  TraceBook book(small_config(64));
+  book.set_manual_time(10);
+  TraceRecorder* d = book.recorder(Role::kDaemon, 0);
+  d->set_incarnation(1);
+  d->record(Kind::kSendWire,
+            {.peer = 2, .c1 = -3, .c2 = 4, .c3 = 5, .n = 6, .flag = true});
+  book.set_manual_time(20);
+  book.recorder(Role::kEventLogger, 1)->record(
+      Kind::kElSrvAppend, {.peer = 0, .c1 = 1, .c2 = 2, .c3 = 3});
+  book.set_manual_time(30);
+  book.recorder(Role::kScheduler, 0)->record(Kind::kCkptOrder, {.peer = 3});
+  book.recorder(Role::kCkptServer, 2)->record(Kind::kCrash);
+  book.recorder(Role::kRuntime, 3)->record(Kind::kAppCkptImage,
+                                           {.n = 1u << 20});
+  return book.merged();
+}
+
+TEST(JsonlSink, RoundTripPreservesEveryField) {
+  std::vector<TraceEvent> events = sample_events();
+  std::ostringstream out;
+  trace::write_jsonl(out, events, 7);
+
+  std::istringstream in(out.str());
+  trace::LoadedTrace loaded;
+  std::string error;
+  ASSERT_TRUE(trace::read_jsonl(in, loaded, &error)) << error;
+  EXPECT_EQ(loaded.dropped, 7u);
+  ASSERT_EQ(loaded.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i], events[i]) << "event " << i;
+  }
+}
+
+TEST(JsonlSink, RejectsMalformedLines) {
+  std::istringstream in("{\"t\":1,\"seq\":0,\"role\":\"daemon\"\nnot json\n");
+  trace::LoadedTrace loaded;
+  std::string error;
+  EXPECT_FALSE(trace::read_jsonl(in, loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonlSink, RejectsUnknownKind) {
+  std::istringstream in(
+      "{\"t\":1,\"seq\":0,\"role\":\"daemon\",\"id\":0,\"inc\":0,"
+      "\"kind\":\"no_such_kind\",\"peer\":0,\"c1\":0,\"c2\":0,\"c3\":0,"
+      "\"n\":0,\"flag\":false}\n");
+  trace::LoadedTrace loaded;
+  EXPECT_FALSE(trace::read_jsonl(in, loaded));
+}
+
+TEST(JsonlSink, HeaderDroppedCountsAccumulateAcrossFiles) {
+  std::ostringstream a;
+  trace::write_jsonl(a, {}, 3);
+  std::ostringstream b;
+  trace::write_jsonl(b, {}, 4);
+  trace::LoadedTrace loaded;
+  std::istringstream ia(a.str());
+  ASSERT_TRUE(trace::read_jsonl(ia, loaded));
+  std::istringstream ib(b.str());
+  ASSERT_TRUE(trace::read_jsonl(ib, loaded));
+  EXPECT_EQ(loaded.dropped, 7u);
+}
+
+// ------------------------------------------------------------ Chrome sink
+
+TEST(ChromeSink, EmitsBalancedJsonWithSlicesAndInstants) {
+  REQUIRE_TRACE_COMPILED();
+  TraceBook book(small_config(64));
+  TraceRecorder* d = book.recorder(Role::kDaemon, 0);
+  book.set_manual_time(1000);
+  d->record(Kind::kStallStart, {.peer = 1, .c1 = 5, .c2 = 0, .n = 3});
+  book.set_manual_time(4000);
+  d->record(Kind::kStallEnd, {.peer = 1, .c1 = 5});
+  book.set_manual_time(5000);
+  d->record(Kind::kCrash);
+  book.set_manual_time(9000);
+  d->record(Kind::kSpawn, {.flag = true});
+
+  std::ostringstream out;
+  trace::write_chrome_trace(out, book.merged());
+  std::string s = out.str();
+
+  // Structurally balanced JSON (the format has no string escapes).
+  int depth = 0;
+  int min_depth = 0;
+  for (char c : s) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    min_depth = std::min(min_depth, depth);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(min_depth, 0);
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  // The stall and the outage became duration slices with the right length.
+  EXPECT_NE(s.find("\"name\":\"WAITLOGGED dest=1 clock=5\""),
+            std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"outage\""), std::string::npos);
+  EXPECT_NE(s.find("\"dur\":3"), std::string::npos);  // 3 us stall
+  EXPECT_NE(s.find("\"dur\":4"), std::string::npos);  // 4 us outage
+  // Every event also appears as an instant with args.
+  EXPECT_NE(s.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"stall_start\""), std::string::npos);
+  // Metadata names the daemon track.
+  EXPECT_NE(s.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(s.find("\"thread_name\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ audit degrade
+
+TEST(Audit, EmptyTraceIsInconclusiveNeverPass) {
+  trace::AuditReport rep = trace::audit({}, 0);
+  EXPECT_FALSE(rep.pass);
+  EXPECT_TRUE(rep.inconclusive);
+  EXPECT_NE(rep.summary().find("INCONCLUSIVE"), std::string::npos);
+}
+
+TEST(Audit, DroppedEventsAreInconclusiveNeverPass) {
+  REQUIRE_TRACE_COMPILED();
+  // A ring that wrapped: the surviving suffix looks perfectly legal, but
+  // the verdict must degrade rather than claim the invariants hold.
+  TraceBook book(small_config(2));
+  TraceRecorder* rec = book.recorder(Role::kDaemon, 0);
+  for (int i = 1; i <= 8; ++i) {
+    book.set_manual_time(i * 100);
+    rec->record(Kind::kDeliver, {.peer = 1, .c1 = i, .c2 = i});
+  }
+  ASSERT_GT(book.total_dropped(), 0u);
+  trace::AuditReport rep = trace::audit(book);
+  EXPECT_FALSE(rep.pass);
+  EXPECT_TRUE(rep.inconclusive);
+  EXPECT_EQ(rep.dropped, book.total_dropped());
+}
+
+TEST(Audit, CleanSyntheticExchangePasses) {
+  REQUIRE_TRACE_COMPILED();
+  // Rank 0 delivers two messages from rank 1 after their events are
+  // quorum-acked; rank 1's sends leave fully logged.
+  TraceBook book(small_config(64));
+  TraceRecorder* d0 = book.recorder(Role::kDaemon, 0);
+  TraceRecorder* d1 = book.recorder(Role::kDaemon, 1);
+  book.set_manual_time(100);
+  d1->record(Kind::kSendIssued, {.peer = 0, .c1 = 1, .n = 0});
+  d1->record(Kind::kSendWire, {.peer = 0, .c1 = 1, .c2 = 0, .n = 0});
+  book.set_manual_time(200);
+  d0->record(Kind::kDeliver, {.peer = 1, .c1 = 1, .c2 = 1});
+  d0->record(Kind::kElAppend, {.peer = 1, .c1 = 1, .c2 = 1, .c3 = 0});
+  book.set_manual_time(300);
+  d0->record(Kind::kElQuorum, {.n = 1});
+  d0->record(Kind::kSendIssued, {.peer = 1, .c1 = 1, .n = 1});
+  d0->record(Kind::kSendWire, {.peer = 1, .c1 = 1, .c2 = 1, .n = 1});
+  book.set_manual_time(400);
+  d1->record(Kind::kDeliver, {.peer = 0, .c1 = 1, .c2 = 1});
+  trace::AuditReport rep = trace::audit(book);
+  EXPECT_TRUE(rep.pass) << rep.summary();
+  EXPECT_EQ(rep.events_checked, 8u);
+}
+
+TEST(Audit, SyntheticOrphanIsFlagged) {
+  REQUIRE_TRACE_COMPILED();
+  TraceBook book(small_config(64));
+  TraceRecorder* d = book.recorder(Role::kDaemon, 0);
+  book.set_manual_time(100);
+  d->record(Kind::kSendWire, {.peer = 1, .c1 = 1, .c2 = 2, .n = 5});
+  trace::AuditReport rep = trace::audit(book);
+  EXPECT_FALSE(rep.pass);
+  ASSERT_TRUE(rep.has(trace::Invariant::kNoOrphan));
+  ASSERT_FALSE(rep.violations.empty());
+  EXPECT_FALSE(rep.violations[0].evidence.empty());
+  EXPECT_NE(rep.summary().find("no-orphan"), std::string::npos);
+}
+
+TEST(Audit, SyntheticDoubleDeliveryIsFlagged) {
+  REQUIRE_TRACE_COMPILED();
+  TraceBook book(small_config(64));
+  TraceRecorder* d = book.recorder(Role::kDaemon, 0);
+  book.set_manual_time(100);
+  d->record(Kind::kDeliver, {.peer = 1, .c1 = 1, .c2 = 1});
+  book.set_manual_time(200);
+  d->record(Kind::kDeliver, {.peer = 1, .c1 = 1, .c2 = 2});
+  trace::AuditReport rep = trace::audit(book);
+  EXPECT_FALSE(rep.pass);
+  EXPECT_TRUE(rep.has(trace::Invariant::kAtMostOnce));
+}
+
+// ------------------------------------------------------------ counters
+
+TEST(CounterRegistry, SumAndMaxMerge) {
+  CounterRegistry a;
+  a.add("msgs", 10);
+  a.add("msgs", 5);
+  a.add("lag", 3, MergeKind::kMax);
+  CounterRegistry b;
+  b.add("msgs", 7);
+  b.add("lag", 9, MergeKind::kMax);
+  b.add("extra", 1);
+  a.merge(b);
+  EXPECT_EQ(a.get("msgs"), 22);
+  EXPECT_EQ(a.get("lag"), 9);
+  EXPECT_EQ(a.get("extra"), 1);
+  EXPECT_EQ(a.get("absent"), 0);
+  EXPECT_TRUE(a.contains("msgs"));
+  EXPECT_FALSE(a.contains("absent"));
+}
+
+TEST(CounterRegistry, JsonObjectKeepsInsertionOrder) {
+  CounterRegistry reg;
+  reg.add("b", 2);
+  reg.add("a", 1);
+  reg.add("b", 1);
+  EXPECT_EQ(reg.json_object(), "{\"b\":3,\"a\":1}");
+  EXPECT_EQ(CounterRegistry{}.json_object(), "{}");
+}
+
+TEST(DaemonStatsRegistry, RoundTripsAndMergesLikeCollect) {
+  v2::DaemonStats s1;
+  s1.sent_msgs = 11;
+  s1.events_logged = 5;
+  s1.el_replica_max_lag = {4, 9};
+  v2::DaemonStats s2;
+  s2.sent_msgs = 7;
+  s2.ckpt_fetch_ns = 1234;
+  s2.el_replica_max_lag = {6, 2, 1};
+
+  CounterRegistry merged = s1.registry();
+  merged.merge(s2.registry());
+  v2::DaemonStats back = v2::DaemonStats::from_registry(merged);
+  EXPECT_EQ(back.sent_msgs, 18u);
+  EXPECT_EQ(back.events_logged, 5u);
+  EXPECT_EQ(back.ckpt_fetch_ns, 1234u);
+  ASSERT_EQ(back.el_replica_max_lag.size(), 3u);
+  EXPECT_EQ(back.el_replica_max_lag[0], 6u);  // max-merge, not sum
+  EXPECT_EQ(back.el_replica_max_lag[1], 9u);
+  EXPECT_EQ(back.el_replica_max_lag[2], 1u);
+
+  v2::DaemonStats zero = v2::DaemonStats::from_registry(CounterRegistry{});
+  EXPECT_EQ(zero.sent_msgs, 0u);
+  EXPECT_TRUE(zero.el_replica_max_lag.empty());
+}
+
+}  // namespace
+}  // namespace mpiv

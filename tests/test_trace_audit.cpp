@@ -1,0 +1,201 @@
+// End-to-end tests for the offline protocol auditor: real traced jobs —
+// clean, crash-recovery, replica-kill and stripe-crash — must pass every
+// pessimistic-logging invariant, and each trace_mutation mode must be
+// caught with the right invariant name and a causal counterexample.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/token_ring.hpp"
+#include "runtime/job.hpp"
+#include "trace/audit.hpp"
+#include "trace/sinks.hpp"
+
+namespace mpiv {
+namespace {
+
+using runtime::DeviceKind;
+using runtime::JobConfig;
+using runtime::JobResult;
+using trace::Invariant;
+
+runtime::AppFactory ring(int rounds, std::size_t bytes, SimDuration compute) {
+  return [=](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::TokenRingApp>(rounds, bytes, compute);
+  };
+}
+
+JobConfig traced_config(int nprocs) {
+  JobConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.device = DeviceKind::kV2;
+  cfg.trace.enabled = true;
+  return cfg;
+}
+
+// Traced end-to-end runs are meaningless with the recorder compiled out
+// (-DMPIV_TRACE=OFF): run_job never allocates a TraceBook.
+class TraceAudit : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!trace::kCompiled) {
+      GTEST_SKIP() << "tracing compiled out (-DMPIV_TRACE=OFF)";
+    }
+  }
+};
+
+trace::AuditReport audit_of(const JobResult& res) {
+  EXPECT_NE(res.trace, nullptr);
+  return trace::audit(*res.trace);
+}
+
+// ------------------------------------------------------------ passing runs
+
+TEST_F(TraceAudit, CleanRunPasses) {
+  JobConfig cfg = traced_config(4);
+  JobResult res = run_job(cfg, ring(40, 512, microseconds(500)));
+  ASSERT_TRUE(res.success);
+  trace::AuditReport rep = audit_of(res);
+  EXPECT_TRUE(rep.pass) << rep.summary();
+  EXPECT_GT(rep.events_checked, 0u);
+  EXPECT_EQ(res.counters.get("trace_events_dropped"), 0);
+  EXPECT_GT(res.counters.get("trace_events_recorded"), 0);
+}
+
+TEST_F(TraceAudit, CrashRecoveryRunPasses) {
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg = traced_config(4);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 2, {1});
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  ASSERT_GE(res.restarts, 1);
+  ASSERT_GT(res.daemon_stats.replayed_deliveries, 0u);
+  trace::AuditReport rep = audit_of(res);
+  EXPECT_TRUE(rep.pass) << rep.summary();
+}
+
+TEST_F(TraceAudit, ElReplicaKillRunPasses) {
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg = traced_config(4);
+  cfg.el_replication = 3;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // One replica dies for good, and a rank crashes later: the restart must
+  // merge from the surviving quorum — and the trace must still audit clean.
+  faults::FaultPlan plan = faults::FaultPlan::service_kill(
+      clean.makespan / 4, faults::FaultTarget::kEventLogger, 0,
+      /*revive=*/false);
+  plan.merge(faults::FaultPlan::simultaneous(clean.makespan / 2, {2}));
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  trace::AuditReport rep = audit_of(res);
+  EXPECT_TRUE(rep.pass) << rep.summary();
+}
+
+TEST_F(TraceAudit, StripeCrashRunPasses) {
+  auto factory = ring(100, 512, milliseconds(1));
+  JobConfig cfg = traced_config(4);
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(5);
+  cfg.ckpt_period = milliseconds(10);
+  cfg.n_ckpt_servers = 3;
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // A checkpoint strip server reboots (stable storage) mid-run and a rank
+  // crashes afterwards, restoring through the revived stripe.
+  faults::FaultPlan plan = faults::FaultPlan::service_kill(
+      clean.makespan / 4, faults::FaultTarget::kCkptServer, 1,
+      /*revive=*/true);
+  plan.merge(faults::FaultPlan::simultaneous(clean.makespan / 2, {1}));
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  trace::AuditReport rep = audit_of(res);
+  EXPECT_TRUE(rep.pass) << rep.summary();
+}
+
+TEST_F(TraceAudit, JsonlSinkRoundTripsThroughTheJob) {
+  JobConfig cfg = traced_config(3);
+  std::string path = testing::TempDir() + "trace_audit_roundtrip.jsonl";
+  cfg.trace.jsonl_path = path;
+  JobResult res = run_job(cfg, ring(20, 256, microseconds(500)));
+  ASSERT_TRUE(res.success);
+
+  trace::LoadedTrace loaded;
+  std::string error;
+  ASSERT_TRUE(trace::read_jsonl_file(path, loaded, &error)) << error;
+  ASSERT_EQ(loaded.events.size(), res.trace->merged().size());
+  trace::AuditReport from_file = trace::audit(loaded.events, loaded.dropped);
+  trace::AuditReport in_process = audit_of(res);
+  EXPECT_TRUE(from_file.pass) << from_file.summary();
+  EXPECT_EQ(from_file.events_checked, in_process.events_checked);
+}
+
+// ------------------------------------------------------------ mutations
+
+// Each trace_mutation breaks exactly one invariant; the auditor must name
+// it and attach a causal counterexample. The jobs are not asserted
+// successful — a protocol violation may corrupt the run, and that is fine.
+
+TEST_F(TraceAudit, MutationSkipWaitLoggedIsCaughtAsNoOrphan) {
+  JobConfig cfg = traced_config(4);
+  cfg.trace_mutation = trace::Mutation::kSkipWaitLogged;
+  JobResult res = run_job(cfg, ring(40, 512, microseconds(500)));
+  trace::AuditReport rep = audit_of(res);
+  EXPECT_FALSE(rep.pass);
+  ASSERT_TRUE(rep.has(Invariant::kNoOrphan)) << rep.summary();
+  for (const trace::Violation& v : rep.violations) {
+    if (v.invariant != Invariant::kNoOrphan) continue;
+    EXPECT_FALSE(v.evidence.empty());
+    EXPECT_NE(v.detail.find("WAITLOGGED"), std::string::npos);
+    break;
+  }
+}
+
+TEST_F(TraceAudit, MutationReplayOutOfOrderIsCaughtAsReplayOrder) {
+  auto factory = ring(40, 512, microseconds(500));
+  JobConfig cfg = traced_config(4);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // The mutation only bites on a restart's replay pass, so crash a rank.
+  cfg.trace_mutation = trace::Mutation::kReplayOutOfOrder;
+  cfg.fault_plan = faults::FaultPlan::simultaneous(clean.makespan / 2, {1});
+  cfg.time_limit = clean.makespan * 4;
+  JobResult res = run_job(cfg, factory);
+  trace::AuditReport rep = audit_of(res);
+  EXPECT_FALSE(rep.pass);
+  ASSERT_TRUE(rep.has(Invariant::kReplayOrder)) << rep.summary();
+  for (const trace::Violation& v : rep.violations) {
+    if (v.invariant != Invariant::kReplayOrder) continue;
+    EXPECT_FALSE(v.evidence.empty());
+    break;
+  }
+}
+
+TEST_F(TraceAudit, MutationPruneSavedEarlyIsCaughtAsGcSafety) {
+  JobConfig cfg = traced_config(4);
+  cfg.trace_mutation = trace::Mutation::kPruneSavedEarly;
+  JobResult res = run_job(cfg, ring(40, 512, microseconds(500)));
+  trace::AuditReport rep = audit_of(res);
+  EXPECT_FALSE(rep.pass);
+  ASSERT_TRUE(rep.has(Invariant::kGcSafety)) << rep.summary();
+  for (const trace::Violation& v : rep.violations) {
+    if (v.invariant != Invariant::kGcSafety) continue;
+    EXPECT_FALSE(v.evidence.empty());
+    EXPECT_NE(v.detail.find("pruned"), std::string::npos);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace mpiv

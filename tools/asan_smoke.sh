@@ -16,8 +16,9 @@ BUILD_DIR="${2:-${SRC_DIR}/build-asan}"
 # The targets that exercise SharedBuffer aliasing end to end: the network
 # + datapath units, the checkpoint delta/striping stack, and the
 # randomized compute+service fault torture suite (daemon restart, replica
-# reconnect and restart-merge paths under ASan).
-TARGETS=(test_network test_ckpt_path test_el_torture)
+# reconnect and restart-merge paths under ASan). test_trace adds the ring
+# recorder, the sink round-trips and the auditor's event-stream walks.
+TARGETS=(test_network test_ckpt_path test_el_torture test_trace)
 
 cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# CI smoke: configure, build, and run the test suite in three stages —
-#   1. the default suite (everything not labelled sanitize/torture),
-#   2. the randomized fault-schedule torture suite (label "torture"),
-#   3. the AddressSanitizer side build (label "sanitize", which itself
+# CI smoke: configure, build, and run the test suite in four stages —
+#   1. the default suite (everything not labelled sanitize/torture/audit),
+#   2. the causal-trace protocol audit suite (label "audit": recorder units
+#      plus traced end-to-end runs checked against the pessimistic-logging
+#      invariants, including the mutation self-tests),
+#   3. the randomized fault-schedule torture suite (label "torture", which
+#      also audits every traced faulty run post-hoc),
+#   4. the AddressSanitizer side build (label "sanitize", which itself
 #      rebuilds the lifetime-sensitive targets under -DMPIV_SANITIZE).
 #
 # Usage: tools/ci_smoke.sh [source-dir [build-dir]]
@@ -16,7 +20,10 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 echo "==== default suite ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-      -LE 'sanitize|torture'
+      -LE 'sanitize|torture|audit'
+
+echo "==== protocol audit ===="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L audit
 
 echo "==== torture suite ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L torture
