@@ -17,8 +17,8 @@ using namespace mpiv;
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
-  auto sizes = opts.get_int_list("sizes", {8192, 32768, 65536, 131072, 262144});
-  auto restarts = opts.get_int_list("restarts", {0, 1, 2, 4, 8});
+  auto sizes = opts.get_int_list("sizes", {4096, 65536, 1048576});
+  auto restarts = opts.get_int_list("restarts", {0, 1, 2, 3, 4});
   int nprocs = static_cast<int>(opts.get_int("nprocs", 8));
   int rounds = static_cast<int>(opts.get_int("rounds", 20));
   bench::JsonSink json(opts);

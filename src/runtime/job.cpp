@@ -413,6 +413,7 @@ class Cluster {
     dcfg.gate_sends = cfg_.v2_gate_sends;
     dcfg.legacy_datapath = cfg_.v2_legacy_datapath;
     dcfg.full_image_ckpt = cfg_.v2_full_image_ckpt;
+    dcfg.serial_restart = cfg_.v2_serial_restart;
     dcfg.optional_connect_budget = cfg_.cs_connect_budget;
     dcfg.trace = rec(trace::Role::kDaemon, rank);
     dcfg.trace_mutation = cfg_.trace_mutation;

@@ -94,6 +94,10 @@ struct JobConfig {
   /// handoff instead of the incremental chunked-delta datapath (see
   /// v2::DaemonConfig::full_image_ckpt) for A/B benchmarking.
   bool v2_full_image_ckpt = false;
+  /// ABLATION ONLY: serialize the restart datapath (fetch, then download,
+  /// then fan-out) instead of the overlapped recovery fast path (see
+  /// v2::DaemonConfig::serial_restart) for A/B benchmarking.
+  bool v2_serial_restart = false;
 
   /// Causal trace recorder (src/trace/): when trace.enabled, every protocol
   /// actor records structured events; run_job keeps the merged TraceBook on

@@ -9,7 +9,7 @@
 namespace mpiv::trace {
 namespace {
 
-constexpr int kLastKind = static_cast<int>(Kind::kAppCkptImage);
+constexpr int kLastKind = static_cast<int>(Kind::kRestartPhaseEnd);
 constexpr int kLastRole = static_cast<int>(Role::kRuntime);
 
 bool kind_from_name(std::string_view name, Kind& out) {
@@ -223,13 +223,36 @@ void write_chrome_trace(std::ostream& out,
   }
 
   // Duration slices: WAITLOGGED stalls (kStallStart..kStallEnd matched by
-  // (actor, peer, clock)) and outages (kCrash..kSpawn per actor).
+  // (actor, peer, clock)), outages (kCrash..kSpawn per actor), and restart
+  // phases (kRestartPhaseBegin..End matched by (actor, phase)) — the three
+  // phase slices side by side are the recovery overlap picture.
+  auto phase_name = [](std::int64_t c3) {
+    switch (static_cast<RestartPhase>(c3)) {
+      case RestartPhase::kFetch: return "restart fetch";
+      case RestartPhase::kDownload: return "restart download";
+      case RestartPhase::kReplay: return "restart replay";
+    }
+    return "restart ?";
+  };
   std::map<std::tuple<int, std::int32_t, std::int32_t, std::int64_t>, SimTime>
       open_stalls;
   std::map<std::pair<int, std::int32_t>, SimTime> open_outages;
+  std::map<std::tuple<int, std::int32_t, std::int64_t>, SimTime> open_phases;
   for (const TraceEvent& e : events) {
     int p = pid(e.role);
-    if (e.kind == Kind::kStallStart) {
+    if (e.kind == Kind::kRestartPhaseBegin) {
+      open_phases[{p, e.id, e.c3}] = e.t;
+    } else if (e.kind == Kind::kRestartPhaseEnd) {
+      auto it = open_phases.find({p, e.id, e.c3});
+      if (it != open_phases.end()) {
+        sep() << "{\"name\":\"" << phase_name(e.c3)
+              << "\",\"cat\":\"restart\",\"ph\":\"X\",\"pid\":" << p
+              << ",\"tid\":" << e.id << ",\"ts\":" << us(it->second)
+              << ",\"dur\":" << us(e.t - it->second) << ",\"args\":{\"n\":"
+              << e.n << "}}";
+        open_phases.erase(it);
+      }
+    } else if (e.kind == Kind::kStallStart) {
       open_stalls[{p, e.id, e.peer, e.c1}] = e.t;
     } else if (e.kind == Kind::kStallEnd) {
       auto it = open_stalls.find({p, e.id, e.peer, e.c1});

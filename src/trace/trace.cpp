@@ -42,6 +42,8 @@ std::string_view kind_name(Kind kind) {
     case Kind::kElSrvTruncate: return "el_srv_truncate";
     case Kind::kCkptOrder: return "ckpt_order";
     case Kind::kAppCkptImage: return "app_ckpt_image";
+    case Kind::kRestartPhaseBegin: return "restart_phase_begin";
+    case Kind::kRestartPhaseEnd: return "restart_phase_end";
   }
   return "unknown";
 }

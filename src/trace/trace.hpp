@@ -96,6 +96,19 @@ enum class Kind : std::uint8_t {
   kCkptOrder,  // peer=rank ordered to checkpoint
   // App/device side.
   kAppCkptImage,  // n=image bytes handed to the daemon
+  // Recovery fast path (daemon): the three restart stages as spans, so the
+  // chrome timeline shows how far the image fetch, the event download and
+  // the replay overlap. c3=RestartPhase; End carries n=bytes fetched /
+  // events merged / deliveries replayed.
+  kRestartPhaseBegin,  // c3=phase
+  kRestartPhaseEnd,    // c3=phase, n=phase-specific volume
+};
+
+/// c3 payload of kRestartPhaseBegin/kRestartPhaseEnd.
+enum class RestartPhase : std::int64_t {
+  kFetch = 1,     // striped checkpoint-image fetch
+  kDownload = 2,  // event-logger download up to the quorum merge
+  kReplay = 3,    // plan adoption until the last logged re-delivery
 };
 
 [[nodiscard]] std::string_view kind_name(Kind kind);

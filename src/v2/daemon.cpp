@@ -44,30 +44,55 @@ Daemon::Daemon(net::Network& net, net::Pipe& pipe, DaemonConfig config)
 // --------------------------------------------------------------- setup
 
 void Daemon::setup(sim::Context& ctx) {
+  if (config_.incarnation > 0) restart_t0_ = ctx.now();
   endpoint_.emplace(net_, config_.node);
   endpoint_->listen(kDaemonPortBase + config_.rank);
   connect_services(ctx);
-  fetch_checkpoint(ctx);
-  if (config_.incarnation > 0) {
-    // Snapshot the restored HS/HR watermarks (zero on a scratch restart):
-    // the offline auditor baselines its per-incarnation bounds from these.
-    for (mpi::Rank q = 0; q < config_.size; ++q) {
-      if (q == config_.rank) continue;
-      auto qi = static_cast<std::size_t>(q);
-      MPIV_TRACE(config_.trace, TK::kWatermarks,
-                 {.peer = q, .c1 = hs_[qi], .c2 = hr_[qi]});
+  // The fast path overlaps the image fetch, the event download and the
+  // Restart1 fan-out from the main loop; the legacy full-image fetch has no
+  // chunk structure to overlap, so it stays on the serial path with the
+  // serial_restart ablation.
+  const bool overlapped = config_.incarnation > 0 && !config_.serial_restart &&
+                          !config_.full_image_ckpt;
+  if (overlapped) {
+    begin_overlapped_restart(ctx);
+  } else {
+    if (config_.incarnation > 0) {
+      MPIV_TRACE(config_.trace, TK::kRestartPhaseBegin,
+                 {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kFetch)});
     }
-  }
-  download_events(ctx);
-
-  if (config_.incarnation > 0) {
-    for (mpi::Rank q = 0; q < config_.size; ++q) {
-      if (q != config_.rank) awaiting_marker_[static_cast<std::size_t>(q)] = true;
+    fetch_checkpoint(ctx);
+    if (config_.incarnation > 0) {
+      MPIV_TRACE(config_.trace, TK::kRestartPhaseEnd,
+                 {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kFetch),
+                  .n = stats_.ckpt_fetch_bytes});
+      // Snapshot the restored HS/HR watermarks (zero on a scratch restart):
+      // the offline auditor baselines its per-incarnation bounds from these.
+      for (mpi::Rank q = 0; q < config_.size; ++q) {
+        if (q == config_.rank) continue;
+        auto qi = static_cast<std::size_t>(q);
+        MPIV_TRACE(config_.trace, TK::kWatermarks,
+                   {.peer = q, .c1 = hs_[qi], .c2 = hr_[qi]});
+      }
+    }
+    download_events(ctx);
+    if (config_.incarnation > 0) {
+      for (mpi::Rank q = 0; q < config_.size; ++q) {
+        if (q != config_.rank) {
+          awaiting_marker_[static_cast<std::size_t>(q)] = true;
+        }
+      }
     }
   }
   // The lower rank of each pair initiates; we connect to all higher ranks.
   for (mpi::Rank q = config_.rank + 1; q < config_.size; ++q) {
     connect_peer(ctx, q);
+  }
+  // A restarted daemon connects to its lower-rank peers too (eager
+  // Restart1 fan-out): recovery would otherwise stall until each of them
+  // notices the dead connection and retries on its own cadence.
+  if (config_.incarnation > 0) {
+    for (mpi::Rank q = 0; q < config_.rank; ++q) connect_peer(ctx, q);
   }
 }
 
@@ -229,6 +254,16 @@ void Daemon::el_drop(sim::Context& ctx, std::size_t i) {
     el_backoff_[i] = el_backoff_[i] * 2;
   }
   stats_.el_replica_retries += 1;
+  if (restart_.has_value() && restart_->download_issued &&
+      !restart_->plan_merged) {
+    // The replica owed us a download reply; the backoff reconnect retries
+    // against the surviving majority (el_sync re-requests). Give up only
+    // once the quorum stays lost past the connect budget — the drops keep
+    // firing on the backoff cadence, so this deadline is always revisited.
+    restart_->dl_pending[i] = false;
+    MPIV_CHECK(ctx.now() < restart_t0_ + config_.connect_timeout,
+               "daemon: lost the event-logger quorum during restart download");
+  }
 }
 
 void Daemon::reconnect_el(sim::Context& ctx, std::size_t i) {
@@ -265,6 +300,17 @@ void Daemon::el_sync(sim::Context& ctx, std::size_t i, std::uint64_t next_seq) {
   el_sent_[i] = next_seq;
   update_el_quorum();
   el_catch_up(ctx, i);
+  if (restart_.has_value() && restart_->download_issued &&
+      !restart_->plan_merged && !restart_->dl_pending[i] &&
+      !restart_->dl_responded[i]) {
+    // A replica (re)joined while the first-quorum download is still short:
+    // pull its copy of the log too.
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(ElMsg::kDownload));
+    w.i64(recv_clock_);
+    el_conns_[i]->send(ctx, w.take());
+    restart_->dl_pending[i] = true;
+  }
 }
 
 void Daemon::el_catch_up(sim::Context& ctx, std::size_t i) {
@@ -494,23 +540,64 @@ void Daemon::download_events(sim::Context& ctx) {
       ++it;
     }
   }
+  MPIV_TRACE(config_.trace, TK::kRestartPhaseBegin,
+             {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kDownload)});
+  const SimTime t0 = ctx.now();
   // Ask every reachable replica for its list. An event whose append was
-  // quorum-acked is held by f+1 of the 2f+1 replicas, so any set of f+1
-  // responses — and we require a quorum of them — covers the entire
-  // quorum-acked prefix.
+  // quorum-acked is held by f+1 of the 2f+1 replicas, so any f+1 responses
+  // cover the entire quorum-acked prefix — merge at the first quorum of
+  // replies instead of waiting out the slowest replica.
   Writer w;
   w.u8(static_cast<std::uint8_t>(ElMsg::kDownload));
   w.i64(recv_clock_);
   std::vector<bool> pending(el_conns_.size(), false);
+  std::vector<bool> responded(el_conns_.size(), false);
   std::size_t npending = 0;
-  for (std::size_t i = 0; i < el_conns_.size(); ++i) {
-    if (el_conns_[i] == nullptr || !el_synced_[i]) continue;
+  auto request = [&](std::size_t i) {
     el_conns_[i]->send(ctx, Buffer(w.buffer()));
     pending[i] = true;
     ++npending;
+  };
+  for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+    if (el_conns_[i] == nullptr || !el_synced_[i]) continue;
+    request(i);
   }
   std::vector<std::vector<ReceptionEvent>> lists;
-  while (npending > 0) {
+  const std::size_t quorum = el_quorum(el_conns_.size());
+  const SimTime deadline = restart_t0_ + config_.connect_timeout;
+  while (lists.size() < quorum) {
+    if (npending == 0) {
+      // The quorum was lost mid-download. Rather than aborting the whole
+      // restart, keep retrying against whatever majority survives: kick
+      // the replicas whose exponential-backoff retry is due, re-request
+      // from any that resynced, and sleep to the next retry otherwise.
+      MPIV_CHECK(ctx.now() < deadline,
+                 "daemon: lost the event-logger quorum during restart "
+                 "download");
+      SimTime earliest = -1;
+      for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+        if (el_conns_[i] != nullptr || el_reconnect_at_[i] < 0) continue;
+        if (ctx.now() >= el_reconnect_at_[i]) {
+          reconnect_el(ctx, i);
+        } else {
+          earliest = earliest < 0 ? el_reconnect_at_[i]
+                                  : std::min(earliest, el_reconnect_at_[i]);
+        }
+      }
+      for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+        if (el_conns_[i] != nullptr && el_synced_[i] && !pending[i] &&
+            !responded[i]) {
+          request(i);
+        }
+      }
+      if (npending == 0) {
+        // Nothing in flight and no handshake outstanding: wait out the
+        // earliest scheduled retry.
+        SimTime until = earliest >= 0 ? earliest : ctx.now() + config_.el_retry;
+        ctx.sleep(std::max<SimDuration>(until - ctx.now(), 1));
+        continue;
+      }
+    }
     net::NetEvent ev = wait_for_el(ctx);
     std::size_t i = ev.conn->user_tag - kTagElBase;
     if (ev.type == net::NetEvent::Type::kClosed) {
@@ -522,21 +609,34 @@ void Daemon::download_events(sim::Context& ctx) {
       continue;
     }
     Reader r(ev.data);
-    MPIV_CHECK(static_cast<ElMsg>(r.u8()) == ElMsg::kEvents,
-               "daemon: bad download reply");
+    auto type = static_cast<ElMsg>(r.u8());
+    if (type == ElMsg::kQueryR) {
+      // A replica reconnected mid-download; sync it and pull its list.
+      el_sync(ctx, i, r.u64());
+      if (!pending[i] && !responded[i]) request(i);
+      continue;
+    }
+    MPIV_CHECK(type == ElMsg::kEvents, "daemon: bad download reply");
     std::uint32_t n = r.u32();
     std::vector<ReceptionEvent> list;
     list.reserve(n);
     for (std::uint32_t k = 0; k < n; ++k) list.push_back(read_event(r));
-    lists.push_back(std::move(list));
+    if (!responded[i]) {
+      responded[i] = true;
+      lists.push_back(std::move(list));
+    }
     if (pending[i]) {
       pending[i] = false;
       --npending;
     }
   }
-  MPIV_CHECK(lists.size() >= el_quorum(el_conns_.size()),
-             "daemon: lost the event-logger quorum during restart download");
-  std::vector<ReceptionEvent> merged = merge_event_logs(lists);
+  stats_.restart_download_ns = static_cast<std::uint64_t>(ctx.now() - t0);
+  adopt_merged_events(ctx, merge_event_logs(lists), lists.size());
+}
+
+void Daemon::adopt_merged_events(sim::Context& ctx,
+                                 std::vector<ReceptionEvent> merged,
+                                 std::size_t nlists) {
   MPIV_TRACE(config_.trace, TK::kElDownload,
              {.c1 = recv_clock_, .n = merged.size()});
   for (const ReceptionEvent& e : merged) {
@@ -578,12 +678,448 @@ void Daemon::download_events(sim::Context& ctx) {
     el_sent_[i] = 0;
     if (el_conns_[i] != nullptr && el_synced_[i]) el_catch_up(ctx, i);
   }
+  // A send issued before the merge could not log its probe batch (the log
+  // position was unknowable then — see send_event); the history is settled
+  // now, so make any such probes durable before those frames are released.
+  bool held_msg = false;
+  for (auto& dq : tx_) {
+    for (OutFrame& f : dq) held_msg |= f.gate_pending_merge && f.is_msg;
+  }
+  if (held_msg && replay_.empty() &&
+      probes_since_delivery_ > probes_logged_) {
+    el_outbox_.push_back(ReceptionEvent{ReceptionEvent::Kind::kProbeBatch, -1,
+                                        0, recv_clock_ + 1,
+                                        probes_since_delivery_});
+    probes_logged_ = probes_since_delivery_;
+    flush_el(ctx);
+  }
+  // Frames issued before the merge were held with an unknowable gate
+  // position; the adopted history (plus the batch above) *is* their
+  // causal-predecessor set.
+  for (auto& dq : tx_) {
+    for (OutFrame& f : dq) {
+      if (f.gate_pending_merge) {
+        f.gate_pending_merge = false;
+        f.required_events = el_events_created();
+      }
+    }
+  }
+  restart_merge_t_ = ctx.now();
+  MPIV_TRACE(config_.trace, TK::kRestartPhaseEnd,
+             {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kDownload),
+              .n = el_appended_});
+  if (!replay_.empty()) {
+    replay_phase_open_ = true;
+    MPIV_TRACE(config_.trace, TK::kRestartPhaseBegin,
+               {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kReplay)});
+  } else {
+    note_replay_drained(ctx);
+  }
   MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank, " will replay ",
-            replay_.size(), " logged receptions (merged from ", lists.size(),
+            replay_.size(), " logged receptions (merged from ", nlists,
             " replicas)");
 }
 
+void Daemon::note_replay_drained(sim::Context& ctx) {
+  if (config_.incarnation == 0 || restart_recover_done_ || !replay_.empty()) {
+    return;
+  }
+  restart_recover_done_ = true;
+  if (replay_phase_open_) {
+    replay_phase_open_ = false;
+    stats_.restart_replay_ns =
+        static_cast<std::uint64_t>(ctx.now() - restart_merge_t_);
+    MPIV_TRACE(config_.trace, TK::kRestartPhaseEnd,
+               {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kReplay),
+                .n = stats_.replayed_deliveries});
+  }
+  stats_.restart_recover_ns =
+      static_cast<std::uint64_t>(ctx.now() - restart_t0_);
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
+            " recovered (replay drained) in ",
+            stats_.restart_recover_ns / 1000, " us");
+}
+
+// ------------------------------------------ overlapped restart (fast path)
+
+void Daemon::begin_overlapped_restart(sim::Context& ctx) {
+  restart_.emplace();
+  Restart& rs = *restart_;
+  rs.fetch_t0 = ctx.now();
+  cs_retry_at_.assign(cs_conns_.size(), -1);
+  MPIV_TRACE(config_.trace, TK::kRestartPhaseBegin,
+             {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kFetch)});
+  std::size_t nlive = 0;
+  for (net::Conn* c : cs_conns_) nlive += c != nullptr ? 1 : 0;
+  if (nlive == 0) {
+    restart_enter_scratch(ctx);
+    return;
+  }
+  // Phase 1 of the striped fetch: ask every live stripe which tables it
+  // holds for us. From here on everything — the kChunkInfo/kChunk replies,
+  // the event download and the Restart1/Restart2 exchanges — flows through
+  // the main loop concurrently; the protocol joins are restart_on_scalars
+  // (fan-out + download need the watermarks) and restart_merge + stage B
+  // (replay needs the plan and the arrival stash).
+  Writer q;
+  q.u8(static_cast<std::uint8_t>(CsMsg::kChunkQuery));
+  q.i32(config_.rank);
+  rs.query_pending.assign(cs_conns_.size(), false);
+  for (std::size_t i = 0; i < cs_conns_.size(); ++i) {
+    if (cs_conns_[i] == nullptr) continue;
+    cs_conns_[i]->send(ctx, Buffer(q.buffer()));
+    rs.query_pending[i] = true;
+    ++rs.queries_left;
+  }
+}
+
+void Daemon::restart_enter_scratch(sim::Context& ctx) {
+  Restart& rs = *restart_;
+  MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank,
+            " found no fetchable checkpoint; restarting from scratch");
+  rs.fetch = Restart::Fetch::kDone;
+  rs.layout_known = true;
+  rs.scalars_restored = true;  // zero state: nothing to restore
+  rs.bulk_restored = true;
+  MPIV_TRACE(config_.trace, TK::kRestartPhaseEnd,
+             {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kFetch),
+              .n = 0});
+  restart_on_scalars(ctx);
+  restart_on_bulk(ctx);
+  if (rs.app_image_waiting) {
+    rs.app_image_waiting = false;
+    Writer w = pipe_writer(PipeMsg::kImageR, ckpt_requested_);
+    w.boolean(false);
+    pipe_reply(ctx, std::move(w), app_restart_image_);
+  }
+  restart_maybe_finish(ctx);
+}
+
+void Daemon::restart_handle_chunk_info(sim::Context& ctx, std::size_t stripe,
+                                       Reader& r) {
+  Restart& rs = *restart_;
+  if (rs.fetch != Restart::Fetch::kQuery || !rs.query_pending[stripe]) {
+    return;  // residue of an abandoned query round
+  }
+  rs.query_pending[stripe] = false;
+  --rs.queries_left;
+  std::uint32_t n = r.u32();
+  const std::size_t nstripes = cs_conns_.size();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ChunkTable t = read_chunk_table(r);
+    bool complete = r.boolean();
+    if (!complete) continue;
+    rs.ready.emplace(t.ckpt_seq, std::vector<bool>(nstripes, false))
+        .first->second[stripe] = true;
+    rs.metas.emplace(t.ckpt_seq, std::move(t));
+  }
+  if (rs.queries_left == 0) restart_pick_table(ctx);
+}
+
+void Daemon::restart_pick_table(sim::Context& ctx) {
+  Restart& rs = *restart_;
+  const std::size_t nstripes = cs_conns_.size();
+  // Newest seq whose every chunk has a live, ready owner stripe.
+  const ChunkTable* best = nullptr;
+  for (auto it = rs.metas.rbegin(); it != rs.metas.rend(); ++it) {
+    const ChunkTable& t = it->second;
+    const std::vector<bool>& rdy = rs.ready.at(t.ckpt_seq);
+    bool ok = true;
+    for (std::size_t i = 0; i < t.hashes.size() && ok; ++i) {
+      std::size_t s = t.owner_of(i, nstripes);
+      ok = cs_conns_[s] != nullptr && rdy[s];
+    }
+    if (ok) {
+      best = &t;
+      break;
+    }
+  }
+  if (best == nullptr || best->total_bytes < kImageTrailerBytes) {
+    restart_enter_scratch(ctx);
+    return;
+  }
+  ChunkTable chosen = *best;
+  rs.metas.clear();
+  rs.ready.clear();
+  rs.table = std::move(chosen);
+  rs.fetch = Restart::Fetch::kChunks;
+  rs.image = Buffer(rs.table.total_bytes);
+  rs.have_chunk.assign(rs.table.hashes.size(), false);
+  rs.chunks_left = rs.table.hashes.size();
+  // Request TAIL-FIRST: each stripe serves its queue FIFO, so the chunks
+  // holding the trailer and the scalar section land first and stage A (the
+  // watermark restore, the Restart1 fan-out, the event download) starts
+  // after roughly one chunk time instead of after the whole image.
+  for (std::size_t i = rs.table.hashes.size(); i-- > 0;) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(CsMsg::kFetchChunk));
+    w.i32(config_.rank);
+    w.u64(rs.table.ckpt_seq);
+    w.u32(static_cast<std::uint32_t>(i));
+    cs_conns_[rs.table.owner_of(i, nstripes)]->send(ctx, w.take());
+  }
+}
+
+void Daemon::restart_handle_chunk(sim::Context& ctx, std::size_t stripe,
+                                  Reader& r) {
+  (void)stripe;
+  Restart& rs = *restart_;
+  if (rs.fetch != Restart::Fetch::kChunks) {
+    return;  // residue of an abandoned fetch
+  }
+  std::uint32_t index = r.u32();
+  bool found = r.boolean();
+  ConstBytes bytes = r.blob_view();
+  if (index >= rs.have_chunk.size() || rs.have_chunk[index]) {
+    return;  // refetch duplicate
+  }
+  if (!found) {
+    MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank, " chunk ", index,
+              " of seq ", rs.table.ckpt_seq, " vanished mid-fetch");
+    // Before stage A the restart can still degrade to scratch; after it
+    // the restored watermarks already went out in Restart1 frames, and the
+    // stripes pin the two newest tables on stable storage — a pinned chunk
+    // disappearing is a protocol error.
+    MPIV_CHECK(!rs.scalars_restored,
+               "daemon: checkpoint chunk lost after restart stage A");
+    restart_enter_scratch(ctx);
+    return;
+  }
+  MPIV_CHECK(bytes.size() ==
+                 chunk_len(rs.table.total_bytes, rs.table.chunk_size, index),
+             "daemon: fetched chunk does not fit the table");
+  MPIV_CHECK(hash64(bytes) == rs.table.hashes[index],
+             "daemon: fetched chunk failed its content hash");
+  std::copy(bytes.begin(), bytes.end(),
+            rs.image.begin() +
+                static_cast<std::ptrdiff_t>(index) * rs.table.chunk_size);
+  stats_.ckpt_fetch_bytes += bytes.size();
+  rs.have_chunk[index] = true;
+  --rs.chunks_left;
+  restart_check_stages(ctx);
+}
+
+void Daemon::restart_handle_cs_closed(sim::Context& ctx, std::size_t stripe) {
+  Restart& rs = *restart_;
+  if (rs.fetch == Restart::Fetch::kQuery) {
+    if (rs.query_pending[stripe]) {
+      rs.query_pending[stripe] = false;
+      if (--rs.queries_left == 0) restart_pick_table(ctx);
+    }
+    return;
+  }
+  if (rs.fetch != Restart::Fetch::kChunks) return;
+  const std::size_t nstripes = cs_conns_.size();
+  bool owes = false;
+  for (std::size_t i = 0; i < rs.have_chunk.size() && !owes; ++i) {
+    owes = !rs.have_chunk[i] && rs.table.owner_of(i, nstripes) == stripe;
+  }
+  if (!owes) return;
+  if (!rs.scalars_restored) {
+    // Nothing restored yet: degrade to a scratch restart, exactly like the
+    // serial path's mid-fetch stripe loss.
+    MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank, " lost stripe ",
+              stripe, " mid-fetch");
+    restart_enter_scratch(ctx);
+    return;
+  }
+  // Stage A already went out (Restart1 carried the restored watermarks),
+  // so falling back to scratch would fork the protocol state. The stripes
+  // write stable storage: wait for the reboot and refetch the missing
+  // share from the main loop.
+  MPIV_WARN("daemon", ctx.now(), "rank ", config_.rank, " lost stripe ",
+            stripe, " mid-fetch after stage A; will refetch on its reboot");
+  cs_retry_at_[stripe] = ctx.now() + config_.peer_retry;
+}
+
+void Daemon::restart_check_stages(sim::Context& ctx) {
+  Restart& rs = *restart_;
+  if (rs.fetch != Restart::Fetch::kChunks) return;
+  // Contiguity of a byte range [lo, hi) in chunk space.
+  auto have_range = [&rs](std::size_t lo, std::size_t hi) {
+    if (lo >= hi) return true;
+    std::size_t c0 = lo / rs.table.chunk_size;
+    std::size_t c1 = (hi - 1) / rs.table.chunk_size;
+    for (std::size_t c = c0; c <= c1; ++c) {
+      if (!rs.have_chunk[c]) return false;
+    }
+    return true;
+  };
+  ConstBytes img(rs.image.data(), rs.image.size());
+  if (!rs.layout_known &&
+      have_range(rs.image.size() - kImageTrailerBytes, rs.image.size())) {
+    rs.layout = read_image_layout(img);
+    rs.layout_known = true;
+  }
+  if (rs.layout_known && !rs.scalars_restored &&
+      have_range(rs.layout.scalars_begin(), rs.image.size())) {
+    // Stage A: the image suffix holds the clocks and HS/HR watermarks.
+    restore_scalars(img, rs.layout);
+    rs.scalars_restored = true;
+    has_stable_ckpt_ = true;  // the fetched image *is* stable storage
+    last_stable_hr_ = hr_;
+    last_stable_hashes_ = rs.table.hashes;  // delta base for the next upload
+    MPIV_TRACE(config_.trace, TK::kCkptRestore,
+               {.c2 = recv_clock_, .n = rs.table.ckpt_seq});
+    MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
+              " restored watermarks of checkpoint seq ", rs.table.ckpt_seq,
+              " at delivery clock ", recv_clock_, " (stage A)");
+    restart_on_scalars(ctx);
+  }
+  if (rs.scalars_restored && !rs.bulk_restored &&
+      have_range(rs.layout.app_size, rs.image.size())) {
+    // Stage B: SAVED + the undelivered arrival stash.
+    restore_bulk(img, rs.layout);
+    rs.bulk_restored = true;
+    restart_on_bulk(ctx);
+  }
+  if (rs.chunks_left == 0) restart_image_done(ctx);
+}
+
+void Daemon::restart_on_scalars(sim::Context& ctx) {
+  // Stage A join: the restored (or zero, on scratch) watermarks are
+  // authoritative. Trace the audit baselines, open the restart windows,
+  // fan Restart1 out to every connected peer and start the event download
+  // — none of which needs the bulk image.
+  for (mpi::Rank q = 0; q < config_.size; ++q) {
+    if (q == config_.rank) continue;
+    auto qi = static_cast<std::size_t>(q);
+    MPIV_TRACE(config_.trace, TK::kWatermarks,
+               {.peer = q, .c1 = hs_[qi], .c2 = hr_[qi]});
+    awaiting_marker_[qi] = true;
+  }
+  for (mpi::Rank q = 0; q < config_.size; ++q) {
+    if (q == config_.rank) continue;
+    auto qi = static_cast<std::size_t>(q);
+    if (peers_[qi] == nullptr) {
+      // Eager fan-out: connect now instead of waiting out the lower-rank
+      // peer's reconnect cadence — recovery stalls until every peer has
+      // our Restart1 (it gates their SAVED resends). The Restart1 and
+      // CkptNotify ride the connect (awaiting_marker_ is already set).
+      connect_peer(ctx, q);
+      continue;
+    }
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(PeerMsg::kRestart1));
+    w.i64(hr_[qi]);
+    MPIV_TRACE(config_.trace, TK::kRestart1Send, {.peer = q, .c1 = hr_[qi]});
+    enqueue_control(q, w.take());
+    if (has_stable_ckpt_) {
+      Writer w2;
+      w2.u8(static_cast<std::uint8_t>(PeerMsg::kCkptNotify));
+      w2.i64(last_stable_hr_[qi]);
+      MPIV_TRACE(config_.trace, TK::kCkptNotifySend,
+                 {.peer = q, .c1 = last_stable_hr_[qi]});
+      enqueue_control(q, w2.take());
+    }
+  }
+  restart_issue_download(ctx);
+}
+
+void Daemon::restart_on_bulk(sim::Context& ctx) {
+  Restart& rs = *restart_;
+  // Stage B join: SAVED and the arrival stash are authoritative, so the
+  // peer frames held back (Restart1 requests, resent payloads) can be
+  // processed in their arrival order now.
+  while (!rs.deferred.empty()) {
+    Restart::DeferredFrame df = std::move(rs.deferred.front());
+    rs.deferred.pop_front();
+    // A frame from a replaced connection must not interleave with the live
+    // stream (same rule as handle_net); the peer may have died or
+    // reconnected while the frame waited.
+    if (peers_[static_cast<std::size_t>(df.from)] != df.conn) continue;
+    handle_peer_frame(ctx, df.from, std::move(df.frame));
+  }
+  if (rs.plan_merged) try_satisfy_app(ctx);
+}
+
+void Daemon::restart_image_done(sim::Context& ctx) {
+  Restart& rs = *restart_;
+  rs.fetch = Restart::Fetch::kDone;
+  stats_.ckpt_fetch_ns += static_cast<std::uint64_t>(ctx.now() - rs.fetch_t0);
+  SharedBuffer whole{std::move(rs.image)};
+  app_restart_image_ = whole.slice(0, rs.layout.app_size);
+  have_restart_image_ = true;
+  MPIV_TRACE(config_.trace, TK::kRestartPhaseEnd,
+             {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kFetch),
+              .n = stats_.ckpt_fetch_bytes});
+  MPIV_INFO("daemon", ctx.now(), "rank ", config_.rank,
+            " restored checkpoint seq ", rs.table.ckpt_seq, " (",
+            rs.have_chunk.size(), " chunks) at delivery clock ", recv_clock_);
+  if (rs.app_image_waiting) {
+    rs.app_image_waiting = false;
+    Writer w = pipe_writer(PipeMsg::kImageR, ckpt_requested_);
+    w.boolean(true);
+    pipe_reply(ctx, std::move(w), app_restart_image_);
+  }
+  restart_maybe_finish(ctx);
+}
+
+void Daemon::restart_issue_download(sim::Context& ctx) {
+  Restart& rs = *restart_;
+  rs.download_issued = true;
+  rs.download_t0 = ctx.now();
+  rs.dl_pending.assign(el_conns_.size(), false);
+  rs.dl_responded.assign(el_conns_.size(), false);
+  MPIV_TRACE(config_.trace, TK::kRestartPhaseBegin,
+             {.c3 = static_cast<std::int64_t>(trace::RestartPhase::kDownload)});
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(ElMsg::kDownload));
+  w.i64(recv_clock_);
+  for (std::size_t i = 0; i < el_conns_.size(); ++i) {
+    if (el_conns_[i] == nullptr || !el_synced_[i]) continue;
+    el_conns_[i]->send(ctx, Buffer(w.buffer()));
+    rs.dl_pending[i] = true;
+  }
+  // If fewer than a quorum are reachable right now, the backoff reconnect
+  // path brings replicas back and el_sync() re-requests from them.
+}
+
+void Daemon::restart_handle_events(sim::Context& ctx, std::size_t replica,
+                                   Reader& r) {
+  Restart& rs = *restart_;
+  if (!rs.download_issued || rs.plan_merged || rs.dl_responded[replica]) {
+    return;  // late reply past the first-quorum merge: harmless
+  }
+  std::uint32_t n = r.u32();
+  std::vector<ReceptionEvent> list;
+  list.reserve(n);
+  for (std::uint32_t k = 0; k < n; ++k) list.push_back(read_event(r));
+  rs.dl_responded[replica] = true;
+  rs.dl_pending[replica] = false;
+  rs.dl_lists.push_back(std::move(list));
+  // First-quorum merge: any f+1 responses cover the quorum-acked prefix,
+  // so replay starts without waiting out the slowest replica.
+  if (rs.dl_lists.size() >= el_quorum(el_conns_.size())) restart_merge(ctx);
+}
+
+void Daemon::restart_merge(sim::Context& ctx) {
+  Restart& rs = *restart_;
+  rs.plan_merged = true;
+  stats_.restart_download_ns =
+      static_cast<std::uint64_t>(ctx.now() - rs.download_t0);
+  std::vector<std::vector<ReceptionEvent>> lists = std::move(rs.dl_lists);
+  rs.dl_lists.clear();
+  adopt_merged_events(ctx, merge_event_logs(lists), lists.size());
+  if (restart_->bulk_restored) try_satisfy_app(ctx);
+  restart_maybe_finish(ctx);
+}
+
+void Daemon::restart_maybe_finish(sim::Context& ctx) {
+  (void)ctx;
+  if (!restart_.has_value()) return;
+  const Restart& rs = *restart_;
+  if (rs.fetch != Restart::Fetch::kDone || !rs.plan_merged ||
+      !rs.bulk_restored || rs.app_image_waiting || !rs.deferred.empty()) {
+    return;
+  }
+  // Every overlapped stage joined; replay (if any) drains from the normal
+  // main-loop machinery exactly as it does after a serial setup.
+  restart_.reset();
+}
+
 void Daemon::connect_peer(sim::Context& ctx, mpi::Rank q) {
+  if (peers_[static_cast<std::size_t>(q)] != nullptr) return;
   net::Address addr = config_.peer_addrs[static_cast<std::size_t>(q)];
   net::Conn* c = net_.connect(ctx, *endpoint_, addr);
   if (c == nullptr) {
@@ -615,6 +1151,17 @@ void Daemon::connect_peer(sim::Context& ctx, mpi::Rank q) {
     w.i64(hr_[static_cast<std::size_t>(q)]);
     MPIV_TRACE(config_.trace, TK::kRestart1Send,
                {.peer = q, .c1 = hr_[static_cast<std::size_t>(q)]});
+    enqueue_control(q, w.take());
+  }
+  if (has_stable_ckpt_) {
+    // Advertise our stable checkpoint on every outbound (re)connect, the
+    // mirror of the inbound-Hello side: the peer may have missed the
+    // notify while disconnected and its sender log GC depends on it.
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(PeerMsg::kCkptNotify));
+    w.i64(last_stable_hr_[static_cast<std::size_t>(q)]);
+    MPIV_TRACE(config_.trace, TK::kCkptNotifySend,
+               {.peer = q, .c1 = last_stable_hr_[static_cast<std::size_t>(q)]});
     enqueue_control(q, w.take());
   }
 }
@@ -660,8 +1207,10 @@ void Daemon::run(sim::Context& ctx) {
       handle_pipe(ctx, std::move(*msg));
       worked = true;
     }
-    // Reconnect attempts that are due.
-    for (mpi::Rank q = config_.rank + 1; q < config_.size; ++q) {
+    // Reconnect attempts that are due. Lower ranks appear here only while
+    // an eager restart fan-out still owes them a Restart1.
+    for (mpi::Rank q = 0; q < config_.size; ++q) {
+      if (q == config_.rank) continue;
       SimTime due = reconnect_at_[static_cast<std::size_t>(q)];
       if (due >= 0 && ctx.now() >= due &&
           peers_[static_cast<std::size_t>(q)] == nullptr) {
@@ -674,6 +1223,43 @@ void Daemon::run(sim::Context& ctx) {
           ctx.now() >= el_reconnect_at_[i]) {
         reconnect_el(ctx, i);
         worked = true;
+      }
+    }
+    // Post-stage-A chunk refetches toward rebooted stripes (the overlapped
+    // restart cannot degrade to scratch once Restart1 carried restored
+    // watermarks — see restart_handle_cs_closed).
+    if (restart_.has_value() && restart_->fetch == Restart::Fetch::kChunks) {
+      for (std::size_t s = 0; s < cs_retry_at_.size(); ++s) {
+        if (cs_retry_at_[s] < 0 || ctx.now() < cs_retry_at_[s]) continue;
+        worked = true;
+        net::Conn* c = cs_conns_[s];
+        if (c == nullptr) {
+          c = net_.connect(ctx, *endpoint_, config_.ckpt_servers[s]);
+          if (c == nullptr) {
+            MPIV_CHECK(ctx.now() < restart_t0_ + config_.connect_timeout,
+                       "daemon: checkpoint stripe unreachable during restart "
+                       "fetch (stage A already restored)");
+            cs_retry_at_[s] = ctx.now() + config_.peer_retry;
+            continue;
+          }
+          c->user_tag = kTagCsBase + s;
+          cs_conns_[s] = c;
+        }
+        cs_retry_at_[s] = -1;
+        // Re-request the stripe's missing share, tail-first.
+        const std::size_t nstripes = cs_conns_.size();
+        for (std::size_t i = restart_->have_chunk.size(); i-- > 0;) {
+          if (restart_->have_chunk[i] ||
+              restart_->table.owner_of(i, nstripes) != s) {
+            continue;
+          }
+          Writer w;
+          w.u8(static_cast<std::uint8_t>(CsMsg::kFetchChunk));
+          w.i32(config_.rank);
+          w.u64(restart_->table.ckpt_seq);
+          w.u32(static_cast<std::uint32_t>(i));
+          c->send(ctx, w.take());
+        }
       }
     }
     if (!worked) worked = advance_tx(ctx);
@@ -700,6 +1286,9 @@ void Daemon::run(sim::Context& ctx) {
         deadline = deadline < 0 ? el_reconnect_at_[i]
                                 : std::min(deadline, el_reconnect_at_[i]);
       }
+    }
+    for (SimTime due : cs_retry_at_) {
+      if (due >= 0) deadline = deadline < 0 ? due : std::min(deadline, due);
     }
     if (ckpt_.has_value()) {
       // An upload may be blocked on stripe-server window space alone.
@@ -794,6 +1383,13 @@ void Daemon::handle_pipe(sim::Context& ctx, net::PipeFrame frame) {
       return;
     }
     case PipeMsg::kGetImage: {
+      if (restart_.has_value() && restart_->fetch != Restart::Fetch::kDone) {
+        // The overlapped striped fetch is still assembling the image; the
+        // app blocks on kImageR, so reply when the last chunk lands (see
+        // restart_image_done / restart_enter_scratch).
+        restart_->app_image_waiting = true;
+        return;
+      }
       Writer w = pipe_writer(PipeMsg::kImageR, ckpt_requested_);
       w.boolean(have_restart_image_);
       pipe_reply(ctx, std::move(w), app_restart_image_);
@@ -810,7 +1406,11 @@ void Daemon::send_event(sim::Context& ctx, mpi::Rank dest, SharedBuffer block) {
   // Failed probes are nondeterministic events; make any unlogged ones
   // durable before this send leaves (the appendix's UnDetAction LOG +
   // WAITLOGGED, batched to at most one event per send).
-  if (replay_.empty() && probes_since_delivery_ > probes_logged_) {
+  // While the replay plan is still downloading (overlapped restart), the
+  // log position is unknowable — the batch for any pre-merge send is
+  // appended at merge time instead (see adopt_merged_events).
+  if (replay_.empty() && !restore_pending() &&
+      probes_since_delivery_ > probes_logged_) {
     ReceptionEvent batch;
     batch.kind = ReceptionEvent::Kind::kProbeBatch;
     batch.recv_clock = recv_clock_ + 1;
@@ -875,15 +1475,68 @@ void Daemon::enqueue_msg(sim::Context& ctx, mpi::Rank q, Clock clock,
   f.payload = std::move(block);
   f.required_events = el_events_created();
   f.clock = clock;
+  // A frame issued while the replay plan is still downloading cannot know
+  // its true gate (the merged log supersedes el_events_created() == 0):
+  // hold it until adopt_merged_events patches the requirement.
+  f.gate_pending_merge = restart_.has_value() && !restart_->plan_merged;
   MPIV_TRACE(config_.trace, TK::kSendIssued,
              {.peer = q, .c1 = clock, .n = f.required_events});
   tx_[static_cast<std::size_t>(q)].push_back(std::move(f));
 }
 
 void Daemon::enqueue_saved_resend(sim::Context& ctx, mpi::Rank q, Clock after) {
-  for (const SenderLog::Entry* e : saved_.entries_after(q, after)) {
-    // Shares the logged allocation; a resend pass costs no payload copies.
-    enqueue_msg(ctx, q, e->clock, e->block);
+  std::vector<const SenderLog::Entry*> entries = saved_.entries_after(q, after);
+  if (entries.empty()) return;
+  if (config_.legacy_datapath) {
+    // Old path shipped one frame per SAVED record.
+    for (const SenderLog::Entry* e : entries) {
+      enqueue_msg(ctx, q, e->clock, e->block);
+    }
+    return;
+  }
+  // Scatter-gather batching: whole records are greedily grouped until the
+  // frame would exceed one wire chunk, so the backlog ships in O(frames)
+  // sends instead of O(messages). Shares the logged allocations; a resend
+  // pass still costs no payload copies at enqueue time.
+  flush_el(ctx);  // events must be on their way before frames gate on them
+  const std::uint64_t required = el_events_created();
+  const bool pending_merge = restart_.has_value() && !restart_->plan_merged;
+  const std::size_t limit = net_.params().daemon_chunk_bytes;
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    std::size_t j = i;
+    std::size_t bytes = 0;
+    while (j < entries.size()) {
+      std::size_t rec = kResendRecordHeaderBytes + entries[j]->block.size();
+      if (j > i && bytes + rec > limit) break;
+      bytes += rec;
+      ++j;
+    }
+    if (j == i + 1 && bytes > limit) {
+      // Too big to share a frame: the chunked single-record path handles it.
+      enqueue_msg(ctx, q, entries[i]->clock, entries[i]->block);
+      i = j;
+      continue;
+    }
+    OutFrame f;
+    f.is_msg = true;
+    Writer h;
+    h.u8(static_cast<std::uint8_t>(PeerMsg::kResendBatch));
+    h.u32(static_cast<std::uint32_t>(j - i));
+    for (std::size_t k = i; k < j; ++k) {
+      h.i64(entries[k]->clock);
+      h.u32(static_cast<std::uint32_t>(entries[k]->block.size()));
+      f.batch.push_back(entries[k]->block);
+      f.batch_clocks.push_back(entries[k]->clock);
+      MPIV_TRACE(config_.trace, TK::kSendIssued,
+                 {.peer = q, .c1 = entries[k]->clock, .n = required});
+    }
+    f.head = h.take();
+    f.required_events = required;
+    f.gate_pending_merge = pending_merge;
+    f.clock = f.batch_clocks.back();
+    tx_[static_cast<std::size_t>(q)].push_back(std::move(f));
+    i = j;
   }
 }
 
@@ -902,8 +1555,11 @@ bool Daemon::advance_tx(sim::Context& ctx) {
     }
     OutFrame& f = tx_[qi].front();
     // WAITLOGGED: hold the frame until the events that preceded this send
-    // action are logged on a quorum of the replicas.
-    if (f.is_msg && config_.gate_sends && el_quorum_acked_ < f.required_events) {
+    // action are logged on a quorum of the replicas. A frame issued before
+    // the replay-plan merge holds unconditionally (its requirement is still
+    // a placeholder — see adopt_merged_events).
+    if (f.is_msg && config_.gate_sends &&
+        (f.gate_pending_merge || el_quorum_acked_ < f.required_events)) {
       if (!f.quorum_wait_counted) {
         f.quorum_wait_counted = true;
         stats_.el_quorum_waits += 1;
@@ -921,11 +1577,48 @@ bool Daemon::advance_tx(sim::Context& ctx) {
       }
     }
     if (!c->writable()) continue;
+    if (config_.incarnation > 0 && !restart_ttfs_done_) {
+      // Time-to-first-send: the first frame of any kind leaving for a peer
+      // after a restart (typically Restart1 out of stage A).
+      restart_ttfs_done_ = true;
+      stats_.restart_ttfs_ns =
+          static_cast<std::uint64_t>(ctx.now() - restart_t0_);
+    }
     rr_next_ = (q + 1) % config_.size;
     if (!f.is_msg) {
       Buffer frame = std::move(f.head);
       tx_[qi].pop_front();
       c->send(ctx, std::move(frame));
+      return true;
+    }
+    if (f.is_batch()) {
+      // Gathered resend frame: one wire send for the whole group. Each
+      // payload is copied once into the frame (the same per-byte charge the
+      // chunked path pays) but the per-message overhead is paid per frame.
+      Writer w(std::move(f.head));
+      std::size_t bytes = 0;
+      for (const SharedBuffer& b : f.batch) {
+        w.raw(b.data(), b.size());
+        bytes += b.size();
+      }
+      stats_.payload_copies_tx += f.batch.size();
+      stats_.resend_batches += 1;
+      stats_.resend_batched_msgs += f.batch.size();
+      for (Clock bc : f.batch_clocks) {
+        MPIV_TRACE(config_.trace, TK::kSendWire,
+                   {.peer = q,
+                    .c1 = bc,
+                    .c2 = static_cast<std::int64_t>(el_quorum_acked_),
+                    .n = f.required_events,
+                    .flag = f.quorum_wait_counted});
+      }
+      if (f.quorum_wait_counted) {
+        MPIV_TRACE(config_.trace, TK::kStallEnd, {.peer = q, .c1 = f.clock});
+      }
+      Buffer out = w.take();
+      tx_[qi].pop_front();
+      charge_copy(ctx, out.size());
+      c->send(ctx, std::move(out));
       return true;
     }
     // Chunked payload frame: [kMsgPart][last][slice of header+payload].
@@ -996,6 +1689,10 @@ void Daemon::flush_el(sim::Context& ctx) {
 }
 
 void Daemon::try_satisfy_app(sim::Context& ctx) {
+  // Overlapped restart with the replay plan or the bulk image still in
+  // flight: nothing may be answered yet — a fresh delivery now could
+  // contradict the logged order the merge is about to impose.
+  if (restore_pending()) return;
   // Fully-consumed probe batches step aside (their count was reached).
   // Their probes are already durable — remember that, or the next send
   // would append a duplicate batch the logger's monotonic store rejects.
@@ -1005,6 +1702,7 @@ void Daemon::try_satisfy_app(sim::Context& ctx) {
     probes_logged_ = std::max(probes_logged_, replay_.front().nprobes);
     replay_.pop_front();
   }
+  if (replay_.empty()) note_replay_drained(ctx);
   if (app_waiting_probe_) {
     if (replaying()) {
       const ReceptionEvent& e = replay_.front();
@@ -1098,6 +1796,8 @@ void Daemon::deliver_to_app(sim::Context& ctx, Arrival arrival, bool replayed) {
                "(piecewise determinism violated?)");
     replay_.pop_front();
     stats_.replayed_deliveries += 1;
+    stats_.replayed_bytes += arrival.block.size();
+    note_replay_drained(ctx);
   } else {
     // Coalescing: the event stays in the outbox until the next send (or
     // checkpoint / finalize) flushes it. Losing an unflushed event in a
@@ -1141,7 +1841,10 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
           peers_[qi] = nullptr;
           reassembly_[qi].clear();
           tx_[qi].clear();
-          if (q > config_.rank) {
+          // Higher ranks are ours to re-initiate; a lower rank only while
+          // we still owe it a Restart1 pass (the eager restart fan-out) —
+          // in steady state the lower rank initiates.
+          if (q > config_.rank || awaiting_marker_[qi]) {
             reconnect_at_[qi] = ctx.now() + config_.peer_retry;
           }
         }
@@ -1156,6 +1859,9 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
         // image never went stable, so nothing was pruned); the node keeps
         // computing and reconnects at the next checkpoint order.
         cs_conns_[tag - kTagCsBase] = nullptr;
+        if (restart_.has_value()) {
+          restart_handle_cs_closed(ctx, tag - kTagCsBase);
+        }
         if (ckpt_.has_value()) abandon_ckpt(ctx);
         ckpt_requested_ = false;
       } else if (ev.conn == sched_conn_) {
@@ -1190,7 +1896,26 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
     int incarnation = r.i32();
     (void)incarnation;
     auto qi = static_cast<std::size_t>(q);
-    if (peers_[qi] != nullptr && peers_[qi] != ev.conn) peers_[qi]->close();
+    if (peers_[qi] != nullptr && peers_[qi] != ev.conn) {
+      // Crossed simultaneous dials: the eager restart fan-out lets both ends
+      // of a pair initiate at once (two co-restarting ranks, or a restarting
+      // higher rank racing the lower rank's reconnect). Without a tie-break
+      // each side replaces its conn with the other's and closes the one the
+      // other side just adopted — the pair ping-pongs on the retry cadence
+      // and never settles. Both sides deterministically keep the connection
+      // the *lower* rank initiated. A stale conn can't reach here: a crash
+      // aborts its links and the kClosed precedes the new incarnation's
+      // Hello.
+      if (config_.rank < q) {
+        // Ours wins. Tag the rejected conn before closing so any frames it
+        // flushed in flight fall to the replaced-connection guard below
+        // instead of the expected-Hello check.
+        ev.conn->user_tag = static_cast<std::uint64_t>(q);
+        ev.conn->close();
+        return;
+      }
+      peers_[qi]->close();
+    }
     ev.conn->user_tag = static_cast<std::uint64_t>(q);
     peers_[qi] = ev.conn;
     reassembly_[qi].clear();
@@ -1221,6 +1946,15 @@ void Daemon::handle_net(sim::Context& ctx, net::NetEvent ev) {
 
 void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
   auto qi = static_cast<std::size_t>(q);
+  if (restart_.has_value() && !restart_->bulk_restored) {
+    // Overlapped restart with SAVED and the arrival stash not yet restored:
+    // the frame's dedup and resend decisions need that state, so hold it
+    // (in arrival order, per peer FIFO intact) until stage B — the
+    // overlapped analogue of the serial path deferring everything behind
+    // the synchronous setup.
+    restart_->deferred.push_back({q, peers_[qi], std::move(frame)});
+    return;
+  }
   Reader r(frame);
   auto type = static_cast<PeerMsg>(r.u8());
   switch (type) {
@@ -1260,13 +1994,20 @@ void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
       MPIV_TRACE(config_.trace, TK::kRestart1Recv, {.peer = q, .c1 = hr});
       hs_[qi] = hr;
       // Drop queued payload frames: the resend pass below re-covers them
-      // from SAVED. Control frames (e.g. our own pending Restart1 to q)
-      // must survive, and a partially-chunked payload must finish so the
-      // peer's reassembly stream stays framed (the duplicate is dropped by
-      // its clock-window dedup).
+      // from SAVED. A queued ResendDone must go with them — it belongs to a
+      // previous pass (a duplicate Restart1 from a crossed reconnect), and
+      // letting it sail ahead of payloads we just erased would advance the
+      // peer's watermark past clocks it never received; the pass below
+      // appends a fresh one. Other control frames (e.g. our own pending
+      // Restart1 to q) must survive, and a partially-chunked payload must
+      // finish so the peer's reassembly stream stays framed (the duplicate
+      // is dropped by its clock-window dedup).
       auto& q_tx = tx_[qi];
       for (auto it = q_tx.begin(); it != q_tx.end();) {
-        if (it->is_msg && it->offset == 0) {
+        bool stale_done =
+            !it->is_msg && it->offset == 0 && !it->head.empty() &&
+            static_cast<PeerMsg>(it->head[0]) == PeerMsg::kResendDone;
+        if ((it->is_msg && it->offset == 0) || stale_done) {
           it = q_tx.erase(it);
         } else {
           ++it;
@@ -1334,6 +2075,32 @@ void Daemon::handle_peer_frame(sim::Context& ctx, mpi::Rank q, Buffer frame) {
       prune_accept_window(q);
       awaiting_marker_[qi] = false;
       try_satisfy_app(ctx);
+      return;
+    }
+    case PeerMsg::kResendBatch: {
+      std::uint32_t n = r.u32();
+      std::vector<std::pair<Clock, std::uint32_t>> heads;
+      heads.reserve(n);
+      for (std::uint32_t k = 0; k < n; ++k) {
+        Clock clock = r.i64();
+        std::uint32_t len = r.u32();
+        heads.emplace_back(clock, len);
+      }
+      // The payloads trail the record headers back to back; each record
+      // aliases the wire frame — zero RX copies for the whole batch.
+      ConstBytes rest = r.rest();
+      SharedBuffer whole{std::move(frame)};
+      std::size_t off = 0;
+      for (auto [clock, len] : heads) {
+        MPIV_CHECK(off + len <= rest.size(),
+                   "daemon: resend batch payloads overrun the frame");
+        MsgRecord rec;
+        rec.send_clock = clock;
+        rec.block = whole.slice_of(rest.subspan(off, len));
+        off += len;
+        handle_msg_record(ctx, q, std::move(rec));
+      }
+      MPIV_CHECK(off == rest.size(), "daemon: trailing bytes in resend batch");
       return;
     }
   }
@@ -1418,7 +2185,11 @@ void Daemon::handle_el(sim::Context& ctx, std::size_t replica, Buffer msg) {
       el_sync(ctx, replica, r.u64());
       return;
     case ElMsg::kEvents:
-      return;  // residue of an aborted restart download: harmless
+      if (restart_.has_value()) {
+        restart_handle_events(ctx, replica, r);
+        return;
+      }
+      return;  // residue past the first-quorum merge: harmless
     default:
       throw ProtocolError("daemon: unexpected event-logger message");
   }
@@ -1427,6 +2198,14 @@ void Daemon::handle_el(sim::Context& ctx, std::size_t replica, Buffer msg) {
 void Daemon::handle_cs(sim::Context& ctx, std::size_t stripe, Buffer msg) {
   Reader r(msg);
   auto type = static_cast<CsMsg>(r.u8());
+  if (restart_.has_value() && type == CsMsg::kChunkInfo) {
+    restart_handle_chunk_info(ctx, stripe, r);
+    return;
+  }
+  if (restart_.has_value() && type == CsMsg::kChunk) {
+    restart_handle_chunk(ctx, stripe, r);
+    return;
+  }
   if (type != CsMsg::kStoreOk) {
     // Residue of an aborted setup fetch (kChunk / kChunkInfo replies that
     // were pipelined before a stripe died): harmless, drop.
@@ -1729,13 +2508,25 @@ void Daemon::on_ckpt_stable(sim::Context& ctx, std::uint64_t seq) {
 }
 
 Buffer Daemon::serialize_daemon_state(ConstBytes app_image) const {
-  // Layout: [app image][daemon state][u64 app_image_size]. The raw app
-  // bytes come FIRST so that growth or shrinkage of the daemon state
-  // (sender log, arrival queue) between checkpoints cannot shift the app
-  // pages across chunk boundaries — the chunked-delta path depends on
-  // stable chunk alignment for its dedup.
+  // Layout: [app][bulk: SAVED + arrivals][scalars][u64 bulk][u64 app].
+  // The raw app bytes come FIRST so that growth or shrinkage of the daemon
+  // state (sender log, arrival queue) between checkpoints cannot shift the
+  // app pages across chunk boundaries — the chunked-delta path depends on
+  // stable chunk alignment for its dedup. The scalar section sits LAST
+  // (right before the trailer) so a restarting daemon adopts its clocks
+  // and watermarks from roughly one tail chunk, letting the Restart1
+  // fan-out and the event download start while the bulk is still in
+  // flight (the recovery fast path's stage A).
   Writer w;
   w.raw(app_image.data(), app_image.size());
+  saved_.serialize(w);
+  w.u32(static_cast<std::uint32_t>(arrivals_.size()));
+  for (const Arrival& a : arrivals_) {
+    w.i32(a.from);
+    w.i64(a.send_clock);
+    w.blob(a.block.view());
+  }
+  const std::size_t bulk_size = w.buffer().size() - app_image.size();
   w.i64(send_clock_);
   w.i64(recv_clock_);
   w.u32(static_cast<std::uint32_t>(hs_.size()));
@@ -1744,24 +2535,27 @@ Buffer Daemon::serialize_daemon_state(ConstBytes app_image) const {
   w.u64(ckpt_seq_);
   w.u32(probes_since_delivery_);
   w.u32(probes_logged_);
-  saved_.serialize(w);
-  w.u32(static_cast<std::uint32_t>(arrivals_.size()));
-  for (const Arrival& a : arrivals_) {
-    w.i32(a.from);
-    w.i64(a.send_clock);
-    w.blob(a.block.view());
-  }
+  w.u64(bulk_size);
   w.u64(app_image.size());
   return w.take();
 }
 
-Buffer Daemon::restore_daemon_state(ConstBytes image) {
-  MPIV_CHECK(image.size() >= 8, "daemon: checkpoint image too small");
-  Reader trailer(image.subspan(image.size() - 8));
-  auto app_size = static_cast<std::size_t>(trailer.u64());
-  MPIV_CHECK(app_size <= image.size() - 8,
+Daemon::ImageLayout Daemon::read_image_layout(ConstBytes image) {
+  MPIV_CHECK(image.size() >= kImageTrailerBytes,
+             "daemon: checkpoint image too small");
+  Reader trailer(image.subspan(image.size() - kImageTrailerBytes));
+  ImageLayout l;
+  l.bulk_size = static_cast<std::size_t>(trailer.u64());
+  l.app_size = static_cast<std::size_t>(trailer.u64());
+  MPIV_CHECK(l.app_size + l.bulk_size <= image.size() - kImageTrailerBytes,
              "daemon: corrupt checkpoint image trailer");
-  Reader r(image.subspan(app_size, image.size() - 8 - app_size));
+  return l;
+}
+
+void Daemon::restore_scalars(ConstBytes image, const ImageLayout& layout) {
+  Reader r(image.subspan(layout.scalars_begin(),
+                         image.size() - kImageTrailerBytes -
+                             layout.scalars_begin()));
   send_clock_ = r.i64();
   recv_clock_ = r.i64();
   std::uint32_t n = r.u32();
@@ -1771,6 +2565,11 @@ Buffer Daemon::restore_daemon_state(ConstBytes image) {
   ckpt_seq_ = r.u64();
   probes_since_delivery_ = r.u32();
   probes_logged_ = r.u32();
+  MPIV_CHECK(r.done(), "daemon: trailing bytes in checkpoint image");
+}
+
+void Daemon::restore_bulk(ConstBytes image, const ImageLayout& layout) {
+  Reader r(image.subspan(layout.app_size, layout.bulk_size));
   saved_.restore(r);
   arrivals_.clear();
   std::uint32_t na = r.u32();
@@ -1786,8 +2585,14 @@ Buffer Daemon::restore_daemon_state(ConstBytes image) {
     if (a.send_clock > hr_[fi]) accepted_[fi].insert(a.send_clock);
     arrivals_.push_back(std::move(a));
   }
-  MPIV_CHECK(r.done(), "daemon: trailing bytes in checkpoint image");
-  ConstBytes app = image.subspan(0, app_size);
+  MPIV_CHECK(r.done(), "daemon: trailing bytes in checkpoint bulk section");
+}
+
+Buffer Daemon::restore_daemon_state(ConstBytes image) {
+  ImageLayout layout = read_image_layout(image);
+  restore_scalars(image, layout);
+  restore_bulk(image, layout);
+  ConstBytes app = image.subspan(0, layout.app_size);
   return Buffer(app.begin(), app.end());
 }
 
@@ -1817,6 +2622,19 @@ void for_each_counter(Stats& s, Fn&& fn) {
   fn("ckpt_bytes_deduped", s.ckpt_bytes_deduped);
   fn("ckpt_fetch_bytes", s.ckpt_fetch_bytes);
   fn("ckpt_fetch_ns", s.ckpt_fetch_ns);
+  fn("replayed_bytes", s.replayed_bytes);
+  fn("resend_batches", s.resend_batches);
+  fn("resend_batched_msgs", s.resend_batched_msgs);
+}
+
+// Latency counters merge by max: the job-level value is the slowest
+// restarted rank's recovery, not a meaningless sum across ranks.
+template <typename Stats, typename Fn>
+void for_each_max_counter(Stats& s, Fn&& fn) {
+  fn("restart_ttfs_ns", s.restart_ttfs_ns);
+  fn("restart_download_ns", s.restart_download_ns);
+  fn("restart_replay_ns", s.restart_replay_ns);
+  fn("restart_recover_ns", s.restart_recover_ns);
 }
 
 std::string lag_name(std::size_t i) {
@@ -1830,6 +2648,9 @@ CounterRegistry DaemonStats::registry() const {
   for_each_counter(*this, [&](const char* name, std::uint64_t v) {
     reg.add(name, static_cast<std::int64_t>(v), MergeKind::kSum);
   });
+  for_each_max_counter(*this, [&](const char* name, std::uint64_t v) {
+    reg.add(name, static_cast<std::int64_t>(v), MergeKind::kMax);
+  });
   for (std::size_t i = 0; i < el_replica_max_lag.size(); ++i) {
     reg.add(lag_name(i), static_cast<std::int64_t>(el_replica_max_lag[i]),
             MergeKind::kMax);
@@ -1840,6 +2661,9 @@ CounterRegistry DaemonStats::registry() const {
 DaemonStats DaemonStats::from_registry(const CounterRegistry& reg) {
   DaemonStats s;
   for_each_counter(s, [&](const char* name, std::uint64_t& v) {
+    v = static_cast<std::uint64_t>(reg.get(name));
+  });
+  for_each_max_counter(s, [&](const char* name, std::uint64_t& v) {
     v = static_cast<std::uint64_t>(reg.get(name));
   });
   for (std::size_t i = 0; reg.contains(lag_name(i)); ++i) {

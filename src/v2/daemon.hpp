@@ -86,6 +86,13 @@ struct DaemonConfig {
   /// incremental path: non-blocking capture, chunked delta upload striped
   /// across all checkpoint servers. Must match V2Device::blocking_ckpt.
   bool full_image_ckpt = false;
+  /// ABLATION ONLY: serialize the restart datapath (image fetch, then event
+  /// download, then the Restart1 fan-out, each run to completion before the
+  /// next starts) for A/B benchmarking of the overlapped recovery fast
+  /// path. The default overlaps all three from setup, joining only where
+  /// the protocol requires it. Implied by full_image_ckpt (the legacy fetch
+  /// has no chunk structure to overlap).
+  bool serial_restart = false;
   /// Causal trace recorder for this rank (owned by the job's TraceBook;
   /// shared across incarnations). Null = no tracing.
   trace::TraceRecorder* trace = nullptr;
@@ -140,6 +147,24 @@ struct DaemonStats {
   /// virtual time the striped fetch took.
   std::uint64_t ckpt_fetch_bytes = 0;
   std::uint64_t ckpt_fetch_ns = 0;
+  /// Payload bytes re-delivered to the app from the replay plan (with
+  /// restart_replay_ns this is the replay throughput).
+  std::uint64_t replayed_bytes = 0;
+  /// Batched resend frames shipped (kResendBatch) and the SAVED records
+  /// they carried; records too large to share a frame still go chunked.
+  std::uint64_t resend_batches = 0;
+  std::uint64_t resend_batched_msgs = 0;
+  /// Recovery fast-path latencies, restarted incarnations only (merged by
+  /// max, so job-level values describe the slowest restarted rank):
+  /// time-to-first-send — spawn until the first frame left for a peer.
+  std::uint64_t restart_ttfs_ns = 0;
+  /// Event download issue until the quorum merge adopted the replay plan.
+  std::uint64_t restart_download_ns = 0;
+  /// Plan adoption until the last logged re-delivery drained.
+  std::uint64_t restart_replay_ns = 0;
+  /// Spawn until the replay drained — the recovery latency the restart
+  /// bench A/Bs (overlapped vs serial_restart).
+  std::uint64_t restart_recover_ns = 0;
 
   /// All counters as a named registry (el_replica_max_lag entries merge by
   /// max, everything else by sum) — the single aggregation path used by
@@ -188,9 +213,22 @@ class Daemon {
     // event-logger replicas acknowledged that many. Events created *after*
     // the send action do not gate it (they are not causal predecessors).
     std::uint64_t required_events = 0;
+    // Issued while our own restart's event download was still unmerged:
+    // required_events is unknowable until the merged history is adopted
+    // (its length *is* the causal-predecessor count), so the frame holds
+    // and the merge patches it.
+    bool gate_pending_merge = false;
     bool quorum_wait_counted = false;  // el_quorum_waits charged once/frame
     Clock clock = 0;                   // send clock of the record (is_msg)
+    // Batched resend (kResendBatch): `head` holds the encoded batch header
+    // and each record payload rides as a shared slice, gathered into one
+    // wire frame at transmit. is_msg stays true so the WAITLOGGED gate and
+    // the Restart1 unstarted-frame drop treat the batch like the records
+    // it carries; `clock` is the highest clock in the batch.
+    std::vector<SharedBuffer> batch;
+    std::vector<Clock> batch_clocks;
 
+    [[nodiscard]] bool is_batch() const { return !batch.empty(); }
     [[nodiscard]] std::size_t total_size() const {
       return head.size() + payload.size();
     }
@@ -217,6 +255,68 @@ class Daemon {
     std::uint32_t acks = 0;
   };
 
+  // Checkpoint image geometry. The image is laid out
+  //   [app bytes][bulk: SAVED + arrivals][scalars][u64 bulk][u64 app]
+  // — app first so chunk-delta dedup keeps its alignment, the scalar
+  // section (clocks, HS/HR, seq, probe counters) *last* so a restarting
+  // daemon can adopt its watermarks from the image suffix (roughly one
+  // tail chunk) long before the bulk finished downloading.
+  struct ImageLayout {
+    std::size_t app_size = 0;
+    std::size_t bulk_size = 0;
+    [[nodiscard]] std::size_t scalars_begin() const {
+      return app_size + bulk_size;
+    }
+  };
+  static constexpr std::size_t kImageTrailerBytes = 16;
+
+  // Overlapped restart bookkeeping (incarnation > 0 on the default path):
+  // the striped image fetch, the EL event download and the Restart1
+  // fan-out all run concurrently from the main loop; this struct tracks
+  // their progress and the two join points (scalars -> fan-out + download;
+  // bulk + merge -> replay).
+  struct Restart {
+    enum class Fetch : std::uint8_t {
+      kQuery,   // kChunkQuery fan-out in flight
+      kChunks,  // kFetchChunk pipeline in flight
+      kDone,    // image assembled, or scratch restart decided
+    };
+    Fetch fetch = Fetch::kQuery;
+    SimTime fetch_t0 = 0;
+    // Query phase: one kChunkQuery per live stripe.
+    std::vector<bool> query_pending;
+    std::size_t queries_left = 0;
+    std::map<std::uint64_t, ChunkTable> metas;
+    std::map<std::uint64_t, std::vector<bool>> ready;
+    // Chunk phase: the chosen table assembles into `image` tail-first.
+    ChunkTable table;
+    Buffer image;
+    std::vector<bool> have_chunk;
+    std::size_t chunks_left = 0;
+    ImageLayout layout;
+    bool layout_known = false;      // trailer bytes arrived
+    bool scalars_restored = false;  // stage A: clocks/HS/HR adopted
+    bool bulk_restored = false;     // stage B: SAVED/arrivals adopted
+    // Event download (first-quorum merge): any f+1 of 2f+1 responses cover
+    // the quorum-acked prefix, so merge at the quorum and ignore the rest.
+    bool download_issued = false;
+    SimTime download_t0 = 0;
+    std::vector<bool> dl_pending;
+    std::vector<bool> dl_responded;
+    std::vector<std::vector<ReceptionEvent>> dl_lists;
+    bool plan_merged = false;
+    // Deferred work that needs restored state: peer frames held until
+    // stage B (pre-restore HR/SAVED would mis-dedup them; mirrors the
+    // serial path's setup backlog), and the app's image request.
+    struct DeferredFrame {
+      mpi::Rank from = -1;
+      net::Conn* conn = nullptr;  // drop if the peer reconnected since
+      Buffer frame;
+    };
+    std::deque<DeferredFrame> deferred;
+    bool app_image_waiting = false;
+  };
+
   // ---- setup / teardown ----
   void setup(sim::Context& ctx);
   void connect_services(sim::Context& ctx);
@@ -229,6 +329,45 @@ class Daemon {
   /// Same, for the event-logger replica connections.
   net::NetEvent wait_for_el(sim::Context& ctx);
   void download_events(sim::Context& ctx);
+  // ---- overlapped restart (the recovery fast path) ----
+  void begin_overlapped_restart(sim::Context& ctx);
+  void restart_handle_chunk_info(sim::Context& ctx, std::size_t stripe,
+                                 Reader& r);
+  void restart_handle_chunk(sim::Context& ctx, std::size_t stripe, Reader& r);
+  void restart_handle_cs_closed(sim::Context& ctx, std::size_t stripe);
+  void restart_pick_table(sim::Context& ctx);
+  /// No fetchable image (or a stripe died before stage A): restart from
+  /// zero state, exactly like the serial path's scratch degradation.
+  void restart_enter_scratch(sim::Context& ctx);
+  /// Re-evaluates the staged restore after new chunks landed.
+  void restart_check_stages(sim::Context& ctx);
+  /// Stage A join: scalars restored (or scratch) — fan Restart1 out to the
+  /// connected peers and issue the event download.
+  void restart_on_scalars(sim::Context& ctx);
+  /// Stage B join: bulk restored — drain the deferred peer frames.
+  void restart_on_bulk(sim::Context& ctx);
+  /// The whole image assembled: hand it to the app, close the fetch phase.
+  void restart_image_done(sim::Context& ctx);
+  void restart_issue_download(sim::Context& ctx);
+  void restart_handle_events(sim::Context& ctx, std::size_t replica,
+                             Reader& r);
+  /// First-quorum join: adopt the merged history as the replay plan.
+  void restart_merge(sim::Context& ctx);
+  /// Drops the restart state once every in-flight stage completed.
+  void restart_maybe_finish(sim::Context& ctx);
+  /// Replay (or image restore) still blocks fresh deliveries/plan probes.
+  [[nodiscard]] bool restore_pending() const {
+    return restart_.has_value() &&
+           (!restart_->plan_merged || !restart_->bulk_restored);
+  }
+  /// Stamps restart_replay_ns/restart_recover_ns when the plan drains.
+  void note_replay_drained(sim::Context& ctx);
+  /// Shared by both restart paths: trace the replay plan, apply the
+  /// kReplayOutOfOrder mutation, adopt the merged history as el_log_ and
+  /// re-append it to the synced replicas under our new incarnation.
+  void adopt_merged_events(sim::Context& ctx,
+                           std::vector<ReceptionEvent> merged,
+                           std::size_t nlists);
   void connect_peer(sim::Context& ctx, mpi::Rank q);
   /// Connects event-logger replicas until a quorum answered kQueryR (setup).
   void connect_el_quorum(sim::Context& ctx);
@@ -291,6 +430,12 @@ class Daemon {
 
   Buffer serialize_daemon_state(ConstBytes app_image) const;
   Buffer restore_daemon_state(ConstBytes image);  // returns app image
+  /// Parses the 16-byte image trailer into section offsets.
+  [[nodiscard]] static ImageLayout read_image_layout(ConstBytes image);
+  /// Stage A: clocks, HS/HR, ckpt seq, probe counters (the image suffix).
+  void restore_scalars(ConstBytes image, const ImageLayout& layout);
+  /// Stage B: SAVED + undelivered arrivals (+ accept-window seeding).
+  void restore_bulk(ConstBytes image, const ImageLayout& layout);
 
   [[nodiscard]] bool replaying() const { return !replay_.empty(); }
 
@@ -374,6 +519,20 @@ class Daemon {
   bool mut_prune_done_ = false;  // kPruneSavedEarly fired (test only)
   mpi::Rank rr_next_ = 0;                   // round-robin TX pointer
   std::deque<net::NetEvent> setup_backlog_;  // events deferred during setup
+
+  // Overlapped restart in flight (empty once every stage joined, and on
+  // incarnation 0 / the serial ablation always).
+  std::optional<Restart> restart_;
+  // Post-stage-A chunk refetch timers: a stripe that died after the
+  // restored watermarks went out cannot be rolled back to scratch, so the
+  // fetch retries against the rebooted stripe (stable storage) instead.
+  std::vector<SimTime> cs_retry_at_;
+  // Recovery latency bookkeeping, valid for both restart paths.
+  SimTime restart_t0_ = -1;       // setup entry of a restarted incarnation
+  SimTime restart_merge_t_ = -1;  // replay plan adopted
+  bool restart_ttfs_done_ = false;
+  bool restart_recover_done_ = false;
+  bool replay_phase_open_ = false;  // kRestartPhaseBegin(kReplay) emitted
 
   DaemonStats stats_;
 };

@@ -107,7 +107,14 @@ enum class PeerMsg : std::uint8_t {
   kResendDone,   // {clock} closes a Restart1-triggered resend pass: every
                  // send at or below {clock} has now been (re)transmitted,
                  // so the receiver's completeness watermark may advance
+  kResendBatch,  // {n, n x {clock, len}, payloads...} — several whole SAVED
+                 // records shipped as one scatter-gather frame during a
+                 // resend pass (backlog ships in O(frames), not O(messages));
+                 // never chunked: a batch is capped at one wire chunk
 };
+
+/// Per-record overhead inside a kResendBatch frame: [i64 clock][u32 len].
+constexpr std::size_t kResendRecordHeaderBytes = 12;
 
 /// Payload-carrying message between daemons (assembled from kMsgPart
 /// chunks): the sender's clock at emission plus the opaque channel block.

@@ -234,6 +234,46 @@ TEST(ElReplication, RestartDownloadsFromSurvivingQuorum) {
   EXPECT_TRUE(res.el_stores_consistent);
 }
 
+TEST(ElReplication, ReplicaDiesMidOverlappedDownload) {
+  // The overlapped restart issues its event download concurrently with the
+  // checkpoint fetch; a replica that dies *during* that download must not
+  // wedge the merge — the first-quorum join proceeds on the survivors (or
+  // the download is re-issued if the quorum was lost mid-flight).
+  auto factory = ring(60, 512, microseconds(500));
+  JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = DeviceKind::kV2;
+  cfg.el_replication = 3;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(5);
+  cfg.ckpt_period = milliseconds(10);
+  cfg.restart_delay = milliseconds(2);
+  JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // Rank 2 crashes at mid-run and begins its overlapped restore 2 ms
+  // later; replica 1 is killed a beat after that, squarely inside the
+  // download/fetch window.
+  faults::FaultPlan plan = faults::FaultPlan::simultaneous(
+      clean.makespan / 2, {2});
+  plan.merge(faults::FaultPlan::service_kill(
+      clean.makespan / 2 + milliseconds(2) + microseconds(200),
+      faults::FaultTarget::kEventLogger, 1, /*revive=*/false));
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  cfg.trace.enabled = true;
+  JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_EQ(outputs(res), outputs(clean));
+  EXPECT_TRUE(res.el_stores_consistent);
+  if constexpr (trace::kCompiled) {
+    ASSERT_NE(res.trace, nullptr);
+    trace::AuditReport audit = trace::audit(*res.trace);
+    EXPECT_TRUE(audit.pass) << audit.summary();
+  }
+}
+
 TEST(ElReplication, RebootedReplicaIsResyncedByItsDaemons) {
   // Single-logger deployment: the logger reboots empty mid-run, the
   // daemons resync it from their in-memory logs, and a compute crash

@@ -14,10 +14,16 @@
 //      window duplicate, while the stashed copy is delivered exactly once.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "apps/token_ring.hpp"
+#include "faults/plan.hpp"
 #include "net/network.hpp"
 #include "net/pipe.hpp"
+#include "runtime/job.hpp"
 #include "services/event_logger.hpp"
 #include "sim/engine.hpp"
+#include "trace/audit.hpp"
 #include "v2/daemon.hpp"
 #include "v2/wire.hpp"
 
@@ -142,6 +148,94 @@ TEST(RestartWindow, NewIncarnationMarkerKeepsWindowEntries) {
   EXPECT_FALSE(probe_pending);
   EXPECT_GE(daemon.stats().duplicates_dropped, 1u);
   EXPECT_TRUE(daemon.finished());
+}
+
+// --------------------------------------------- overlapped-restart regressions
+
+std::vector<Buffer> outputs(const runtime::JobResult& r) {
+  std::vector<Buffer> out;
+  out.reserve(r.ranks.size());
+  for (const auto& rr : r.ranks) out.push_back(rr.output);
+  return out;
+}
+
+runtime::AppFactory ring(int rounds, std::size_t bytes, SimDuration compute) {
+  return [=](mpi::Rank, mpi::Rank) {
+    return std::make_unique<apps::TokenRingApp>(rounds, bytes, compute);
+  };
+}
+
+void expect_audit_pass(const runtime::JobResult& res) {
+  if constexpr (trace::kCompiled) {
+    ASSERT_NE(res.trace, nullptr);
+    trace::AuditReport audit = trace::audit(*res.trace);
+    EXPECT_TRUE(audit.pass) << audit.summary();
+  }
+}
+
+// A resending peer dies in the middle of answering the overlapped restart's
+// Restart1 pass: the restarted rank re-issues Restart1 to the peer's next
+// incarnation and the accept-window/ResendDone invariants must still hold —
+// pipelined replay may already have consumed part of the first, truncated
+// pass.
+TEST(RecoveryFastPath, PeerCrashMidResendPass) {
+  auto factory = ring(80, 4096, microseconds(200));
+  runtime::JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = runtime::DeviceKind::kV2;
+  cfg.el_replication = 3;
+  cfg.checkpointing = true;
+  cfg.first_ckpt_after = milliseconds(5);
+  cfg.ckpt_period = milliseconds(10);
+  cfg.restart_delay = milliseconds(2);
+  runtime::JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  // Rank 1 crashes mid-run; rank 0 — the neighbor whose SAVED log feeds
+  // rank 1's replay — crashes right after rank 1's restart begins, i.e.
+  // while its resend pass toward rank 1 is in flight.
+  faults::FaultPlan plan =
+      faults::FaultPlan::simultaneous(clean.makespan / 2, {1});
+  plan.merge(faults::FaultPlan::simultaneous(
+      clean.makespan / 2 + milliseconds(2) + microseconds(300), {0}));
+  cfg.fault_plan = plan;
+  cfg.time_limit = seconds(600);
+  cfg.trace.enabled = true;
+  runtime::JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 2);
+  EXPECT_EQ(outputs(res), outputs(clean));
+  EXPECT_TRUE(res.el_stores_consistent);
+  expect_audit_pass(res);
+}
+
+// Several ranks restart from scratch at the same instant (no checkpoint):
+// the eager restart fan-out makes both ends of a pair dial each other, so
+// the crossed connections must converge on one link (lower rank's dial
+// wins) instead of closing each other's pick on every retry, and the
+// duplicate Restart1 a crossed reconnect produces must not let a stale
+// queued ResendDone overtake the payloads it covers — either failure
+// deadlocked this exact scenario before the fix.
+TEST(RecoveryFastPath, SimultaneousScratchRestartsConverge) {
+  auto factory = ring(40, 2048, microseconds(200));
+  runtime::JobConfig cfg;
+  cfg.nprocs = 4;
+  cfg.device = runtime::DeviceKind::kV2;
+  cfg.el_replication = 3;
+  runtime::JobResult clean = run_job(cfg, factory);
+  ASSERT_TRUE(clean.success);
+
+  cfg.fault_plan = faults::FaultPlan::simultaneous(
+      static_cast<SimTime>(0.6 * clean.makespan), {0, 1, 2});
+  cfg.restart_delay = milliseconds(1);
+  cfg.time_limit = seconds(600);
+  cfg.trace.enabled = true;
+  runtime::JobResult res = run_job(cfg, factory);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.restarts, 3);
+  EXPECT_EQ(outputs(res), outputs(clean));
+  EXPECT_TRUE(res.el_stores_consistent);
+  expect_audit_pass(res);
 }
 
 }  // namespace

@@ -17,8 +17,12 @@ BUILD_DIR="${2:-${SRC_DIR}/build-asan}"
 # + datapath units, the checkpoint delta/striping stack, and the
 # randomized compute+service fault torture suite (daemon restart, replica
 # reconnect and restart-merge paths under ASan). test_trace adds the ring
-# recorder, the sink round-trips and the auditor's event-stream walks.
-TARGETS=(test_network test_ckpt_path test_el_torture test_trace)
+# recorder, the sink round-trips and the auditor's event-stream walks;
+# test_restart_window adds the overlapped restart — deferred-frame stash,
+# pipelined replay, scatter-gather resend batches — where stale frames
+# alias freed reassembly state if ownership slips.
+TARGETS=(test_network test_ckpt_path test_el_torture test_trace
+         test_restart_window)
 
 cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# CI smoke: configure, build, and run the test suite in four stages —
-#   1. the default suite (everything not labelled sanitize/torture/audit),
+# CI smoke: configure, build, and run the test suite in five stages —
+#   1. the default suite (everything not labelled
+#      sanitize/torture/audit/recovery),
 #   2. the causal-trace protocol audit suite (label "audit": recorder units
 #      plus traced end-to-end runs checked against the pessimistic-logging
 #      invariants, including the mutation self-tests),
-#   3. the randomized fault-schedule torture suite (label "torture", which
+#   3. the recovery fast-path suite (label "recovery": the overlapped
+#      restart regressions plus the restart/re-execution benches, whose
+#      smokes audit every A/B scenario in-process),
+#   4. the randomized fault-schedule torture suite (label "torture", which
 #      also audits every traced faulty run post-hoc),
-#   4. the AddressSanitizer side build (label "sanitize", which itself
+#   5. the AddressSanitizer side build (label "sanitize", which itself
 #      rebuilds the lifetime-sensitive targets under -DMPIV_SANITIZE).
 #
 # Usage: tools/ci_smoke.sh [source-dir [build-dir]]
@@ -20,10 +24,13 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 echo "==== default suite ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-      -LE 'sanitize|torture|audit'
+      -LE 'sanitize|torture|audit|recovery'
 
 echo "==== protocol audit ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L audit
+
+echo "==== recovery fast path ===="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L recovery
 
 echo "==== torture suite ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L torture
