@@ -161,11 +161,11 @@ int main(int argc, char** argv) {
 
   if (json.active()) {
     json.printf(
-        "{\n  \"waitlogged_gate\": [\n%s\n  ],\n"
+        "{\n  \"sim\": %s,\n  \"waitlogged_gate\": [\n%s\n  ],\n"
         "  \"daemon_chunk\": [\n%s\n  ],\n"
         "  \"tcp_window\": [\n%s\n  ],\n"
         "  \"pipe_bandwidth\": [\n%s\n  ]\n}\n",
-        json_gate.c_str(), json_chunk.c_str(), json_window.c_str(),
+        bench::sim_json_object().c_str(), json_gate.c_str(), json_chunk.c_str(), json_window.c_str(),
         json_pipe.c_str());
   }
   return 0;

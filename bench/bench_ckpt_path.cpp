@@ -168,7 +168,7 @@ int main(int argc, char** argv) {
           "  \"%s\": {\"ok\": %s, \"fetch_ms\": %.3f, \"fetch_mb\": %.3f}%s\n",
           name, f.ok ? "true" : "false", f.fetch_ms, f.fetch_mb, tail);
     };
-    json.printf("{\n");
+    json.printf("{\n  \"sim\": %s,\n", bench::sim_json_object().c_str());
     steady_json("full_image", full);
     steady_json("delta_1stripe", delta1);
     steady_json("delta_striped", deltaN);

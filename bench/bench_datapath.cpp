@@ -117,7 +117,8 @@ int main(int argc, char** argv) {
   double appends_zerocopy = run_nonblocking_appends_per_delivery(false);
 
   if (json.active()) {
-    json.printf("{\n  \"pingpong\": [\n");
+    json.printf("{\n  \"sim\": %s,\n  \"pingpong\": [\n",
+                bench::sim_json_object().c_str());
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       json.printf(

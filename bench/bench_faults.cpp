@@ -107,12 +107,12 @@ int main(int argc, char** argv) {
 
   if (json.active()) {
     json.printf(
-        "{\n  \"reference_s\": %.4f,\n  \"faults\": [\n%s\n  ],\n"
+        "{\n  \"sim\": %s,\n  \"reference_s\": %.4f,\n  \"faults\": [\n%s\n  ],\n"
         "  \"el\": {\"replication\": 3, \"single_el_s\": %.4f, "
         "\"quorum3_s\": %.4f, \"quorum_overhead\": %.3f, "
         "\"el_kill_s\": %.4f, \"el_kill_ok\": %s, "
         "\"quorum_waits\": %llu, \"replica_retries\": %llu}\n}\n",
-        ref_s, json_rows.c_str(), ref_s, quorum3_s, quorum3_s / ref_s,
+        bench::sim_json_object().c_str(), ref_s, json_rows.c_str(), ref_s, quorum3_s, quorum3_s / ref_s,
         elkill_s, elkill.success ? "true" : "false",
         static_cast<unsigned long long>(elkill.daemon_stats.el_quorum_waits),
         static_cast<unsigned long long>(

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     }
   }
   if (json.active()) {
-    json.printf("{\n  \"nas\": [\n%s\n  ]\n}\n", json_rows.c_str());
+    json.printf("{\n  \"sim\": %s,\n  \"nas\": [\n%s\n  ]\n}\n", bench::sim_json_object().c_str(), json_rows.c_str());
     return 0;
   }
   std::printf("%s", table.render().c_str());

@@ -278,10 +278,12 @@ int main(int argc, char** argv) {
   // structurally smaller; the sweep shows both.
   if (json.active()) {
     json.printf(
-        "{\n  \"nprocs\": %d,\n  \"headline_speedup_64k\": %.3f,\n"
+        "{\n  \"sim\": %s,\n  \"nprocs\": %d,\n"
+        "  \"headline_speedup_64k\": %.3f,\n"
         "  \"min_speedup_64k\": %.3f,\n"
         "  \"audits_pass\": %s,\n  \"scenarios\": [\n%s\n  ]\n}\n",
-        w.nprocs, headline_speedup_64k, min_speedup_64k,
+        bench::sim_json_object().c_str(), w.nprocs, headline_speedup_64k,
+        min_speedup_64k,
         all_audits_pass ? "true" : "false", json_rows.c_str());
   } else {
     std::printf("%s", table.render().c_str());

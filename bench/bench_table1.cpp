@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
     }
   }
   if (json.active()) {
-    json.printf("{\n  \"table1\": [\n%s\n  ]\n}\n", json_cases.c_str());
+    json.printf("{\n  \"sim\": %s,\n  \"table1\": [\n%s\n  ]\n}\n", bench::sim_json_object().c_str(), json_cases.c_str());
     return 0;
   }
   std::printf(

@@ -133,7 +133,8 @@ int main(int argc, char** argv) {
   }
 
   if (json.active()) {
-    json.printf("{\n  \"compiled_in\": %s,\n  \"bytes_per_event\": %zu,\n",
+    json.printf("{\n  \"sim\": %s,\n  \"compiled_in\": %s,\n  \"bytes_per_event\": %zu,\n",
+                bench::sim_json_object().c_str(),
                 trace::kCompiled ? "true" : "false",
                 sizeof(trace::TraceEvent));
     json.printf("  \"workloads\": [\n");

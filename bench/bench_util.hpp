@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/options.hpp"
 #include "common/serialize.hpp"
 #include "common/stats.hpp"
@@ -81,6 +82,40 @@ inline std::vector<std::string> devices_from_options(const Options& opts,
 inline double result_f64(const runtime::JobResult& res, int rank = 0) {
   Reader r(res.ranks[static_cast<std::size_t>(rank)].output);
   return r.f64();
+}
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 when
+/// /proc is unavailable.
+inline std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  unsigned long long kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<std::uint64_t>(kib) * 1024;
+}
+
+/// The engine-side scale counters accumulated over every job this bench ran
+/// (events executed, events/sec, fiber switches and stack memory, buffer
+/// pool hit rate, peak RSS), as one JSON object for a top-level "sim" key.
+inline std::string sim_json_object() {
+  CounterRegistry reg = runtime::sim_tally();
+  double wall =
+      static_cast<double>(reg.get("host_wall_ns")) / 1e9;
+  reg.add("host_events_per_sec",
+          wall > 0.0 ? static_cast<std::int64_t>(
+                           static_cast<double>(reg.get("sim_events_executed")) /
+                           wall)
+                     : 0);
+  BufferPool::Stats bp = BufferPool::global().stats();
+  reg.add("buffer_pool_rents", static_cast<std::int64_t>(bp.rents));
+  reg.add("buffer_pool_rent_hits", static_cast<std::int64_t>(bp.rent_hits));
+  reg.add("peak_rss_bytes", static_cast<std::int64_t>(peak_rss_bytes()),
+          MergeKind::kMax);
+  return reg.json_object();
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

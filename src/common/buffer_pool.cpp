@@ -1,0 +1,69 @@
+#include "common/buffer_pool.hpp"
+
+#include <bit>
+
+namespace mpiv {
+
+BufferPool& BufferPool::global() {
+  static BufferPool* pool = new BufferPool;  // leaky by design (see header)
+  return *pool;
+}
+
+std::size_t BufferPool::class_floor(std::size_t cap) {
+  if (cap < (std::size_t{1} << kMinClass)) return 0;  // below pooling floor
+  return static_cast<std::size_t>(std::bit_width(cap) - 1);
+}
+
+std::size_t BufferPool::class_ceil(std::size_t n) {
+  std::size_t want = std::max(n, std::size_t{1} << kMinClass);
+  std::size_t k = static_cast<std::size_t>(std::bit_width(want - 1));
+  return std::max(k, kMinClass);
+}
+
+BufferPool::Storage BufferPool::rent(std::size_t n) {
+  std::size_t k = class_ceil(n);
+  Storage out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rents;
+    // Serve from the smallest class guaranteed to fit; peeking one class up
+    // catches storages stranded there by non-power-of-two capacities.
+    for (std::size_t c = k; c < kClasses && c <= k + 1; ++c) {
+      if (!classes_[c].empty()) {
+        out = std::move(classes_[c].back());
+        classes_[c].pop_back();
+        stats_.bytes_pooled -= out.capacity();
+        ++stats_.rent_hits;
+        break;
+      }
+    }
+  }
+  out.resize(n);  // zero-fills: recycled bytes never leak between messages
+  return out;
+}
+
+void BufferPool::give_back(Storage b) {
+  std::size_t k = class_floor(b.capacity());
+  if (k < kMinClass || k >= kClasses) return;  // outside pooling range
+  b.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.returns;
+  if (stats_.bytes_pooled + b.capacity() > kMaxPooledBytes) return;  // freed
+  stats_.bytes_pooled += b.capacity();
+  classes_[k].push_back(std::move(b));
+}
+
+std::shared_ptr<const BufferPool::Storage> BufferPool::adopt(Storage b) {
+  return std::shared_ptr<const Storage>(
+      new Storage(std::move(b)), [](const Storage* p) {
+        BufferPool::global().give_back(std::move(*const_cast<Storage*>(p)));
+        delete p;
+      });
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mpiv

@@ -1,0 +1,72 @@
+// Size-classed recycling pool for message buffers.
+//
+// Steady-state messaging at 1024 ranks allocates and frees the same handful
+// of frame sizes millions of times; letting every frame round-trip through
+// malloc dominates the profile and fragments the heap. The pool keeps freed
+// vector storage in power-of-two size-class freelists: SharedBuffer adopts
+// payloads through here, so when the last alias of a frame drops, its bytes
+// go back on the freelist instead of to the allocator, and the next rent()
+// of a comparable size reuses them.
+//
+// The pool is a process-global, mutex-guarded, deliberately *leaky*
+// singleton: outstanding SharedBuffers may be destroyed during static
+// teardown, after any non-leaky pool would already be gone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mpiv {
+
+class BufferPool {
+ public:
+  using Storage = std::vector<std::byte>;
+
+  struct Stats {
+    std::uint64_t rents = 0;         // rent() calls
+    std::uint64_t rent_hits = 0;     // rents served from a freelist
+    std::uint64_t returns = 0;       // storages handed back
+    std::uint64_t bytes_pooled = 0;  // capacity currently parked in freelists
+  };
+
+  /// The process-wide pool (never destroyed).
+  static BufferPool& global();
+
+  /// A zero-filled buffer of size `n`, with capacity recycled from the pool
+  /// when a large-enough storage is parked there.
+  Storage rent(std::size_t n);
+
+  /// Parks `b`'s storage for reuse (or frees it once the pool is at its
+  /// retention cap). Call with any vector whose bytes are dead.
+  void give_back(Storage b);
+
+  /// Wraps `b` in a shared immutable handle whose final release routes the
+  /// storage back through give_back(). SharedBuffer's adopting constructor
+  /// uses this.
+  std::shared_ptr<const Storage> adopt(Storage b);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  BufferPool() = default;
+
+  // Class k holds storages with capacity in [2^k, 2^(k+1)); anything parked
+  // in class k can serve a rent of at most 2^k bytes.
+  static constexpr std::size_t kClasses = 33;
+  static constexpr std::size_t kMinClass = 6;  // don't pool below 64B
+  // Retention cap: beyond this the pool frees instead of parking, so one
+  // checkpoint burst cannot pin gigabytes forever.
+  static constexpr std::uint64_t kMaxPooledBytes = 256ull << 20;
+
+  static std::size_t class_floor(std::size_t cap);  // floor log2(cap)
+  static std::size_t class_ceil(std::size_t n);     // ceil log2(max(n,64))
+
+  mutable std::mutex mu_;
+  std::vector<Storage> classes_[kClasses];
+  Stats stats_;
+};
+
+}  // namespace mpiv

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
+
 namespace mpiv {
 
 /// Owning, contiguous byte buffer. All wire messages, checkpoint images and
@@ -31,9 +33,11 @@ using MutBytes = std::span<std::byte>;
 class SharedBuffer {
  public:
   SharedBuffer() = default;
-  /// Adopts `b` (no copy) and views all of it.
+  /// Adopts `b` (no copy) and views all of it. The storage routes through
+  /// BufferPool, so when the last alias drops, the bytes are recycled for a
+  /// future rent() instead of freed.
   explicit SharedBuffer(Buffer b)
-      : buf_(std::make_shared<const Buffer>(std::move(b))),
+      : buf_(BufferPool::global().adopt(std::move(b))),
         off_(0),
         len_(buf_->size()) {}
 

@@ -148,8 +148,15 @@ bool Conn::send(sim::Context& ctx, Buffer msg,
 
 bool Conn::send(sim::Context& ctx, Buffer head, ConstBytes tail,
                 const std::function<void(sim::Context&)>& while_blocked) {
-  head.insert(head.end(), tail.begin(), tail.end());
-  return link_->send_from(ctx, side_, std::move(head), while_blocked);
+  // Gather into a pooled frame: the common case (header + logged payload)
+  // reuses a recycled slab instead of growing `head`'s allocation.
+  Buffer frame = BufferPool::global().rent(head.size() + tail.size());
+  if (!head.empty()) std::memcpy(frame.data(), head.data(), head.size());
+  if (!tail.empty()) {
+    std::memcpy(frame.data() + head.size(), tail.data(), tail.size());
+  }
+  BufferPool::global().give_back(std::move(head));
+  return link_->send_from(ctx, side_, std::move(frame), while_blocked);
 }
 
 void Conn::close() { link_->close_from(side_, /*graceful=*/true); }

@@ -1,5 +1,6 @@
 #include "runtime/job.hpp"
 
+#include <chrono>
 #include <string>
 
 #include "common/error.hpp"
@@ -486,11 +487,63 @@ class Cluster {
 
 JobResult run_job(const JobConfig& config, const AppFactory& factory) {
   sim::Engine eng;
+  if (config.fiber_stack_bytes != 0) {
+    eng.set_fiber_stack_bytes(config.fiber_stack_bytes);
+  }
   net::Network net(eng, config.net_params);
   Cluster cluster(eng, net, config, factory);
   cluster.start();
+  auto wall_start = std::chrono::steady_clock::now();
   eng.run_until(config.time_limit);
-  return cluster.collect();
+  double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              wall_start)
+                    .count();
+  JobResult out = cluster.collect();
+  // Engine-side scale counters ride the same registry as the protocol
+  // tallies so every bench's JSON carries them. Names with a "host_" prefix
+  // depend on wall-clock speed and are excluded from determinism checks.
+  const sim::EngineStats& st = eng.stats();
+  out.counters.add("sim_events_executed",
+                   static_cast<std::int64_t>(st.events_executed));
+  out.counters.add("sim_events_scheduled",
+                   static_cast<std::int64_t>(st.events_scheduled));
+  out.counters.add("sim_events_cancelled",
+                   static_cast<std::int64_t>(st.events_cancelled));
+  out.counters.add("sim_live_events_peak",
+                   static_cast<std::int64_t>(st.live_events_peak),
+                   MergeKind::kMax);
+  out.counters.add("sim_fiber_switches",
+                   static_cast<std::int64_t>(st.fiber_switches));
+  out.counters.add("sim_fiber_stacks_created",
+                   static_cast<std::int64_t>(st.fiber_stacks_created));
+  out.counters.add("sim_fiber_stack_peak_bytes",
+                   static_cast<std::int64_t>(st.fiber_stack_peak_bytes),
+                   MergeKind::kMax);
+  out.counters.add(
+      "host_events_per_sec",
+      wall > 0.0 ? static_cast<std::int64_t>(
+                       static_cast<double>(st.events_executed) / wall)
+                 : 0);
+  CounterRegistry& tally = sim_tally();
+  tally.add("sim_events_executed",
+            static_cast<std::int64_t>(st.events_executed));
+  tally.add("sim_events_cancelled",
+            static_cast<std::int64_t>(st.events_cancelled));
+  tally.add("sim_live_events_peak",
+            static_cast<std::int64_t>(st.live_events_peak), MergeKind::kMax);
+  tally.add("sim_fiber_switches", static_cast<std::int64_t>(st.fiber_switches));
+  tally.add("sim_fiber_stacks_created",
+            static_cast<std::int64_t>(st.fiber_stacks_created));
+  tally.add("sim_fiber_stack_peak_bytes",
+            static_cast<std::int64_t>(st.fiber_stack_peak_bytes),
+            MergeKind::kMax);
+  tally.add("host_wall_ns", static_cast<std::int64_t>(wall * 1e9));
+  return out;
+}
+
+CounterRegistry& sim_tally() {
+  static CounterRegistry reg;
+  return reg;
 }
 
 }  // namespace mpiv::runtime

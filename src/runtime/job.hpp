@@ -110,6 +110,12 @@ struct JobConfig {
 
   SimTime time_limit = seconds(100000);
   std::uint64_t seed = 1;
+
+  /// Stack size for the simulator's per-process fibers (0 = engine default,
+  /// currently 512 KiB). Each fiber stack gets an mprotect guard page below
+  /// it, so an overflow at 1024 ranks faults loudly instead of silently
+  /// corrupting a neighbouring stack. Ignored under MPIV_SIM_THREADS.
+  std::size_t fiber_stack_bytes = 0;
 };
 
 struct RankResult {
@@ -150,5 +156,11 @@ struct JobResult {
 };
 
 JobResult run_job(const JobConfig& config, const AppFactory& factory);
+
+/// Process-wide accumulation of the engine-side scale counters
+/// (sim_events_executed, fiber stats, host wall time) across every run_job
+/// call. Benches embed this in their JSON (see bench::sim_json_object) so
+/// all of them report events/sec and fiber memory, not just bench_scale.
+CounterRegistry& sim_tally();
 
 }  // namespace mpiv::runtime

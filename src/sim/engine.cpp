@@ -1,5 +1,8 @@
 #include "sim/engine.hpp"
 
+#include <sys/mman.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -10,31 +13,172 @@
 
 namespace mpiv::sim {
 
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t sz = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return sz;
+}
+
+}  // namespace
+
 Engine::Engine() {
   log::init_from_env();  // idempotent; lets MPIV_LOG work everywhere
+  trace_progress_ = std::getenv("MPIV_ENGINE_TRACE") != nullptr;
+  const char* threads = std::getenv("MPIV_SIM_THREADS");
+  if (threads != nullptr && threads[0] != '\0' && threads[0] != '0') {
+    backend_ = FiberBackend::kThreads;
+  }
+  // Tournament leaves permanently name their shard (emptiness is read off
+  // the shard heap itself); internal nodes start as "empty" sentinels.
+  for (std::uint32_t i = 0; i < kShards; ++i) tree_[i] = kShards;
+  for (std::uint32_t s = 0; s < kShards; ++s) tree_[kShards + s] = s;
 }
 
-Engine::~Engine() { shutdown(); }
+Engine::~Engine() {
+  shutdown();
+  // Fibers are all unwound; their stacks are back in the pool.
+  for (Stack& s : stack_pool_) destroy_stack(s);
+  stack_pool_.clear();
+}
 
 void Engine::shutdown() {
-  // Unwinding a fiber may spawn no new processes, but it may push mailbox
-  // events or close connections — all non-blocking by the destructor rule.
-  for (auto& p : processes_) p->synchronous_kill();
+  // Index-based: unwinding a fiber runs destructors that may (in principle)
+  // spawn and would invalidate iterators. Newly appended processes get
+  // killed by the same sweep.
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    processes_[i]->synchronous_kill();
+  }
 }
 
-EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+// ------------------------------------------------------------- calendar
+
+void Engine::heap_push(Shard& sh, HeapEntry e) {
+  std::vector<HeapEntry>& h = sh.heap;
+  h.push_back(e);
+  std::size_t i = h.size() - 1;
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!heap_before(h[i], h[parent])) break;
+    std::swap(h[i], h[parent]);
+    i = parent;
+  }
+}
+
+void Engine::heap_pop(Shard& sh) {
+  std::vector<HeapEntry>& h = sh.heap;
+  h.front() = h.back();
+  h.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = h.size();
+  for (;;) {
+    std::size_t l = 2 * i + 1, r = l + 1, m = i;
+    if (l < n && heap_before(h[l], h[m])) m = l;
+    if (r < n && heap_before(h[r], h[m])) m = r;
+    if (m == i) break;
+    std::swap(h[i], h[m]);
+    i = m;
+  }
+}
+
+void Engine::update_tournament(std::uint32_t shard) {
+  // Leaves sit at [kShards, 2*kShards); internal node i holds the winning
+  // shard of its subtree (kShards = empty). Recompute the path to the root.
+  std::uint32_t i = (shard + kShards) >> 1;
+  while (i >= 1) {
+    std::uint32_t a = tree_[2 * i];
+    std::uint32_t b = tree_[2 * i + 1];
+    // Winner: the non-empty shard with the smaller (time, seq) head.
+    std::uint32_t win;
+    bool a_empty = a >= kShards || shards_[a].heap.empty();
+    bool b_empty = b >= kShards || shards_[b].heap.empty();
+    if (a_empty) {
+      win = b_empty ? kShards : b;
+    } else if (b_empty) {
+      win = a;
+    } else {
+      win = heap_before(shards_[a].heap.front(), shards_[b].heap.front()) ? a
+                                                                          : b;
+    }
+    tree_[i] = win;
+    i >>= 1;
+  }
+}
+
+EventId Engine::push_event(std::uint32_t shard, SimTime t, std::uint64_t seq,
+                           EventFn fn) {
+  Shard& sh = shards_[shard];
+  std::uint32_t slot;
+  if (sh.free_head != kNoSlot) {
+    slot = sh.free_head;
+    sh.free_head = sh.slab[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(sh.slab.size());
+    sh.slab.emplace_back();
+  }
+  EventNode& node = sh.slab[slot];
+  node.fn = std::move(fn);
+  node.seq = seq;
+  node.live = true;
+  node.cancelled = false;
+  heap_push(sh, HeapEntry{t, seq, slot});
+  if (sh.heap.front().slot == slot) update_tournament(shard);
+  ++live_events_;
+  stats_.live_events_peak = std::max(stats_.live_events_peak, live_events_);
+  return EventId{seq, shard, slot};
+}
+
+EventId Engine::schedule_at(SimTime t, EventFn fn) {
   MPIV_CHECK(t >= now_, "event scheduled in the past");
-  std::uint64_t seq = next_seq_++;
-  queue_.push(Event{t, seq, std::move(fn)});
-  return EventId{seq};
+  ++stats_.events_scheduled;
+  return push_event(current_shard_, t, next_seq_++, std::move(fn));
 }
 
-EventId Engine::schedule_in(SimDuration d, std::function<void()> fn) {
+EventId Engine::schedule_in(SimDuration d, EventFn fn) {
   return schedule_at(now_ + d, std::move(fn));
 }
 
 void Engine::cancel(EventId id) {
-  if (id.seq != 0) cancelled_.push_back(id.seq);
+  if (id.seq == 0) return;
+  Shard& sh = shards_[id.shard % kShards];
+  if (id.slot >= sh.slab.size()) return;
+  EventNode& node = sh.slab[id.slot];
+  // Generation check: the slot may have been reused (or the event already
+  // executed); a stale cancel must be a no-op.
+  if (!node.live || node.seq != id.seq || node.cancelled) return;
+  node.cancelled = true;
+  node.fn.reset();  // release captured resources now, not at pop time
+  ++stats_.events_cancelled;
+}
+
+bool Engine::pop_next(SimTime& time_out, std::uint64_t& seq_out,
+                      EventFn& fn_out) {
+  for (;;) {
+    std::uint32_t s = winner();
+    if (s >= kShards) return false;
+    Shard& sh = shards_[s];
+    HeapEntry top = sh.heap.front();
+    EventNode& node = sh.slab[top.slot];
+    bool cancelled = node.cancelled;
+    if (!cancelled) {
+      time_out = top.time;
+      seq_out = top.seq;
+      fn_out = std::move(node.fn);
+    }
+    node.live = false;
+    node.fn.reset();
+    node.next_free = sh.free_head;
+    sh.free_head = top.slot;
+    heap_pop(sh);
+    update_tournament(s);
+    --live_events_;
+    if (!cancelled) {
+      // Events scheduled by this event land in the same calendar shard
+      // unless a process switch re-targets it (see Process::unpark).
+      current_shard_ = s;
+      return true;
+    }
+  }
 }
 
 Process* Engine::spawn(std::string name, std::function<void(Context&)> body) {
@@ -47,54 +191,88 @@ Process* Engine::spawn(std::string name, std::function<void(Context&)> body) {
 
 void Engine::kill(Process* p) { p->request_kill(); }
 
-// Pops the next event; drops cancelled ones without advancing the clock so a
-// cancelled far-future timer cannot drag virtual time forward.
-bool Engine::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (!cancelled_.empty()) {
-      auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.seq);
-      if (it != cancelled_.end()) {
-        cancelled_.erase(it);
-        continue;
-      }
-    }
-    out = std::move(ev);
-    return true;
-  }
-  return false;
-}
-
 void Engine::run() {
   stopped_ = false;
-  Event ev;
-  while (!stopped_ && pop_next(ev)) {
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
+  SimTime t;
+  std::uint64_t seq;
+  EventFn fn;
+  while (!stopped_ && pop_next(t, seq, fn)) {
+    now_ = t;
+    ++stats_.events_executed;
+    fn();
+    fn.reset();
   }
 }
 
 void Engine::run_until(SimTime t) {
   stopped_ = false;
-  Event ev;
+  SimTime et;
+  std::uint64_t seq;
+  EventFn fn;
   while (!stopped_) {
-    if (std::getenv("MPIV_ENGINE_TRACE") && executed_ % 5000000 == 0) {
+    if (trace_progress_ && stats_.events_executed % 5000000 == 0) {
       std::fprintf(stderr, "[engine] %llu events, t=%f\n",
-                   (unsigned long long)executed_, to_seconds(now_));
+                   (unsigned long long)stats_.events_executed,
+                   to_seconds(now_));
     }
-    if (!pop_next(ev)) break;
-    if (ev.time > t) {
-      // Put it back; it stays pending for a later run call.
-      queue_.push(std::move(ev));
+    if (!pop_next(et, seq, fn)) break;
+    if (et > t) {
+      // Put it back (same seq, so its global position is unchanged); it
+      // stays pending for a later run call.
+      push_event(current_shard_, et, seq, std::move(fn));
       break;
     }
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
+    now_ = et;
+    ++stats_.events_executed;
+    fn();
+    fn.reset();
   }
   if (now_ < t) now_ = t;
+}
+
+// ---------------------------------------------------------- fiber stacks
+
+std::byte* Engine::Stack::usable_base() const { return base + page_size(); }
+std::size_t Engine::Stack::usable_size() const { return size - page_size(); }
+
+Engine::Stack Engine::acquire_stack() {
+  const std::size_t page = page_size();
+  std::size_t want = ((stack_bytes_ + page - 1) / page) * page + page;  // +guard
+  if (!stack_pool_.empty() && stack_pool_.back().size == want) {
+    Stack s = stack_pool_.back();
+    stack_pool_.pop_back();
+    stats_.fiber_stack_bytes_in_use += s.size;
+    stats_.fiber_stack_peak_bytes = std::max(stats_.fiber_stack_peak_bytes,
+                                             stats_.fiber_stack_bytes_in_use);
+    return s;
+  }
+  void* mem = ::mmap(nullptr, want, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  MPIV_CHECK(mem != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end: the stack grows down into it on overflow and
+  // faults loudly instead of silently corrupting a neighbouring allocation.
+  int rc = ::mprotect(mem, page, PROT_NONE);
+  MPIV_CHECK(rc == 0, "fiber stack guard mprotect failed");
+  ++stats_.fiber_stacks_created;
+  stats_.fiber_stack_bytes_in_use += want;
+  stats_.fiber_stack_peak_bytes = std::max(stats_.fiber_stack_peak_bytes,
+                                           stats_.fiber_stack_bytes_in_use);
+  return Stack{static_cast<std::byte*>(mem), want};
+}
+
+void Engine::release_stack(Stack s) {
+  stats_.fiber_stack_bytes_in_use -= s.size;
+  const std::size_t page = page_size();
+  std::size_t want = ((stack_bytes_ + page - 1) / page) * page + page;
+  if (s.size == want) {
+    stack_pool_.push_back(s);  // recycled by the next spawn (churn path)
+  } else {
+    destroy_stack(s);
+  }
+}
+
+void Engine::destroy_stack(Stack s) {
+  if (s.base != nullptr) ::munmap(s.base, s.size);
 }
 
 }  // namespace mpiv::sim

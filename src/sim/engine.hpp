@@ -1,16 +1,30 @@
 // Discrete-event simulation engine.
 //
-// The engine owns a virtual clock and an event queue ordered by
-// (time, insertion sequence) — ties break deterministically in insertion
-// order, which together with the one-runnable-process-at-a-time fiber
-// handshake makes every simulation bit-reproducible.
+// The engine owns a virtual clock and a *sharded* calendar of events: every
+// event carries a global (time, insertion sequence) key, shards hold small
+// binary heaps, and a tournament tree over the shard heads yields the global
+// minimum. Because (time, seq) is a total order, the pop sequence is
+// identical to the old single-heap engine — sharding is purely a locality /
+// scalability structure, and every simulation stays bit-reproducible.
+//
+// Events are slab-allocated nodes with inline callable storage (EventFn), so
+// the steady-state schedule/execute cycle performs no heap allocation, and
+// cancellation is an O(1) tombstone on the node (see Engine::cancel).
+//
+// Simulated processes run on stackful fibers (ucontext) by default, with a
+// thread-per-process fallback for debugging (MPIV_SIM_THREADS=1); fiber
+// stacks are guard-paged and recycled through a free list owned here.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -20,9 +34,127 @@ namespace mpiv::sim {
 class Process;
 class Context;
 
-/// Handle used to cancel a scheduled event.
+/// Handle used to cancel a scheduled event. `seq` is the event's global
+/// insertion sequence; shard/slot locate its slab node so cancellation can
+/// tombstone it in O(1). A default-constructed id (seq == 0) is a no-op.
 struct EventId {
   std::uint64_t seq = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t slot = 0;
+};
+
+/// Move-only callable with inline storage sized for the engine's hot-path
+/// lambdas (network delivery captures a Buffer, pipe delivery a PipeFrame).
+/// Larger callables fall back to a single heap allocation. Replaces
+/// std::function in the event queue to kill per-event heap churn.
+class EventFn {
+ public:
+  // Large enough for a captured PipeFrame (Buffer + SharedBuffer) plus a
+  // pointer and an int — the biggest lambda on the per-message path.
+  static constexpr std::size_t kInlineBytes = 72;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vt_ = inline_vtable<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = heap_vtable<Fn>();
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept { move_from(o); }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { vt_->call(storage_); }
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  /// Destroys the wrapped callable (releasing captured resources) and
+  /// leaves the EventFn empty. Cancellation uses this to free resources at
+  /// cancel time rather than when the tombstone is eventually popped.
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*call)(void*);
+    void (*destroy)(void*);
+    void (*relocate)(void*, void*);  // move-construct dst from src
+  };
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt{
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        }};
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt{
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* p) { delete *static_cast<Fn**>(p); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        }};
+    return &vt;
+  }
+
+  void move_from(EventFn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, o.storage_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+/// How simulated processes execute their bodies. kFibers (the default) runs
+/// each process on a ucontext fiber — one OS thread total, ~200ns switches.
+/// kThreads is the legacy thread-per-process handshake, kept as an opt-in
+/// debugging fallback (MPIV_SIM_THREADS=1); both produce bit-identical
+/// simulations.
+enum class FiberBackend { kFibers, kThreads };
+
+/// Engine-side execution statistics, exported into JobResult counters.
+struct EngineStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t live_events_peak = 0;
+  std::uint64_t fiber_switches = 0;
+  std::uint64_t fiber_stacks_created = 0;
+  std::uint64_t fiber_stack_bytes_in_use = 0;
+  std::uint64_t fiber_stack_peak_bytes = 0;
 };
 
 class Engine {
@@ -34,8 +166,13 @@ class Engine {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
-  EventId schedule_at(SimTime t, std::function<void()> fn);
-  EventId schedule_in(SimDuration d, std::function<void()> fn);
+  EventId schedule_at(SimTime t, EventFn fn);
+  EventId schedule_in(SimDuration d, EventFn fn);
+
+  /// O(1): tombstones the event's slab node (generation-checked, so a stale
+  /// id whose slot was reused is a safe no-op) and releases the callable's
+  /// captured resources immediately. Safe to call from inside event
+  /// callbacks, including against events already executed or cancelled.
   void cancel(EventId id);
 
   /// Spawns a cooperative process; its body starts at the current virtual
@@ -60,29 +197,109 @@ class Engine {
   void shutdown();
 
   /// Number of events executed so far (for diagnostics).
-  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return stats_.events_executed;
+  }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const {
     return processes_;
   }
 
+  /// Execution backend for processes spawned after this call. Defaults to
+  /// fibers, or threads when MPIV_SIM_THREADS is set in the environment.
+  void set_backend(FiberBackend b) { backend_ = b; }
+  [[nodiscard]] FiberBackend backend() const { return backend_; }
+
+  /// Stack size for fibers spawned after this call (rounded up to whole
+  /// pages; a guard page is added below the stack so overflow faults loudly
+  /// instead of corrupting a neighbour). Ignored by the thread backend.
+  void set_fiber_stack_bytes(std::size_t n) { stack_bytes_ = n; }
+  [[nodiscard]] std::size_t fiber_stack_bytes() const { return stack_bytes_; }
+
  private:
-  struct Event {
+  friend class Process;
+
+  // ------------------------------------------------------------- calendar
+  // Shard count: a power of two. Each spawned process gets its own calendar
+  // shard (round-robin), so a node's timers and deliveries cluster in one
+  // small heap; pops merge shard heads through the tournament tree.
+  static constexpr std::uint32_t kShards = 64;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
+    std::uint32_t slot;
   };
 
-  bool pop_next(Event& out);
+  struct EventNode {
+    EventFn fn;
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+    bool cancelled = false;
+  };
+
+  struct Shard {
+    std::deque<EventNode> slab;  // stable addresses; indexed by slot
+    std::uint32_t free_head = kNoSlot;
+    std::vector<HeapEntry> heap;  // min-heap on (time, seq)
+  };
+
+  static bool heap_before(const HeapEntry& a, const HeapEntry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+
+  EventId push_event(std::uint32_t shard, SimTime t, std::uint64_t seq,
+                     EventFn fn);
+  void heap_push(Shard& sh, HeapEntry e);
+  void heap_pop(Shard& sh);
+  void update_tournament(std::uint32_t shard);
+  /// Winner shard of the whole calendar, or kShards when empty.
+  [[nodiscard]] std::uint32_t winner() const { return tree_[1]; }
+
+  /// Pops the next non-cancelled event; drops tombstones without advancing
+  /// the clock so a cancelled far-future timer cannot drag virtual time
+  /// forward.
+  bool pop_next(SimTime& time_out, std::uint64_t& seq_out, EventFn& fn_out);
+
+  // ---------------------------------------------------------- fiber stacks
+  struct Stack {
+    std::byte* base = nullptr;  // mmap base (guard page lives here)
+    std::size_t size = 0;       // total mapping, guard included
+    [[nodiscard]] std::byte* usable_base() const;
+    [[nodiscard]] std::size_t usable_size() const;
+  };
+  Stack acquire_stack();
+  void release_stack(Stack s);
+  static void destroy_stack(Stack s);
+
+  /// Round-robin calendar-shard assignment for spawned processes.
+  std::uint32_t assign_shard() { return next_shard_++ % kShards; }
+  /// Events scheduled while a process runs land in its own shard.
+  void enter_shard(std::uint32_t s) { current_shard_ = s; }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted lazily; small
+  bool trace_progress_ = false;
+  EngineStats stats_;
+  std::uint64_t live_events_ = 0;
+
+  Shard shards_[kShards];
+  std::uint32_t tree_[2 * kShards];  // tournament: winning shard per node
+  std::uint32_t current_shard_ = 0;
+  std::uint32_t next_shard_ = 0;
+
+  FiberBackend backend_ = FiberBackend::kFibers;
+  std::size_t stack_bytes_ = 512 * 1024;
+  std::vector<Stack> stack_pool_;
+
+  // ASan fiber bookkeeping: bottom/size of the engine's own (thread) stack,
+  // captured on the first switch into a fiber.
+  const void* asan_engine_stack_ = nullptr;
+  std::size_t asan_engine_stack_size_ = 0;
+
   std::vector<std::unique_ptr<Process>> processes_;
 };
 

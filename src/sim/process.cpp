@@ -1,46 +1,164 @@
 #include "sim/process.hpp"
 
+#include <ucontext.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
 #include "common/error.hpp"
+
+// AddressSanitizer needs to be told about every stack switch so it can track
+// redzones and fake-stack frames per fiber instead of flagging the swap as a
+// wild jump.
+#if defined(__SANITIZE_ADDRESS__)
+#define MPIV_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MPIV_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(MPIV_ASAN_FIBERS)
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
 
 namespace mpiv::sim {
 
 namespace {
+// The process whose stack we are currently executing on (nullptr = engine).
+// Single-threaded in the fiber backend; per-thread in the thread backend.
 thread_local Process* t_current_fiber = nullptr;
-}
+}  // namespace
+
+/// ucontext backend: the fiber's own context plus the saved engine-side
+/// context it returns to on park/finish. The stack comes from the engine's
+/// recycling pool and is released as soon as the fiber finishes.
+struct Process::FiberState {
+  ucontext_t ctx{};         // fiber context (runs on `stack`)
+  ucontext_t engine_ctx{};  // where park/finish swaps back to
+  Engine::Stack stack;      // empty until start(); empty again after finish
+};
+
+/// Legacy thread backend: one OS thread per process, strictly alternating
+/// with the engine through a mutex/condvar "turn" handshake so that — just
+/// like with fibers — exactly one of them runs at any instant.
+struct Process::ThreadState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fiber_turn = false;  // true: process may run; false: engine may run
+  std::thread th;
+};
 
 Process::Process(Engine& engine, std::string name,
                  std::function<void(Context&)> body)
-    : engine_(engine), name_(std::move(name)), body_(std::move(body)) {
-  thread_ = std::thread([this] { fiber_main(); });
+    : engine_(engine),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      shard_(engine.assign_shard()) {
+  if (engine_.backend() == FiberBackend::kThreads) {
+    thread_ = std::make_unique<ThreadState>();
+    thread_->th = std::thread([this] { thread_main(); });
+  } else {
+    fiber_ = std::make_unique<FiberState>();
+  }
 }
 
 Process::~Process() {
-  if (thread_.joinable()) {
-    {
-      // If the fiber never ran or is parked forever, release it via kill.
-      std::unique_lock<std::mutex> lock(mu_);
-      kill_requested_ = true;
-      fiber_turn_ = true;
-      started_ = true;
+  if (thread_ != nullptr) {
+    if (thread_->th.joinable()) {
+      {
+        // If the body never ran or is parked forever, release it via kill.
+        std::unique_lock<std::mutex> lock(thread_->mu);
+        kill_requested_ = true;
+        thread_->fiber_turn = true;
+        started_ = true;
+      }
+      thread_->cv.notify_all();
+      thread_->th.join();
     }
-    cv_.notify_all();
-    thread_.join();
+  } else if (fiber_ != nullptr) {
+    // A parked fiber still owns a stack with live frames; unwind it so RAII
+    // runs and the stack returns to the engine pool. No-op when finished.
+    synchronous_kill();
   }
 }
 
 bool Process::on_fiber() const { return t_current_fiber == this; }
 
-void Process::fiber_main() {
+// ------------------------------------------------------------ fiber backend
+
+void Process::trampoline() {
+  // enter_fiber() publishes the target process before the first swap.
+  t_current_fiber->run_body();
+  MPIV_CHECK(false, "fiber resumed after its final handoff");
+}
+
+void Process::run_body() {
+#if defined(MPIV_ASAN_FIBERS)
+  // First landing on this stack: complete the switch the engine started and
+  // learn the engine's own stack extent for the return hops.
+  __sanitizer_finish_switch_fiber(nullptr, &engine_.asan_engine_stack_,
+                                  &engine_.asan_engine_stack_size_);
+#endif
+  Context ctx(*this);
+  try {
+    body_(ctx);
+  } catch (ProcessKilled) {
+    killed_flag_ = true;
+  }
+  body_ = nullptr;  // drop captured resources at finish, not engine teardown
+  finished_ = true;
+  FiberState& f = *fiber_;
+#if defined(MPIV_ASAN_FIBERS)
+  // nullptr save slot = this fiber is exiting; ASan frees its fake stack.
+  __sanitizer_start_switch_fiber(nullptr, engine_.asan_engine_stack_,
+                                 engine_.asan_engine_stack_size_);
+#endif
+  ::swapcontext(&f.ctx, &f.engine_ctx);  // final handoff; never returns
+}
+
+void Process::enter_fiber() {
+  FiberState& f = *fiber_;
+  Process* prev_fiber = t_current_fiber;
+  std::uint32_t prev_shard = engine_.current_shard_;
+  t_current_fiber = this;
+  // Events the body schedules (timers, sends) land in this process's own
+  // calendar shard.
+  engine_.enter_shard(shard_);
+  ++engine_.stats_.fiber_switches;
+#if defined(MPIV_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, f.stack.usable_base(),
+                                 f.stack.usable_size());
+#endif
+  ::swapcontext(&f.engine_ctx, &f.ctx);
+#if defined(MPIV_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
+#endif
+  t_current_fiber = prev_fiber;
+  engine_.enter_shard(prev_shard);
+  if (finished_ && f.stack.base != nullptr) {
+    engine_.release_stack(f.stack);
+    f.stack = Engine::Stack{};
+  }
+}
+
+// --------------------------------------------------------- thread backend
+
+void Process::thread_main() {
+  ThreadState& ts = *thread_;
   // Wait for the first transfer of control.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return fiber_turn_ && started_; });
+    std::unique_lock<std::mutex> lock(ts.mu);
+    ts.cv.wait(lock, [this, &ts] { return ts.fiber_turn && started_; });
     if (kill_requested_) {
       killed_flag_ = true;
       finished_ = true;
-      fiber_turn_ = false;
+      ts.fiber_turn = false;
       lock.unlock();
-      cv_.notify_all();
+      ts.cv.notify_all();
       return;
     }
   }
@@ -51,49 +169,97 @@ void Process::fiber_main() {
   } catch (ProcessKilled) {
     killed_flag_ = true;
   }
+  body_ = nullptr;
   // Final handoff back to the engine.
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(ts.mu);
     finished_ = true;
-    fiber_turn_ = false;
+    ts.fiber_turn = false;
   }
-  cv_.notify_all();
+  ts.cv.notify_all();
 }
 
+// ------------------------------------------------- engine-side transitions
+
 void Process::start() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
+  if (kill_requested_) {
+    // Killed before the start event ran: the body never executes (and, on
+    // the fiber backend, no stack is ever acquired).
     started_ = true;
-    fiber_turn_ = true;
+    killed_flag_ = true;
+    finished_ = true;
+    return;
   }
-  cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !fiber_turn_; });
+  if (thread_ != nullptr) {
+    ThreadState& ts = *thread_;
+    {
+      std::unique_lock<std::mutex> lock(ts.mu);
+      started_ = true;
+      ts.fiber_turn = true;
+    }
+    ts.cv.notify_all();
+    std::unique_lock<std::mutex> lock(ts.mu);
+    ts.cv.wait(lock, [&ts] { return !ts.fiber_turn; });
+    return;
+  }
+  started_ = true;
+  FiberState& f = *fiber_;
+  f.stack = engine_.acquire_stack();
+#if defined(MPIV_ASAN_FIBERS)
+  // A recycled stack still carries the previous fiber's redzone poison.
+  __asan_unpoison_memory_region(f.stack.usable_base(), f.stack.usable_size());
+#endif
+  int rc = ::getcontext(&f.ctx);
+  MPIV_CHECK(rc == 0, "getcontext failed");
+  f.ctx.uc_stack.ss_sp = f.stack.usable_base();
+  f.ctx.uc_stack.ss_size = f.stack.usable_size();
+  f.ctx.uc_link = nullptr;  // fibers exit via the explicit final swap
+  ::makecontext(&f.ctx, &Process::trampoline, 0);
+  enter_fiber();
 }
 
 void Process::unpark(std::uint64_t token) {
   if (finished_) return;
   if (token != token_) return;  // stale wakeup
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    fiber_turn_ = true;
+  if (thread_ != nullptr) {
+    ThreadState& ts = *thread_;
+    {
+      std::unique_lock<std::mutex> lock(ts.mu);
+      ts.fiber_turn = true;
+    }
+    ts.cv.notify_all();
+    std::unique_lock<std::mutex> lock(ts.mu);
+    ts.cv.wait(lock, [&ts] { return !ts.fiber_turn; });
+    return;
   }
-  cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !fiber_turn_; });
+  enter_fiber();
 }
 
 void Process::synchronous_kill() {
   if (finished_) return;
   kill_requested_ = true;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    started_ = true;
-    fiber_turn_ = true;
+  if (thread_ != nullptr) {
+    ThreadState& ts = *thread_;
+    {
+      std::unique_lock<std::mutex> lock(ts.mu);
+      started_ = true;
+      ts.fiber_turn = true;
+    }
+    ts.cv.notify_all();
+    std::unique_lock<std::mutex> lock(ts.mu);
+    ts.cv.wait(lock, [&ts] { return !ts.fiber_turn; });
+    return;
   }
-  cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !fiber_turn_; });
+  if (!started_ || fiber_->stack.base == nullptr) {
+    // Never entered (or start raced the kill): nothing to unwind.
+    started_ = true;
+    killed_flag_ = true;
+    finished_ = true;
+    return;
+  }
+  // Resume the parked fiber; park() observes the kill and throws, unwinding
+  // the stack, after which enter_fiber() reclaims it.
+  enter_fiber();
 }
 
 void Process::request_kill() {
@@ -104,17 +270,34 @@ void Process::request_kill() {
   engine_.schedule_at(engine_.now(), [this, token] { unpark(token); });
 }
 
+// ------------------------------------------------------------- fiber side
+
 void Process::park() {
   MPIV_CHECK(on_fiber(), "park() called outside the fiber");
   if (kill_requested_) throw ProcessKilled{};
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    fiber_turn_ = false;
-  }
-  cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return fiber_turn_; });
+  if (thread_ != nullptr) {
+    ThreadState& ts = *thread_;
+    {
+      std::unique_lock<std::mutex> lock(ts.mu);
+      ts.fiber_turn = false;
+    }
+    ts.cv.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(ts.mu);
+      ts.cv.wait(lock, [&ts] { return ts.fiber_turn; });
+    }
+  } else {
+    FiberState& f = *fiber_;
+#if defined(MPIV_ASAN_FIBERS)
+    void* fake_stack = nullptr;
+    __sanitizer_start_switch_fiber(&fake_stack, engine_.asan_engine_stack_,
+                                   engine_.asan_engine_stack_size_);
+#endif
+    ::swapcontext(&f.ctx, &f.engine_ctx);
+#if defined(MPIV_ASAN_FIBERS)
+    __sanitizer_finish_switch_fiber(fake_stack, &engine_.asan_engine_stack_,
+                                    &engine_.asan_engine_stack_size_);
+#endif
   }
   ++token_;  // invalidate any other waker armed for the previous park
   if (kill_requested_) throw ProcessKilled{};

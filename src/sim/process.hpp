@@ -1,20 +1,27 @@
 // Cooperative simulated processes.
 //
-// Each Process runs its body on a dedicated OS thread, but a strict
-// mutex/condvar handshake guarantees that at any instant either the engine
-// thread or exactly one fiber thread is running. Blocking operations park the
-// fiber and hand control back to the engine; wakers are engine events.
+// Each Process runs its body on a stackful fiber: a ucontext coroutine
+// switched in and out by the engine (~200ns per switch, one OS thread
+// total), so thousand-rank clusters fit in one process without the
+// two-OS-context-switch park/unpark handshake of the legacy backend.
+// Setting MPIV_SIM_THREADS=1 selects that legacy thread-per-process backend
+// (useful under debuggers that are happier with real threads); both
+// backends produce bit-identical simulations because in either case exactly
+// one body — or the engine — runs at any instant.
 //
 // Parking uses a generation token so that a process with several potential
 // wakers (timer, mailbox, kill) ignores stale wakeups deterministically.
+//
+// Fiber stacks are mmap'd with a low guard page (overflow faults instead of
+// corrupting a neighbour) and are recycled through the engine's stack pool
+// across crash/respawn churn. Under AddressSanitizer every switch is
+// bracketed with the sanitizer fiber hooks so ASan tracks the active stack.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
 
 #include "common/units.hpp"
 #include "sim/engine.hpp"
@@ -63,28 +70,34 @@ class Process {
   /// must capture wake_token() and call unpark(token).
   [[nodiscard]] std::uint64_t wake_token() const { return token_; }
 
-  /// Fiber side: true when inside this process's fiber thread.
+  /// Fiber side: true when inside this process's fiber.
   [[nodiscard]] bool on_fiber() const;
 
  private:
   friend class Engine;
   friend class Context;
-  void fiber_main();
+  struct FiberState;   // ucontext backend (process.cpp)
+  struct ThreadState;  // legacy thread backend (process.cpp)
+
   void start();  // engine side: first transfer into the fiber
+  void run_body();
+  void enter_fiber();       // engine side: switch into the ucontext fiber
+  void thread_main();       // legacy backend: body of the per-process thread
+  static void trampoline();
 
   Engine& engine_;
   std::string name_;
   std::function<void(Context&)> body_;
+  std::uint32_t shard_;       // calendar shard for events this process arms
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool fiber_turn_ = false;   // protected by mu_
   bool started_ = false;
   bool finished_ = false;     // written by fiber before final handoff
   bool kill_requested_ = false;
   bool killed_flag_ = false;
   std::uint64_t token_ = 0;   // park generation; engine/fiber alternate access
-  std::thread thread_;
+
+  std::unique_ptr<FiberState> fiber_;    // when backend == kFibers
+  std::unique_ptr<ThreadState> thread_;  // when backend == kThreads
 };
 
 /// The interface a process body uses to interact with virtual time.

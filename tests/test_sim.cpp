@@ -39,6 +39,55 @@ TEST(Engine, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+TEST(Engine, CancelFromWithinEventCallback) {
+  // Cancelling a pending event from inside another event's callback must
+  // tombstone it in place — including events earlier in this tick's pop
+  // order on other shards, and self-rescheduled timers.
+  Engine eng;
+  bool a_ran = false, b_ran = false;
+  EventId b = eng.schedule_at(20, [&] { b_ran = true; });
+  eng.schedule_at(10, [&] {
+    a_ran = true;
+    eng.cancel(b);
+    // Schedule-then-cancel inside the same callback: never runs either.
+    EventId c = eng.schedule_at(15, [&] { b_ran = true; });
+    eng.cancel(c);
+  });
+  eng.run();
+  EXPECT_TRUE(a_ran);
+  EXPECT_FALSE(b_ran);
+  EXPECT_EQ(eng.stats().events_cancelled, 2u);
+}
+
+TEST(Engine, StaleCancelIsNoOp) {
+  Engine eng;
+  int ran = 0;
+  EventId a = eng.schedule_at(10, [&] { ++ran; });
+  eng.run();
+  EXPECT_EQ(ran, 1);
+  // After execution the slot is recycled: cancelling the stale id must not
+  // touch whatever lives there now (generation check).
+  eng.cancel(a);
+  EventId b = eng.schedule_at(20, [&] { ++ran; });
+  eng.cancel(a);  // still stale, still a no-op
+  eng.cancel(b);
+  eng.cancel(b);  // double cancel
+  eng.cancel(EventId{});  // default id
+  eng.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(eng.stats().events_cancelled, 1u);
+}
+
+TEST(Engine, CancelledTimerDoesNotAdvanceClock) {
+  // Dropping a tombstone must not drag virtual time to the tombstone's
+  // timestamp: a cancelled far-future timer is invisible to the clock.
+  Engine eng;
+  EventId timer = eng.schedule_at(1000000, [] {});
+  eng.schedule_at(10, [&] { eng.cancel(timer); });
+  eng.run();
+  EXPECT_EQ(eng.now(), 10);
+}
+
 TEST(Engine, RunUntilAdvancesClock) {
   Engine eng;
   int count = 0;

@@ -20,9 +20,13 @@ BUILD_DIR="${2:-${SRC_DIR}/build-asan}"
 # recorder, the sink round-trips and the auditor's event-stream walks;
 # test_restart_window adds the overlapped restart — deferred-frame stash,
 # pipelined replay, scatter-gather resend batches — where stale frames
-# alias freed reassembly state if ownership slips.
-TARGETS=(test_network test_ckpt_path test_el_torture test_trace
-         test_restart_window)
+# alias freed reassembly state if ownership slips. test_sim and
+# test_scale_determinism exercise the ucontext fiber engine with the
+# sanitizer fiber-switch hooks enabled: every swap, stack recycle and
+# kill-unwind is checked, on top of the fiber-vs-thread determinism run
+# (shrunk via MPIV_SCALE_RANKS — ASan-instrumented 128-rank runs are slow).
+TARGETS=(test_sim test_network test_ckpt_path test_el_torture test_trace
+         test_restart_window test_scale_determinism)
 
 cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -32,7 +36,7 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${TARGETS[@]}"
 status=0
 for t in "${TARGETS[@]}"; do
   echo "==== ${t} (ASan) ===="
-  if ! "${BUILD_DIR}/tests/${t}"; then
+  if ! MPIV_SCALE_RANKS=32 "${BUILD_DIR}/tests/${t}"; then
     status=1
   fi
 done

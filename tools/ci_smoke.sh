@@ -10,7 +10,10 @@
 #      smokes audit every A/B scenario in-process),
 #   4. the randomized fault-schedule torture suite (label "torture", which
 #      also audits every traced faulty run post-hoc),
-#   5. the AddressSanitizer side build (label "sanitize", which itself
+#   5. the scale-out substrate suite (label "scale": a fast 256-rank
+#      bench_scale smoke with churn+audit and the fiber/thread backend
+#      determinism regression),
+#   6. the AddressSanitizer side build (label "sanitize", which itself
 #      rebuilds the lifetime-sensitive targets under -DMPIV_SANITIZE).
 #
 # Usage: tools/ci_smoke.sh [source-dir [build-dir]]
@@ -24,7 +27,7 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 echo "==== default suite ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-      -LE 'sanitize|torture|audit|recovery'
+      -LE 'sanitize|torture|audit|recovery|scale'
 
 echo "==== protocol audit ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L audit
@@ -34,6 +37,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L recovery
 
 echo "==== torture suite ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L torture
+
+echo "==== scale suite ===="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" -L scale
 
 echo "==== sanitize ===="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L sanitize
